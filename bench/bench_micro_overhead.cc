@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark): hardware-relevant costs of
+ * the PriSM framework (paper §3.3-§3.4).
+ *
+ * - Core-Selection: one random draw through the cumulative
+ *   distribution (the paper's added replacement-path hardware).
+ * - Equation 1: recomputing the eviction distribution.
+ * - Allocation policies: Algorithm 1/2/3 per recomputation, plus
+ *   the arithmetic-op counts the paper quotes (20-160 ops for
+ *   Algorithm 1, 28-224 for Algorithm 2 from 4 to 32 cores).
+ * - The lookahead policy for comparison (quadratic in ways).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/shared_cache.hh"
+#include "common/rng.hh"
+#include "prism/alloc_fair.hh"
+#include "prism/alloc_hitmax.hh"
+#include "prism/alloc_lookahead.hh"
+#include "prism/alloc_qos.hh"
+#include "prism/eq1.hh"
+#include "prism/prism_scheme.hh"
+#include "workload/stack_dist_generator.hh"
+
+using namespace prism;
+
+namespace
+{
+
+IntervalSnapshot
+makeSnapshot(std::uint32_t cores)
+{
+    IntervalSnapshot snap;
+    snap.totalBlocks = 65536;
+    snap.ways = 16;
+    snap.intervalMisses = 32768;
+    snap.cores.resize(cores);
+    Rng rng(1);
+    for (auto &c : snap.cores) {
+        c.occupancyBlocks = 65536 / cores;
+        c.sharedHits = rng.below(10000);
+        c.sharedMisses = 32768 / cores;
+        c.shadowHitsAtPosition.resize(16);
+        for (auto &h : c.shadowHitsAtPosition)
+            h = static_cast<double>(rng.below(1000));
+        c.shadowMisses = static_cast<double>(rng.below(1000));
+        c.instructions = 1000000;
+        c.cycles = 2000000;
+        c.llcStallCycles = 500000;
+    }
+    return snap;
+}
+
+void
+BM_CoreSelection(benchmark::State &state)
+{
+    const auto cores = static_cast<std::uint32_t>(state.range(0));
+    PrismScheme scheme(cores, std::make_unique<HitMaxPolicy>(), 7);
+    CacheConfig cfg;
+    cfg.sizeBytes = 1 << 20;
+    cfg.ways = 16;
+    cfg.numCores = cores;
+    SharedCache cache(cfg);
+    cache.setScheme(&scheme);
+    // Fill one set completely so chooseVictim exercises selection.
+    for (std::uint32_t i = 0; i < 16; ++i)
+        cache.access(i % cores, static_cast<Addr>(i) * cache.numSets());
+    SetView set = cache.setView(0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scheme.chooseVictim(cache, 0, set));
+}
+
+void
+BM_EvictionDistribution(benchmark::State &state)
+{
+    const auto cores = static_cast<std::size_t>(state.range(0));
+    std::vector<double> c(cores, 1.0 / cores), t(cores, 1.0 / cores),
+        m(cores, 1.0 / cores);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            evictionDistribution(c, t, m, 65536, 32768));
+}
+
+template <typename Policy>
+void
+BM_AllocPolicy(benchmark::State &state)
+{
+    const auto cores = static_cast<std::uint32_t>(state.range(0));
+    const auto snap = makeSnapshot(cores);
+    Policy policy;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(policy.computeTargets(snap));
+    state.counters["paper_arith_ops"] =
+        static_cast<double>(policy.arithmeticOps(cores));
+}
+
+void
+BM_QosPolicy(benchmark::State &state)
+{
+    const auto cores = static_cast<std::uint32_t>(state.range(0));
+    const auto snap = makeSnapshot(cores);
+    QosPolicy policy(0.8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(policy.computeTargets(snap));
+    state.counters["paper_arith_ops"] =
+        static_cast<double>(policy.arithmeticOps(cores));
+}
+
+void
+BM_GeneratorIrm(benchmark::State &state)
+{
+    StackDistParams p{65536, 0.5, 0.01, 0.3, 16384, 1};
+    StackDistGenerator gen(0, p, 9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+}
+
+void
+BM_GeneratorExactLru(benchmark::State &state)
+{
+    StackDistParams p{65536, 0.5, 0.01, 0.3, 16384, 1};
+    p.exactLru = true;
+    StackDistGenerator gen(0, p, 9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+}
+
+void
+BM_SharedCacheAccess(benchmark::State &state)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 4ull << 20;
+    cfg.ways = 16;
+    cfg.numCores = 4;
+    cfg.intervalMisses = 1u << 30;
+    SharedCache cache(cfg);
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cache.access(static_cast<CoreId>(rng.below(4)),
+                         rng.below(1 << 20)));
+}
+
+} // namespace
+
+BENCHMARK(BM_GeneratorIrm);
+BENCHMARK(BM_GeneratorExactLru);
+BENCHMARK(BM_SharedCacheAccess);
+BENCHMARK(BM_CoreSelection)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_EvictionDistribution)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_AllocPolicy<HitMaxPolicy>)->Arg(4)->Arg(32);
+BENCHMARK(BM_AllocPolicy<FairPolicy>)->Arg(4)->Arg(32);
+BENCHMARK(BM_AllocPolicy<LookaheadPolicy>)->Arg(4)->Arg(32);
+BENCHMARK(BM_QosPolicy)->Arg(4)->Arg(32);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fairness scenario: a latency-sensitive program sharing the LLC
+ * with three aggressive co-runners.
+ *
+ * Compares the slowdown distribution under an unmanaged LRU cache,
+ * way-partitioned fairness (Kim et al.) and PriSM-F. Demonstrates
+ * the fairness metric and per-core result introspection of the
+ * public API.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/runner.hh"
+
+using namespace prism;
+
+int
+main()
+{
+    MachineConfig machine = MachineConfig::forCores(4);
+    machine.instrBudget = 1'500'000;
+    machine.warmupInstr = 500'000;
+
+    // twolf is the victim: cache-friendly, sharing with a thrasher
+    // and two streamers that flood an unmanaged cache.
+    Workload workload{
+        "fair-demo",
+        {"300.twolf", "429.mcf", "470.lbm", "462.libquantum"},
+    };
+
+    Runner runner(machine);
+
+    std::cout << "Fairness case study: " << workload.benchmarks[0]
+              << " vs three memory hogs\n\n";
+
+    Table table({"scheme", "fairness", "ANTT", "per-core slowdown"});
+    for (SchemeKind kind : {SchemeKind::Baseline, SchemeKind::FairWP,
+                            SchemeKind::PrismF}) {
+        const RunResult r = runner.run(workload, kind);
+        std::string slowdowns;
+        for (std::size_t c = 0; c < r.ipc.size(); ++c)
+            slowdowns +=
+                Table::num(r.ipc[c] / r.ipcStandalone[c], 2) + " ";
+        table.addRow({r.scheme, Table::num(r.fairness()),
+                      Table::num(r.antt()), slowdowns});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nFairness is min/max of the per-core progress "
+                 "ratios: 1.0 means every program suffers equally.\n"
+                 "PriSM-F equalises the slowdowns at block "
+                 "granularity; way-partitioning can only move whole "
+                 "ways.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * QoS scenario: guarantee 80% of stand-alone IPC for a foreground
+ * program regardless of co-runners.
+ *
+ * Sweeps increasingly hostile co-runner mixes and shows PriSM-Q
+ * holding core 0 at its floor while hit-maximising the rest —
+ * Algorithm 3 of the paper driven through the public Runner API.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/runner.hh"
+
+using namespace prism;
+
+int
+main()
+{
+    MachineConfig machine = MachineConfig::forCores(4);
+    machine.instrBudget = 4'000'000;
+    machine.warmupInstr = 1'000'000;
+    machine.intervalMisses = machine.llcBytes / 64 / 8; // fast control loop
+
+    const std::string foreground = "471.omnetpp";
+    const std::vector<std::vector<std::string>> co_runners{
+        {"403.gcc", "186.crafty", "197.parser"},     // gentle
+        {"300.twolf", "175.vpr", "401.bzip2"},       // competing
+        {"429.mcf", "470.lbm", "462.libquantum"},    // hostile
+    };
+    const char *labels[] = {"gentle", "competing", "hostile"};
+
+    Runner runner(machine);
+    std::cout << "QoS case study: keep " << foreground
+              << " at >= 80% of its stand-alone IPC\n\n";
+
+    Table table({"co-runners", "scheme", "core0 slowdown",
+                 "others' throughput"});
+    for (std::size_t i = 0; i < co_runners.size(); ++i) {
+        Workload w{"qos-demo", {foreground}};
+        for (const auto &b : co_runners[i])
+            w.benchmarks.push_back(b);
+
+        for (SchemeKind kind :
+             {SchemeKind::Baseline, SchemeKind::PrismQ}) {
+            const RunResult r = runner.run(w, kind);
+            const double slowdown = r.ipc[0] / r.ipcStandalone[0];
+            double rest = 0.0;
+            for (std::size_t c = 1; c < r.ipc.size(); ++c)
+                rest += r.ipc[c];
+            table.addRow({i == 0 && kind == SchemeKind::Baseline
+                              ? labels[i]
+                              : (kind == SchemeKind::Baseline
+                                     ? labels[i]
+                                     : ""),
+                          r.scheme, Table::num(slowdown),
+                          Table::num(rest)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nUnder PriSM-Q core 0 stays near the 0.80 floor "
+                 "even against the hostile mix; the remaining space "
+                 "is hit-maximised across the co-runners.\n";
+    return 0;
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Cache block metadata and per-set state.
+ *
+ * Every block in the shared LLC is tagged with the core (program)
+ * that brought it in — the bookkeeping the paper notes is common to
+ * all cache-partitioning schemes. Replacement-policy state lives in
+ * two places: an explicit per-set recency list (exact orderings for
+ * LRU / DIP / PIPP) and an 8-bit coarse timestamp per block
+ * (timestamp-LRU, used by the Vantage comparison).
+ */
+
+#ifndef PRISM_CACHE_CACHE_BLOCK_HH
+#define PRISM_CACHE_CACHE_BLOCK_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/prism_assert.hh"
+#include "common/types.hh"
+
+namespace prism
+{
+
+/** Region tags used by Vantage-style schemes. */
+enum : std::uint8_t
+{
+    regionManaged = 0,
+    regionUnmanaged = 1,
+};
+
+/** Metadata for one cache block (the data payload is not modelled). */
+struct CacheBlock
+{
+    Addr tag = 0;               ///< full block address
+    CoreId owner = invalidCore; ///< core whose miss filled the block
+    bool valid = false;
+    bool dirty = false;         ///< written since fill (writebacks)
+    std::uint8_t timestamp = 0; ///< coarse 8-bit timestamp (TS-LRU)
+    std::uint8_t region = regionManaged; ///< Vantage region tag
+    std::uint8_t rrpv = 0;      ///< re-reference prediction (RRIP)
+};
+
+/**
+ * Per-set replacement state.
+ *
+ * @c order lists way indices from MRU (front) to LRU (back); only
+ * valid ways appear in it. @c accesses counts set accesses to drive
+ * coarse-timestamp aging.
+ */
+struct SetState
+{
+    std::vector<std::uint16_t> order;
+    std::uint32_t accesses = 0;
+};
+
+/** A borrowed view of one cache set, handed to policies/schemes. */
+struct SetView
+{
+    std::uint32_t setIdx;
+    std::span<CacheBlock> blocks;
+    SetState &state;
+
+    std::size_t ways() const { return blocks.size(); }
+};
+
+/**
+ * Coarse 8-bit timestamp helpers shared by the timestamp-LRU
+ * replacement policy and Vantage (which ranks demotion candidates by
+ * the same wrapped age).
+ */
+namespace coarse_ts
+{
+
+/** Aging quantum: one timestamp tick per 2^shift set accesses. */
+inline constexpr unsigned shift = 2;
+
+/** Current stamp of the set. */
+inline std::uint8_t
+stamp(const SetView &set)
+{
+    return static_cast<std::uint8_t>(set.state.accesses >> shift);
+}
+
+/** Wrapped age of @p way relative to the set's current stamp. */
+inline unsigned
+age(const SetView &set, int way)
+{
+    return static_cast<std::uint8_t>(
+        stamp(set) -
+        set.blocks[static_cast<std::size_t>(way)].timestamp);
+}
+
+/** Touch @p way: advance the set clock and restamp the block. */
+inline void
+touch(SetView &set, int way)
+{
+    ++set.state.accesses;
+    set.blocks[static_cast<std::size_t>(way)].timestamp = stamp(set);
+}
+
+} // namespace coarse_ts
+
+/**
+ * Manipulation helpers for the per-set recency list. Kept free so
+ * both ReplacementPolicy implementations and integrated schemes like
+ * PIPP (which inserts at arbitrary stack positions) can share them.
+ */
+namespace recency
+{
+
+/** Position of @p way in the order list, or -1 if absent. */
+inline int
+find(const SetState &st, int way)
+{
+    for (std::size_t i = 0; i < st.order.size(); ++i)
+        if (st.order[i] == way)
+            return static_cast<int>(i);
+    return -1;
+}
+
+/** Remove @p way from the list if present. */
+inline void
+remove(SetState &st, int way)
+{
+    const int pos = find(st, way);
+    if (pos >= 0)
+        st.order.erase(st.order.begin() + pos);
+}
+
+/** Move @p way to the MRU position (classic LRU hit update). */
+inline void
+moveToFront(SetState &st, int way)
+{
+    remove(st, way);
+    st.order.insert(st.order.begin(), static_cast<std::uint16_t>(way));
+}
+
+/** Promote @p way by one position towards MRU (PIPP hit update). */
+inline void
+promoteByOne(SetState &st, int way)
+{
+    const int pos = find(st, way);
+    panicIf(pos < 0, "recency::promoteByOne: way not in order list");
+    if (pos > 0)
+        std::swap(st.order[pos], st.order[pos - 1]);
+}
+
+/**
+ * Insert @p way at @p pos_from_lru positions above the LRU end
+ * (0 == LRU position itself). Clamped to the list bounds.
+ */
+inline void
+insertAtLruOffset(SetState &st, int way, std::size_t pos_from_lru)
+{
+    remove(st, way);
+    const std::size_t n = st.order.size();
+    const std::size_t off = pos_from_lru > n ? n : pos_from_lru;
+    st.order.insert(st.order.end() - off, static_cast<std::uint16_t>(way));
+}
+
+/** The way at the LRU end; list must be non-empty. */
+inline int
+lruWay(const SetState &st)
+{
+    panicIf(st.order.empty(), "recency::lruWay: empty order list");
+    return st.order.back();
+}
+
+} // namespace recency
+
+} // namespace prism
+
+#endif // PRISM_CACHE_CACHE_BLOCK_HH

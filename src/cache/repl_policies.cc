@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Built-in replacement policies: LRU, timestamp-LRU, DIP, random.
+ */
+
+#include "cache/repl_policy.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+bool
+wayAllowed(std::span<const char> allowed, int way)
+{
+    return allowed.empty() || allowed[static_cast<std::size_t>(way)];
+}
+
+/** Exact LRU over the per-set recency list. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    std::string name() const override { return "LRU"; }
+
+    void
+    onHit(SetView set, int way) override
+    {
+        recency::moveToFront(set.state, way);
+    }
+
+    void
+    onFill(SetView set, int way) override
+    {
+        recency::moveToFront(set.state, way);
+    }
+
+    int
+    victimAmong(SetView set, std::span<const char> allowed) override
+    {
+        const auto &order = set.state.order;
+        for (auto it = order.rbegin(); it != order.rend(); ++it)
+            if (wayAllowed(allowed, *it))
+                return *it;
+        return invalidWay;
+    }
+
+    void
+    evictionOrder(SetView set, std::vector<int> &out) override
+    {
+        out.assign(set.state.order.rbegin(), set.state.order.rend());
+    }
+};
+
+/**
+ * Coarse-timestamp LRU in the style of ZCache/Vantage [16, 17]: each
+ * block stores an 8-bit timestamp derived from a per-set access
+ * counter; the oldest (largest wrapped age) block is the victim.
+ * This is the common baseline of the Figure 7 comparison.
+ */
+class TimestampLruPolicy : public ReplacementPolicy
+{
+  public:
+    std::string name() const override { return "TS-LRU"; }
+
+    static unsigned
+    age(const SetView &set, int way)
+    {
+        return coarse_ts::age(set, way);
+    }
+
+    void
+    onHit(SetView set, int way) override
+    {
+        coarse_ts::touch(set, way);
+    }
+
+    void
+    onFill(SetView set, int way) override
+    {
+        coarse_ts::touch(set, way);
+    }
+
+    int
+    victimAmong(SetView set, std::span<const char> allowed) override
+    {
+        int best = invalidWay;
+        unsigned best_age = 0;
+        for (std::size_t w = 0; w < set.ways(); ++w) {
+            if (!set.blocks[w].valid)
+                continue;
+            const int way = static_cast<int>(w);
+            if (!wayAllowed(allowed, way))
+                continue;
+            const unsigned a = age(set, way);
+            if (best == invalidWay || a > best_age) {
+                best = way;
+                best_age = a;
+            }
+        }
+        return best;
+    }
+
+    void
+    evictionOrder(SetView set, std::vector<int> &out) override
+    {
+        out.clear();
+        for (std::size_t w = 0; w < set.ways(); ++w)
+            if (set.blocks[w].valid)
+                out.push_back(static_cast<int>(w));
+        std::stable_sort(out.begin(), out.end(), [&](int a, int b) {
+            return age(set, a) > age(set, b);
+        });
+    }
+};
+
+/**
+ * DIP [13]: set-dueling between LRU insertion and bimodal insertion
+ * (BIP, which inserts at the LRU position except once every 1/32).
+ * Victim selection is plain LRU; only the insertion point adapts.
+ */
+class DipPolicy : public ReplacementPolicy
+{
+  public:
+    DipPolicy(std::uint64_t seed, std::uint32_t num_sets)
+        : rng_(seed), num_sets_(num_sets)
+    {}
+
+    std::string name() const override { return "DIP"; }
+
+    void
+    onHit(SetView set, int way) override
+    {
+        recency::moveToFront(set.state, way);
+    }
+
+    void
+    onFill(SetView set, int way) override
+    {
+        // Constituency-based leader selection: one LRU leader and one
+        // BIP leader per 32-set constituency.
+        const std::uint32_t mod = set.setIdx & 31u;
+        const bool lru_leader = (mod == 0);
+        const bool bip_leader = (mod == 1);
+
+        if (lru_leader && psel_ < pselMax)
+            ++psel_; // a miss in an LRU leader argues against LRU
+        if (bip_leader && psel_ > 0)
+            --psel_;
+
+        bool use_bip;
+        if (lru_leader)
+            use_bip = false;
+        else if (bip_leader)
+            use_bip = true;
+        else
+            use_bip = psel_ > pselMax / 2;
+
+        if (use_bip && !rng_.chance(bipEpsilon))
+            recency::insertAtLruOffset(set.state, way, 0);
+        else
+            recency::moveToFront(set.state, way);
+    }
+
+    int
+    victimAmong(SetView set, std::span<const char> allowed) override
+    {
+        const auto &order = set.state.order;
+        for (auto it = order.rbegin(); it != order.rend(); ++it)
+            if (wayAllowed(allowed, *it))
+                return *it;
+        return invalidWay;
+    }
+
+    void
+    evictionOrder(SetView set, std::vector<int> &out) override
+    {
+        out.assign(set.state.order.rbegin(), set.state.order.rend());
+    }
+
+    /** Current PSEL value, exposed for tests. */
+    unsigned psel() const { return psel_; }
+
+  private:
+    static constexpr unsigned pselMax = 1023;
+    static constexpr double bipEpsilon = 1.0 / 32.0;
+
+    Rng rng_;
+    std::uint32_t num_sets_;
+    unsigned psel_ = pselMax / 2;
+};
+
+/** Random victim; keeps the recency list for schemes that need it. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+    std::string name() const override { return "Random"; }
+
+    void
+    onHit(SetView set, int way) override
+    {
+        recency::moveToFront(set.state, way);
+    }
+
+    void
+    onFill(SetView set, int way) override
+    {
+        recency::moveToFront(set.state, way);
+    }
+
+    int
+    victimAmong(SetView set, std::span<const char> allowed) override
+    {
+        scratch_.clear();
+        for (std::size_t w = 0; w < set.ways(); ++w)
+            if (set.blocks[w].valid &&
+                wayAllowed(allowed, static_cast<int>(w)))
+                scratch_.push_back(static_cast<int>(w));
+        if (scratch_.empty())
+            return invalidWay;
+        return scratch_[rng_.below(scratch_.size())];
+    }
+
+    void
+    evictionOrder(SetView set, std::vector<int> &out) override
+    {
+        out.clear();
+        for (std::size_t w = 0; w < set.ways(); ++w)
+            if (set.blocks[w].valid)
+                out.push_back(static_cast<int>(w));
+        for (std::size_t i = out.size(); i > 1; --i)
+            std::swap(out[i - 1], out[rng_.below(i)]);
+    }
+
+  private:
+    Rng rng_;
+    std::vector<int> scratch_;
+};
+
+/**
+ * DRRIP [8]: 2-bit re-reference interval prediction with set
+ * dueling between SRRIP (insert at RRPV 2: "long" re-reference) and
+ * BRRIP (insert at the distant RRPV 3 except 1/32: thrash
+ * protection). Hits promote to RRPV 0; the victim is a block
+ * predicted to be re-referenced in the distant future (max RRPV),
+ * with the canonical aging step when none is at the maximum.
+ */
+class RripPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RripPolicy(std::uint64_t seed) : rng_(seed) {}
+
+    std::string name() const override { return "RRIP"; }
+
+    void
+    onHit(SetView set, int way) override
+    {
+        set.blocks[static_cast<std::size_t>(way)].rrpv = 0;
+    }
+
+    void
+    onFill(SetView set, int way) override
+    {
+        const std::uint32_t mod = set.setIdx & 31u;
+        const bool srrip_leader = (mod == 0);
+        const bool brrip_leader = (mod == 1);
+
+        if (srrip_leader && psel_ < pselMax)
+            ++psel_;
+        if (brrip_leader && psel_ > 0)
+            --psel_;
+
+        bool use_brrip;
+        if (srrip_leader)
+            use_brrip = false;
+        else if (brrip_leader)
+            use_brrip = true;
+        else
+            use_brrip = psel_ > pselMax / 2;
+
+        CacheBlock &blk = set.blocks[static_cast<std::size_t>(way)];
+        if (use_brrip && !rng_.chance(1.0 / 32.0))
+            blk.rrpv = rrpvMax;
+        else
+            blk.rrpv = rrpvMax - 1;
+    }
+
+    int
+    victimAmong(SetView set, std::span<const char> allowed) override
+    {
+        // Age the whole set so that at least one block is at the
+        // distant-future value, then pick the oldest allowed block.
+        std::uint8_t max_all = 0;
+        for (std::size_t w = 0; w < set.ways(); ++w)
+            if (set.blocks[w].valid)
+                max_all = std::max(max_all, set.blocks[w].rrpv);
+        const std::uint8_t delta = rrpvMax - max_all;
+        if (delta > 0)
+            for (std::size_t w = 0; w < set.ways(); ++w)
+                if (set.blocks[w].valid)
+                    set.blocks[w].rrpv = static_cast<std::uint8_t>(
+                        set.blocks[w].rrpv + delta);
+
+        int best = invalidWay;
+        int best_rrpv = -1;
+        for (std::size_t w = 0; w < set.ways(); ++w) {
+            if (!set.blocks[w].valid)
+                continue;
+            const int way = static_cast<int>(w);
+            if (!wayAllowed(allowed, way))
+                continue;
+            const int r = set.blocks[w].rrpv;
+            if (r > best_rrpv) {
+                best_rrpv = r;
+                best = way;
+            }
+        }
+        return best;
+    }
+
+    void
+    evictionOrder(SetView set, std::vector<int> &out) override
+    {
+        out.clear();
+        for (std::size_t w = 0; w < set.ways(); ++w)
+            if (set.blocks[w].valid)
+                out.push_back(static_cast<int>(w));
+        std::stable_sort(out.begin(), out.end(), [&](int a, int b) {
+            return set.blocks[static_cast<std::size_t>(a)].rrpv >
+                   set.blocks[static_cast<std::size_t>(b)].rrpv;
+        });
+    }
+
+    unsigned psel() const { return psel_; }
+
+  private:
+    static constexpr std::uint8_t rrpvMax = 3;
+    static constexpr unsigned pselMax = 1023;
+
+    Rng rng_;
+    unsigned psel_ = pselMax / 2;
+};
+
+} // namespace
+
+std::unique_ptr<ReplacementPolicy>
+makeReplPolicy(ReplKind kind, std::uint64_t seed, std::uint32_t num_sets)
+{
+    switch (kind) {
+      case ReplKind::LRU:
+        return std::make_unique<LruPolicy>();
+      case ReplKind::TimestampLRU:
+        return std::make_unique<TimestampLruPolicy>();
+      case ReplKind::DIP:
+        return std::make_unique<DipPolicy>(seed, num_sets);
+      case ReplKind::Random:
+        return std::make_unique<RandomPolicy>(seed);
+      case ReplKind::RRIP:
+        return std::make_unique<RripPolicy>(seed);
+    }
+    panic("makeReplPolicy: unknown kind");
+}
+
+const char *
+replKindName(ReplKind kind)
+{
+    switch (kind) {
+      case ReplKind::LRU:
+        return "LRU";
+      case ReplKind::TimestampLRU:
+        return "TS-LRU";
+      case ReplKind::DIP:
+        return "DIP";
+      case ReplKind::Random:
+        return "Random";
+      case ReplKind::RRIP:
+        return "RRIP";
+    }
+    return "?";
+}
+
+} // namespace prism

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Replacement-policy abstraction for the shared cache.
+ *
+ * PriSM's central claim is that it layers on *any* underlying
+ * replacement policy (paper §3.1, §5.6): the partitioning scheme
+ * picks a victim core, the replacement policy picks the victim block
+ * of that core. This interface is that seam. Policies answer two
+ * kinds of question: update recency state on hits/fills, and name a
+ * victim among an arbitrary subset of ways.
+ */
+
+#ifndef PRISM_CACHE_REPL_POLICY_HH
+#define PRISM_CACHE_REPL_POLICY_HH
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "cache/cache_block.hh"
+
+namespace prism
+{
+
+/** Kinds of built-in replacement policy. */
+enum class ReplKind
+{
+    LRU,          ///< exact LRU via per-set recency lists
+    TimestampLRU, ///< 8-bit coarse-timestamp LRU (ZCache/Vantage style)
+    DIP,          ///< dynamic insertion policy (LRU/BIP set dueling)
+    Random,       ///< random victim; MRU insertion
+    RRIP,         ///< dynamic re-reference interval prediction [8]
+};
+
+/** Interface every replacement policy implements. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    virtual std::string name() const = 0;
+
+    /** A block in @p set at @p way was hit. */
+    virtual void onHit(SetView set, int way) = 0;
+
+    /** A new block was filled into @p way (already marked valid). */
+    virtual void onFill(SetView set, int way) = 0;
+
+    /**
+     * Choose a victim among the valid ways for which @p allowed is
+     * true. An empty span allows every valid way.
+     *
+     * @return Chosen way, or invalidWay if no allowed valid way.
+     */
+    virtual int victimAmong(SetView set,
+                            std::span<const char> allowed) = 0;
+
+    /** Victim among all valid ways. */
+    int victim(SetView set) { return victimAmong(set, {}); }
+
+    /**
+     * Fill @p out with the valid ways in eviction order (best victim
+     * first). Used by schemes that scan replacement candidates, e.g.
+     * PriSM's fallback and Vantage's demotion scan.
+     */
+    virtual void evictionOrder(SetView set,
+                               std::vector<int> &out) = 0;
+};
+
+/** Instantiate a built-in policy. @p seed feeds stochastic policies. */
+std::unique_ptr<ReplacementPolicy> makeReplPolicy(ReplKind kind,
+                                                  std::uint64_t seed,
+                                                  std::uint32_t num_sets);
+
+/** Human-readable policy name for configs/reports. */
+const char *replKindName(ReplKind kind);
+
+} // namespace prism
+
+#endif // PRISM_CACHE_REPL_POLICY_HH

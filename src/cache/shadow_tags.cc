@@ -1,0 +1,78 @@
+#include "cache/shadow_tags.hh"
+
+#include <limits>
+
+#include "common/prism_assert.hh"
+
+namespace prism
+{
+
+namespace
+{
+constexpr Addr invalidTag = std::numeric_limits<Addr>::max();
+} // namespace
+
+ShadowTags::ShadowTags(std::uint32_t num_cores, std::uint32_t num_sets,
+                       std::uint32_t ways, std::uint32_t sampling)
+    : num_cores_(num_cores), ways_(ways), sampling_(sampling)
+{
+    fatalIf(sampling_ == 0 || (sampling_ & (sampling_ - 1)) != 0,
+            "ShadowTags: sampling must be a power of two");
+    // Sample at least one set even for tiny test caches.
+    sampled_sets_ = num_sets >= sampling_ ? num_sets / sampling_ : 1;
+    tags_.assign(static_cast<std::size_t>(num_cores_) * sampled_sets_ *
+                     ways_,
+                 invalidTag);
+    hits_.assign(static_cast<std::size_t>(num_cores_) * ways_, 0);
+    misses_.assign(num_cores_, 0);
+}
+
+void
+ShadowTags::access(CoreId core, Addr addr, std::uint32_t set_idx)
+{
+    if (!sampled(set_idx))
+        return;
+    const std::uint32_t s = (set_idx / sampling_) % sampled_sets_;
+    Addr *arr =
+        &tags_[(static_cast<std::size_t>(core) * sampled_sets_ + s) *
+               ways_];
+
+    // Linear MRU->LRU scan; on a hit record the position and rotate
+    // the hit entry to the front (move-to-front LRU update).
+    for (std::uint32_t pos = 0; pos < ways_; ++pos) {
+        if (arr[pos] == addr) {
+            ++hits_[static_cast<std::size_t>(core) * ways_ + pos];
+            for (std::uint32_t j = pos; j > 0; --j)
+                arr[j] = arr[j - 1];
+            arr[0] = addr;
+            return;
+        }
+    }
+
+    ++misses_[core];
+    // Shift everything down (evicting the LRU slot) and fill at MRU.
+    for (std::uint32_t j = ways_ - 1; j > 0; --j)
+        arr[j] = arr[j - 1];
+    arr[0] = addr;
+}
+
+std::vector<double>
+ShadowTags::scaledHitCurve(CoreId core) const
+{
+    std::vector<double> curve(ways_);
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        curve[w] =
+            static_cast<double>(
+                hits_[static_cast<std::size_t>(core) * ways_ + w]) *
+            scale();
+    return curve;
+}
+
+void
+ShadowTags::resetInterval()
+{
+    hits_.assign(hits_.size(), 0);
+    misses_.assign(misses_.size(), 0);
+}
+
+} // namespace prism

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * UMON-style shadow tags (Qureshi & Patt [14]).
+ *
+ * A shadow tag directory answers "how many hits would core i have
+ * scored if it owned the whole cache?". For 1 in @c sampling sets
+ * (the paper uses 1/32), each core gets a private auxiliary tag array
+ * of the full associativity, maintained with true LRU. Hits are
+ * recorded per LRU stack position, which yields the marginal-utility
+ * curves that UCP's lookahead, PIPP's allocation and PriSM-H/F all
+ * consume.
+ */
+
+#ifndef PRISM_CACHE_SHADOW_TAGS_HH
+#define PRISM_CACHE_SHADOW_TAGS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace prism
+{
+
+/** Sampled per-core auxiliary tag directory with positional hits. */
+class ShadowTags
+{
+  public:
+    /**
+     * @param num_cores Cores sharing the cache.
+     * @param num_sets Sets in the main cache.
+     * @param ways Associativity (shadow arrays use the same).
+     * @param sampling Sample 1 in @p sampling sets (power of two).
+     */
+    ShadowTags(std::uint32_t num_cores, std::uint32_t num_sets,
+               std::uint32_t ways, std::uint32_t sampling = 32);
+
+    /** Whether @p set_idx is one of the sampled sets. */
+    bool
+    sampled(std::uint32_t set_idx) const
+    {
+        return (set_idx & (sampling_ - 1)) == 0;
+    }
+
+    /**
+     * Record an access by @p core to @p addr mapping to @p set_idx.
+     * No-op for unsampled sets.
+     */
+    void access(CoreId core, Addr addr, std::uint32_t set_idx);
+
+    /** Scale factor from sampled counts to whole-cache estimates. */
+    double scale() const { return static_cast<double>(sampling_); }
+
+    /** Raw interval hit count of @p core at stack position @p pos. */
+    std::uint64_t
+    hitsAt(CoreId core, std::uint32_t pos) const
+    {
+        return hits_[core * ways_ + pos];
+    }
+
+    /** Raw interval miss count of @p core. */
+    std::uint64_t misses(CoreId core) const { return misses_[core]; }
+
+    /**
+     * Whole-cache-scaled hit histogram for @p core over the current
+     * interval (entry w = estimated hits at stack position w).
+     */
+    std::vector<double> scaledHitCurve(CoreId core) const;
+
+    /** Scaled stand-alone miss estimate for @p core. */
+    double
+    scaledMisses(CoreId core) const
+    {
+        return static_cast<double>(misses_[core]) * scale();
+    }
+
+    /** Clear the interval hit/miss counters (tags are kept warm). */
+    void resetInterval();
+
+    std::uint32_t ways() const { return ways_; }
+
+  private:
+    std::uint32_t num_cores_;
+    std::uint32_t ways_;
+    std::uint32_t sampling_;
+    std::uint32_t sampled_sets_;
+
+    /** tags_[(core * sampled_sets_ + sampled_set) * ways_ + slot];
+     *  slot 0 is MRU. Invalid entries hold the sentinel ~0. */
+    std::vector<Addr> tags_;
+
+    std::vector<std::uint64_t> hits_;   // [core][position]
+    std::vector<std::uint64_t> misses_; // [core]
+};
+
+} // namespace prism
+
+#endif // PRISM_CACHE_SHADOW_TAGS_HH

@@ -1,0 +1,169 @@
+#include "cache/shared_cache.hh"
+
+#include "common/prism_assert.hh"
+
+namespace prism
+{
+
+SharedCache::SharedCache(const CacheConfig &config)
+    : config_(config), num_sets_(config.numSets()),
+      repl_(makeReplPolicy(config.repl, config.seed ^ 0x5EED5EEDULL,
+                           config.numSets())),
+      shadow_(config.numCores, config.numSets(), config.ways,
+              config.shadowSampling)
+{
+    fatalIf(config_.numCores == 0, "SharedCache: zero cores");
+    fatalIf(config_.ways == 0, "SharedCache: zero ways");
+    fatalIf(config_.numBlocks() % config_.ways != 0,
+            "SharedCache: size not a multiple of ways * blockBytes");
+    fatalIf((num_sets_ & (num_sets_ - 1)) != 0,
+            "SharedCache: number of sets must be a power of two");
+
+    blocks_.resize(config_.numBlocks());
+    sets_.resize(num_sets_);
+    for (auto &st : sets_)
+        st.order.reserve(config_.ways);
+
+    occupancy_.assign(config_.numCores, 0);
+    totals_.assign(config_.numCores, {});
+    interval_hits_.assign(config_.numCores, 0);
+    interval_misses_.assign(config_.numCores, 0);
+
+    // Paper §4: "allocation policies recompute the probabilities
+    // after the shared cache sees the same number of misses as number
+    // of cache blocks" — i.e. W defaults to N.
+    interval_w_ = config_.intervalMisses ? config_.intervalMisses
+                                         : config_.numBlocks();
+}
+
+SetView
+SharedCache::setView(std::uint32_t set_idx)
+{
+    return SetView{
+        set_idx,
+        std::span<CacheBlock>(&blocks_[static_cast<std::size_t>(
+                                  set_idx) * config_.ways],
+                              config_.ways),
+        sets_[set_idx],
+    };
+}
+
+std::uint32_t
+SharedCache::countInSet(std::uint32_t set_idx, CoreId core)
+{
+    const SetView set = setView(set_idx);
+    std::uint32_t n = 0;
+    for (const auto &blk : set.blocks)
+        if (blk.valid && blk.owner == core)
+            ++n;
+    return n;
+}
+
+AccessResult
+SharedCache::access(CoreId core, Addr addr, bool is_store)
+{
+    panicIf(core >= config_.numCores, "SharedCache::access: bad core");
+
+    const std::uint32_t set_idx = setIndex(addr);
+    shadow_.access(core, addr, set_idx);
+
+    SetView set = setView(set_idx);
+
+    // Lookup.
+    for (std::size_t w = 0; w < set.ways(); ++w) {
+        CacheBlock &blk = set.blocks[w];
+        if (blk.valid && blk.tag == addr) {
+            ++totals_[core].hits;
+            ++interval_hits_[core];
+            blk.dirty |= is_store;
+            const int way = static_cast<int>(w);
+            if (!scheme_ || !scheme_->onHit(*this, core, set, way))
+                repl_->onHit(set, way);
+            return AccessResult{true, false, invalidCore};
+        }
+    }
+
+    // Miss.
+    ++totals_[core].misses;
+    ++interval_misses_[core];
+    ++total_misses_;
+    ++misses_this_interval_;
+
+    AccessResult result{false, false, invalidCore};
+
+    // Prefer an invalid way; otherwise the scheme names the victim.
+    int victim_way = invalidWay;
+    for (std::size_t w = 0; w < set.ways(); ++w) {
+        if (!set.blocks[w].valid) {
+            victim_way = static_cast<int>(w);
+            break;
+        }
+    }
+
+    if (victim_way == invalidWay) {
+        victim_way = scheme_ ? scheme_->chooseVictim(*this, core, set)
+                             : repl_->victim(set);
+        if (victim_way == invalidWay)
+            victim_way = repl_->victim(set);
+        panicIf(victim_way == invalidWay,
+                "SharedCache: no victim in a full set");
+
+        CacheBlock &victim = set.blocks[victim_way];
+        result.evicted = true;
+        result.evictedOwner = victim.owner;
+        if (victim.dirty) {
+            result.writeback = true;
+            ++writebacks_;
+        }
+        --occupancy_[victim.owner];
+        recency::remove(set.state, victim_way);
+        victim.valid = false;
+    }
+
+    // Fill.
+    CacheBlock &blk = set.blocks[victim_way];
+    blk.tag = addr;
+    blk.owner = core;
+    blk.valid = true;
+    blk.dirty = is_store;
+    blk.region = regionManaged;
+    ++occupancy_[core];
+    if (!scheme_ || !scheme_->onFill(*this, core, set, victim_way))
+        repl_->onFill(set, victim_way);
+
+    if (misses_this_interval_ >= interval_w_)
+        endInterval();
+
+    return result;
+}
+
+void
+SharedCache::endInterval()
+{
+    IntervalSnapshot snap;
+    snap.totalBlocks = numBlocks();
+    snap.ways = config_.ways;
+    snap.intervalMisses = misses_this_interval_;
+    snap.cores.resize(config_.numCores);
+    for (CoreId c = 0; c < config_.numCores; ++c) {
+        auto &cs = snap.cores[c];
+        cs.sharedHits = interval_hits_[c];
+        cs.sharedMisses = interval_misses_[c];
+        cs.occupancyBlocks = occupancy_[c];
+        cs.shadowHitsAtPosition = shadow_.scaledHitCurve(c);
+        cs.shadowMisses = shadow_.scaledMisses(c);
+    }
+
+    if (timing_hook_)
+        timing_hook_(snap);
+    if (scheme_)
+        scheme_->onIntervalEnd(snap);
+
+    ++intervals_;
+    misses_this_interval_ = 0;
+    interval_hits_.assign(config_.numCores, 0);
+    interval_misses_.assign(config_.numCores, 0);
+    shadow_.resetInterval();
+}
+
+} // namespace prism

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The shared last-level cache model.
+ *
+ * A set-associative cache whose blocks are tagged with the owning
+ * core. Replacement is delegated to a ReplacementPolicy; victim-core
+ * selection (the partitioning half) is delegated to an optional
+ * PartitionScheme. With no scheme attached the cache behaves as an
+ * ordinary unmanaged cache — the paper's LRU baseline.
+ *
+ * The cache also owns the interval machinery: every @c intervalMisses
+ * misses it assembles an IntervalSnapshot (cache statistics plus
+ * shadow-tag estimates), lets an optional timing hook add CPI data,
+ * hands it to the scheme's allocation policy, and resets the interval
+ * counters.
+ */
+
+#ifndef PRISM_CACHE_SHARED_CACHE_HH
+#define PRISM_CACHE_SHARED_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_block.hh"
+#include "cache/partition_scheme.hh"
+#include "cache/repl_policy.hh"
+#include "cache/shadow_tags.hh"
+#include "common/types.hh"
+
+namespace prism
+{
+
+/** Static configuration of a SharedCache. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 4ull << 20;
+    std::uint32_t ways = 16;
+    std::uint32_t blockBytes = 64;
+    std::uint32_t numCores = 4;
+
+    ReplKind repl = ReplKind::LRU;
+
+    /**
+     * Interval length W in misses; 0 selects the paper's default of
+     * one recomputation per N misses (N = number of cache blocks).
+     */
+    std::uint64_t intervalMisses = 0;
+
+    /** Shadow tags sample 1 in this many sets. */
+    std::uint32_t shadowSampling = 32;
+
+    std::uint64_t seed = 1;
+
+    std::uint64_t
+    numBlocks() const
+    {
+        return sizeBytes / blockBytes;
+    }
+
+    std::uint32_t
+    numSets() const
+    {
+        return static_cast<std::uint32_t>(numBlocks() / ways);
+    }
+};
+
+/** Hit/miss outcome of one cache access. */
+struct AccessResult
+{
+    bool hit = false;
+    /** Valid only on a miss that replaced a block. */
+    bool evicted = false;
+    CoreId evictedOwner = invalidCore;
+    /** The evicted block was dirty and must be written back. */
+    bool writeback = false;
+};
+
+/** Aggregate per-core counters since construction. */
+struct CoreCacheTotals
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+};
+
+/** The shared LLC. */
+class SharedCache
+{
+  public:
+    explicit SharedCache(const CacheConfig &config);
+
+    // Non-copyable: holds policy state and raw scheme pointers.
+    SharedCache(const SharedCache &) = delete;
+    SharedCache &operator=(const SharedCache &) = delete;
+
+    /** Attach the management scheme (non-owning); may be null. */
+    void setScheme(PartitionScheme *scheme) { scheme_ = scheme; }
+
+    /**
+     * Hook invoked on each interval boundary after cache statistics
+     * are filled in, letting a timing model add CPI fields before the
+     * scheme's allocation policy runs.
+     */
+    void
+    setTimingHook(std::function<void(IntervalSnapshot &)> hook)
+    {
+        timing_hook_ = std::move(hook);
+    }
+
+    /**
+     * Perform one access by @p core to block address @p addr.
+     * @param is_store Marks the block dirty; a dirty block's later
+     *        eviction is reported as a writeback.
+     */
+    AccessResult access(CoreId core, Addr addr, bool is_store = false);
+
+    // --- geometry ---
+    const CacheConfig &config() const { return config_; }
+    std::uint32_t numSets() const { return num_sets_; }
+    std::uint32_t ways() const { return config_.ways; }
+    std::uint64_t numBlocks() const { return config_.numBlocks(); }
+
+    /** Set index for @p addr. */
+    std::uint32_t
+    setIndex(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(addr & (num_sets_ - 1));
+    }
+
+    /** Borrowed view of set @p set_idx. */
+    SetView setView(std::uint32_t set_idx);
+
+    // --- occupancy & statistics ---
+    std::uint64_t
+    occupancy(CoreId core) const
+    {
+        return occupancy_[core];
+    }
+
+    double
+    occupancyFraction(CoreId core) const
+    {
+        return static_cast<double>(occupancy_[core]) /
+               static_cast<double>(numBlocks());
+    }
+
+    const CoreCacheTotals &totals(CoreId core) const
+    {
+        return totals_[core];
+    }
+
+    std::uint64_t totalMisses() const { return total_misses_; }
+
+    /** Dirty evictions since construction. */
+    std::uint64_t writebacks() const { return writebacks_; }
+
+    /** Count of blocks of @p core currently in set @p set_idx. */
+    std::uint32_t countInSet(std::uint32_t set_idx, CoreId core);
+
+    ShadowTags &shadow() { return shadow_; }
+    const ShadowTags &shadow() const { return shadow_; }
+
+    ReplacementPolicy &repl() { return *repl_; }
+
+    /** Number of interval recomputations so far. */
+    std::uint64_t intervals() const { return intervals_; }
+
+    /** Effective interval length W in misses. */
+    std::uint64_t intervalLength() const { return interval_w_; }
+
+  private:
+    void endInterval();
+
+    CacheConfig config_;
+    std::uint32_t num_sets_;
+    std::uint64_t interval_w_;
+
+    std::vector<CacheBlock> blocks_;
+    std::vector<SetState> sets_;
+
+    std::unique_ptr<ReplacementPolicy> repl_;
+    PartitionScheme *scheme_ = nullptr;
+    ShadowTags shadow_;
+
+    std::vector<std::uint64_t> occupancy_;
+    std::vector<CoreCacheTotals> totals_;
+
+    // Interval counters (reset every W misses).
+    std::vector<std::uint64_t> interval_hits_;
+    std::vector<std::uint64_t> interval_misses_;
+    std::uint64_t misses_this_interval_ = 0;
+    std::uint64_t total_misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+    std::uint64_t intervals_ = 0;
+
+    std::function<void(IntervalSnapshot &)> timing_hook_;
+};
+
+} // namespace prism
+
+#endif // PRISM_CACHE_SHARED_CACHE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's panic()/fatal().
+ *
+ * panic()  — internal invariant violated: a bug in this library.
+ * fatal()  — the user supplied an impossible configuration.
+ */
+
+#ifndef PRISM_COMMON_ASSERT_HH
+#define PRISM_COMMON_ASSERT_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace prism
+{
+
+/** Abort with a message: an internal invariant was violated. */
+[[noreturn]] inline void
+panic(std::string_view msg)
+{
+    std::fputs("panic: ", stderr);
+    std::fwrite(msg.data(), 1, msg.size(), stderr);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+/** Exit with a message: the user-supplied configuration is invalid. */
+[[noreturn]] inline void
+fatal(std::string_view msg)
+{
+    std::fputs("fatal: ", stderr);
+    std::fwrite(msg.data(), 1, msg.size(), stderr);
+    std::fputc('\n', stderr);
+    std::exit(1);
+}
+
+/** panic() unless @p cond holds. */
+inline void
+panicIf(bool cond, std::string_view msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+/** fatal() unless @p cond holds. */
+inline void
+fatalIf(bool cond, std::string_view msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+} // namespace prism
+
+#endif // PRISM_COMMON_ASSERT_HH

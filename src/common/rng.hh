@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component of the library (workload generators, the
+ * PriSM core-selection step, DIP's bimodal insertion, …) draws from an
+ * explicitly seeded Rng so that simulations are reproducible bit for
+ * bit across runs and platforms. The generator is xoshiro256**,
+ * which is small, fast and of high statistical quality.
+ */
+
+#ifndef PRISM_COMMON_RNG_HH
+#define PRISM_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/prism_assert.hh"
+
+namespace prism
+{
+
+/**
+ * xoshiro256** pseudo-random generator with convenience draws.
+ *
+ * Seeding uses splitmix64 on the user seed so that nearby seeds give
+ * uncorrelated streams.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (0 is a valid seed). */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialise the state from @p seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_)
+            word = splitmix64(x);
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        panicIf(bound == 0, "Rng::below(0)");
+        // Lemire's nearly-divisionless bounded draw.
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in the inclusive range [lo, hi]. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        panicIf(lo > hi, "Rng::between: lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw with success probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Derive an independent child stream (for per-core generators). */
+    Rng
+    split()
+    {
+        return Rng(next() ^ 0xA5A5A5A55A5A5A5AULL);
+    }
+
+  private:
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        x += 0x9E3779B97F4A7C15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace prism
+
+#endif // PRISM_COMMON_RNG_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Small statistics helpers: running mean/stddev and geometric mean.
+ */
+
+#ifndef PRISM_COMMON_STATS_HH
+#define PRISM_COMMON_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "common/prism_assert.hh"
+
+namespace prism
+{
+
+/**
+ * Online mean / standard deviation via Welford's algorithm.
+ *
+ * Used e.g. to track the mean and standard deviation of a core's
+ * eviction probability across intervals (Figure 11).
+ */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+    }
+
+    std::uint64_t count() const { return n_; }
+
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance (0 for fewer than two samples). */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    void
+    reset()
+    {
+        n_ = 0;
+        mean_ = 0.0;
+        m2_ = 0.0;
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/** Geometric mean of positive values; returns 0 for an empty span. */
+inline double
+geomean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        panicIf(v <= 0.0, "geomean: non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Arithmetic mean; returns 0 for an empty span. */
+inline double
+mean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace prism
+
+#endif // PRISM_COMMON_STATS_HH

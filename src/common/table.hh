@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Aligned console tables for the benchmark harnesses.
+ *
+ * Every figure-reproduction binary prints its series through this
+ * class so all harness output is uniformly formatted and can also be
+ * dumped as CSV for plotting.
+ */
+
+#ifndef PRISM_COMMON_TABLE_HH
+#define PRISM_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prism
+{
+
+/** A simple column-aligned text table with an optional CSV dump. */
+class Table
+{
+  public:
+    /** @param headers Column headers, defining the column count. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a fully formatted row; must match the column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a percentage ("12.3%") from a ratio-style value. */
+    static std::string pct(double ratio, int precision = 1);
+
+    /** Render the aligned table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner used between benchmark sub-experiments. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace prism
+
+#endif // PRISM_COMMON_TABLE_HH

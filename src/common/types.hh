@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental types shared by every PriSM subsystem.
+ */
+
+#ifndef PRISM_COMMON_TYPES_HH
+#define PRISM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace prism
+{
+
+/** Physical block-granular address. One unit == one cache block. */
+using Addr = std::uint64_t;
+
+/** Identifier for a core / program sharing the cache. */
+using CoreId = std::uint32_t;
+
+/** Simulated clock cycle count. */
+using Cycles = std::uint64_t;
+
+/** Sentinel meaning "no core" (e.g. invalid cache blocks). */
+inline constexpr CoreId invalidCore = std::numeric_limits<CoreId>::max();
+
+/** Sentinel for "no way found" in victim searches. */
+inline constexpr int invalidWay = -1;
+
+} // namespace prism
+
+#endif // PRISM_COMMON_TYPES_HH

@@ -1,0 +1,84 @@
+#include "policies/lookahead.hh"
+
+#include "common/prism_assert.hh"
+
+namespace prism
+{
+
+double
+lookaheadHitsAt(const std::vector<double> &curve, std::uint32_t units,
+                std::uint32_t units_per_way)
+{
+    const double frac_ways =
+        static_cast<double>(units) / static_cast<double>(units_per_way);
+    const std::size_t whole = static_cast<std::size_t>(frac_ways);
+    double sum = 0.0;
+    for (std::size_t w = 0; w < whole && w < curve.size(); ++w)
+        sum += curve[w];
+    // Linear interpolation into the next way's hits.
+    if (whole < curve.size()) {
+        const double frac = frac_ways - static_cast<double>(whole);
+        sum += frac * curve[whole];
+    }
+    return sum;
+}
+
+std::vector<std::uint32_t>
+lookaheadPartition(const std::vector<std::vector<double>> &hit_curves,
+                   std::uint32_t total_units,
+                   std::uint32_t units_per_way)
+{
+    const std::uint32_t cores =
+        static_cast<std::uint32_t>(hit_curves.size());
+    fatalIf(cores == 0, "lookaheadPartition: no cores");
+    fatalIf(total_units < cores,
+            "lookaheadPartition: fewer units than cores");
+    fatalIf(units_per_way == 0, "lookaheadPartition: zero granularity");
+
+    // Every core starts with one unit so that no program is starved
+    // of cache space entirely.
+    std::vector<std::uint32_t> alloc(cores, 1);
+    std::uint32_t balance = total_units - cores;
+
+    while (balance > 0) {
+        double best_mu = -1.0;
+        std::uint32_t best_core = 0;
+        std::uint32_t best_k = 1;
+
+        for (std::uint32_t c = 0; c < cores; ++c) {
+            const double base =
+                lookaheadHitsAt(hit_curves[c], alloc[c], units_per_way);
+            for (std::uint32_t k = 1; k <= balance; ++k) {
+                const double gain =
+                    lookaheadHitsAt(hit_curves[c], alloc[c] + k,
+                                    units_per_way) -
+                    base;
+                const double mu = gain / static_cast<double>(k);
+                if (mu > best_mu) {
+                    best_mu = mu;
+                    best_core = c;
+                    best_k = k;
+                }
+            }
+        }
+
+        if (best_mu <= 0.0) {
+            // Nobody gains any hits from more space: spread the rest
+            // round-robin so the allocation still sums to the total.
+            std::uint32_t c = 0;
+            while (balance > 0) {
+                ++alloc[c % cores];
+                ++c;
+                --balance;
+            }
+            break;
+        }
+
+        alloc[best_core] += best_k;
+        balance -= best_k;
+    }
+
+    return alloc;
+}
+
+} // namespace prism

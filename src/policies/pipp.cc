@@ -1,0 +1,68 @@
+#include "policies/pipp.hh"
+
+#include "cache/shared_cache.hh"
+#include "policies/lookahead.hh"
+
+namespace prism
+{
+
+PippScheme::PippScheme(std::uint32_t num_cores, std::uint32_t ways,
+                       std::uint64_t seed, const PippParams &params)
+    : num_cores_(num_cores), ways_(ways), params_(params), rng_(seed)
+{
+    // Until the first interval completes, insert everyone mid-stack.
+    pi_.assign(num_cores_, std::max(1u, ways_ / num_cores_));
+    stream_.assign(num_cores_, 0);
+}
+
+bool
+PippScheme::onHit(SharedCache &cache, CoreId core, SetView set, int way)
+{
+    (void)cache;
+    const double p = stream_[core] ? params_.streamPromoteProb
+                                   : params_.promoteProb;
+    if (rng_.chance(p))
+        recency::promoteByOne(set.state, way);
+    return true; // recency fully handled
+}
+
+int
+PippScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
+{
+    (void)cache;
+    (void)core;
+    // Strict LRU eviction: whatever sits at the bottom of the stack.
+    return recency::lruWay(set.state);
+}
+
+bool
+PippScheme::onFill(SharedCache &cache, CoreId core, SetView set, int way)
+{
+    (void)cache;
+    // Insert pi - 1 positions above LRU (pi == 1 -> LRU position).
+    const std::uint32_t pi = stream_[core] ? 1 : pi_[core];
+    recency::insertAtLruOffset(set.state, way, pi - 1);
+    return true;
+}
+
+void
+PippScheme::onIntervalEnd(const IntervalSnapshot &snap)
+{
+    // Allocation: UCP's lookahead on the shadow-tag curves gives the
+    // per-core insertion positions.
+    std::vector<std::vector<double>> curves;
+    curves.reserve(snap.cores.size());
+    for (const auto &core : snap.cores)
+        curves.push_back(core.shadowHitsAtPosition);
+    pi_ = lookaheadPartition(curves, ways_, 1);
+
+    // Stream detection from stand-alone hit rates.
+    for (CoreId c = 0; c < snap.numCores(); ++c) {
+        const double hits = snap.cores[c].standAloneHits();
+        const double accesses = hits + snap.cores[c].shadowMisses;
+        const double rate = accesses > 0 ? hits / accesses : 1.0;
+        stream_[c] = rate < params_.streamHitRate;
+    }
+}
+
+} // namespace prism

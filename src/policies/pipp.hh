@@ -1,0 +1,73 @@
+/**
+ * @file
+ * PIPP — Promotion/Insertion Pseudo-Partitioning (Xie & Loh [20]).
+ *
+ * PIPP has no explicit partition enforcement. Each core is assigned
+ * an insertion position pi_i (from the UCP lookahead allocation);
+ * incoming blocks are inserted pi_i - 1 positions above the LRU end,
+ * and hits promote a block by a single position with probability
+ * p_prom. Streaming cores (negligible stand-alone hit rate) insert
+ * at the LRU position and promote only rarely, so their lines flow
+ * straight back out — the pseudo-partitioning effect.
+ */
+
+#ifndef PRISM_POLICIES_PIPP_HH
+#define PRISM_POLICIES_PIPP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/partition_scheme.hh"
+#include "common/rng.hh"
+
+namespace prism
+{
+
+/** PIPP's tunables; defaults follow the original paper. */
+struct PippParams
+{
+    double promoteProb = 0.75;       ///< p_prom for normal cores
+    double streamPromoteProb = 1.0 / 128.0;
+    /** A core is streaming when its stand-alone hit rate (from
+     *  shadow tags) falls below this threshold. */
+    double streamHitRate = 0.05;
+};
+
+/** The PIPP management scheme. */
+class PippScheme : public PartitionScheme
+{
+  public:
+    PippScheme(std::uint32_t num_cores, std::uint32_t ways,
+               std::uint64_t seed, const PippParams &params = {});
+
+    std::string name() const override { return "PIPP"; }
+
+    bool onHit(SharedCache &cache, CoreId core, SetView set,
+               int way) override;
+    int chooseVictim(SharedCache &cache, CoreId core,
+                     SetView set) override;
+    bool onFill(SharedCache &cache, CoreId core, SetView set,
+                int way) override;
+    void onIntervalEnd(const IntervalSnapshot &snap) override;
+
+    const std::vector<std::uint32_t> &insertPositions() const
+    {
+        return pi_;
+    }
+
+    bool streaming(CoreId core) const { return stream_[core] != 0; }
+
+  private:
+    std::uint32_t num_cores_;
+    std::uint32_t ways_;
+    PippParams params_;
+    Rng rng_;
+
+    std::vector<std::uint32_t> pi_; ///< insertion position per core
+    std::vector<char> stream_;      ///< streaming classification
+};
+
+} // namespace prism
+
+#endif // PRISM_POLICIES_PIPP_HH

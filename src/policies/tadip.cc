@@ -1,0 +1,65 @@
+#include "policies/tadip.hh"
+
+#include "cache/shared_cache.hh"
+
+namespace prism
+{
+
+TadipScheme::TadipScheme(std::uint32_t num_cores, std::uint64_t seed)
+    : num_cores_(num_cores), rng_(seed)
+{
+    psel_.assign(num_cores_, pselMax / 2);
+}
+
+unsigned
+TadipScheme::setRole(std::uint32_t set_idx, CoreId core) const
+{
+    // Constituency-based leader selection: each aligned group of
+    // 2 * num_cores_ sets dedicates two sets per core — one LRU
+    // leader, one BIP leader. A hash decorrelates the mapping from
+    // plain set-index striding.
+    const std::uint32_t h = set_idx * 2654435761u;
+    const std::uint32_t slot = h % (num_cores_ * 32);
+    if (slot == core * 32)
+        return 1;
+    if (slot == core * 32 + 1)
+        return 2;
+    return 0;
+}
+
+int
+TadipScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
+{
+    (void)core;
+    return cache.repl().victim(set);
+}
+
+bool
+TadipScheme::onFill(SharedCache &cache, CoreId core, SetView set,
+                    int way)
+{
+    (void)cache;
+    const unsigned role = setRole(set.setIdx, core);
+
+    // Misses in a leader set vote against that leader's policy.
+    if (role == 1 && psel_[core] < pselMax)
+        ++psel_[core];
+    else if (role == 2 && psel_[core] > 0)
+        --psel_[core];
+
+    bool use_bip;
+    if (role == 1)
+        use_bip = false;
+    else if (role == 2)
+        use_bip = true;
+    else
+        use_bip = usesBip(core);
+
+    if (use_bip && !rng_.chance(bipEpsilon))
+        recency::insertAtLruOffset(set.state, way, 0);
+    else
+        recency::moveToFront(set.state, way);
+    return true;
+}
+
+} // namespace prism

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * TA-DIP — Thread-Aware Dynamic Insertion Policy (Jaleel et al. [7]).
+ *
+ * Each core duels LRU insertion against bimodal insertion (BIP) using
+ * its own PSEL counter and per-core leader sets; follower sets insert
+ * that core's blocks according to the winning policy. Victim
+ * selection stays plain LRU — TA-DIP manages the shared cache purely
+ * through insertion, which is why the paper classes it among the
+ * schemes that cannot support goals other than hit-maximisation.
+ */
+
+#ifndef PRISM_POLICIES_TADIP_HH
+#define PRISM_POLICIES_TADIP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/partition_scheme.hh"
+#include "common/rng.hh"
+
+namespace prism
+{
+
+/** The TA-DIP management scheme (feedback variant, TADIP-F style). */
+class TadipScheme : public PartitionScheme
+{
+  public:
+    TadipScheme(std::uint32_t num_cores, std::uint64_t seed);
+
+    std::string name() const override { return "TA-DIP"; }
+
+    int chooseVictim(SharedCache &cache, CoreId core,
+                     SetView set) override;
+    bool onFill(SharedCache &cache, CoreId core, SetView set,
+                int way) override;
+
+    /** Current PSEL of @p core, exposed for tests. */
+    unsigned psel(CoreId core) const { return psel_[core]; }
+
+    /** Whether followers currently use BIP for @p core. */
+    bool
+    usesBip(CoreId core) const
+    {
+        return psel_[core] > pselMax / 2;
+    }
+
+  private:
+    static constexpr unsigned pselMax = 1023;
+    static constexpr double bipEpsilon = 1.0 / 32.0;
+
+    /** Leader-set role of @p set for @p core:
+     *  0 = follower, 1 = LRU leader, 2 = BIP leader. */
+    unsigned setRole(std::uint32_t set_idx, CoreId core) const;
+
+    std::uint32_t num_cores_;
+    Rng rng_;
+    std::vector<unsigned> psel_;
+};
+
+} // namespace prism
+
+#endif // PRISM_POLICIES_TADIP_HH

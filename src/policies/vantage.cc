@@ -1,0 +1,163 @@
+#include "policies/vantage.hh"
+
+#include <algorithm>
+
+#include "cache/shared_cache.hh"
+#include "common/prism_assert.hh"
+#include "policies/lookahead.hh"
+
+namespace prism
+{
+
+VantageScheme::VantageScheme(std::uint32_t num_cores,
+                             std::uint64_t total_blocks,
+                             std::uint32_t ways,
+                             const VantageParams &params)
+    : num_cores_(num_cores), total_blocks_(total_blocks), ways_(ways),
+      params_(params)
+{
+    const double managed =
+        (1.0 - params_.unmanagedFrac) * static_cast<double>(total_blocks_);
+    target_.assign(num_cores_, managed / num_cores_);
+    managed_size_.assign(num_cores_, 0);
+    threshold_.assign(num_cores_, 64);
+    cand_count_.assign(num_cores_, 0);
+    demote_count_.assign(num_cores_, 0);
+}
+
+double
+VantageScheme::aperture(CoreId core) const
+{
+    const double target = std::max(1.0, target_[core]);
+    const double over =
+        static_cast<double>(managed_size_[core]) - target;
+    if (over <= 0.0)
+        return 0.0;
+    const double a = over / (params_.slack * target);
+    return std::min(a, params_.maxAperture);
+}
+
+bool
+VantageScheme::onHit(SharedCache &cache, CoreId core, SetView set,
+                     int way)
+{
+    (void)cache;
+    (void)core;
+    // Hits are region-aware: an unmanaged block is promoted back into
+    // its owner's partition.
+    CacheBlock &blk = set.blocks[static_cast<std::size_t>(way)];
+    if (blk.region == regionUnmanaged) {
+        blk.region = regionManaged;
+        ++managed_size_[blk.owner];
+    }
+    return false; // let TS-LRU restamp the block
+}
+
+void
+VantageScheme::adjustThreshold(CoreId p)
+{
+    // Negative feedback: steer the measured demotion rate towards the
+    // partition's aperture by nudging the age threshold.
+    const double rate =
+        static_cast<double>(demote_count_[p]) / cand_count_[p];
+    const double ap = aperture(p);
+    if (rate < 0.9 * ap && threshold_[p] > 1)
+        --threshold_[p];
+    else if (rate > 1.1 * ap && threshold_[p] < 250)
+        ++threshold_[p];
+    cand_count_[p] = 0;
+    demote_count_[p] = 0;
+}
+
+void
+VantageScheme::demoteCandidates(SetView &set)
+{
+    unsigned demoted = 0;
+    for (std::size_t w = 0;
+         w < set.ways() && demoted < params_.maxDemotionsPerMiss; ++w) {
+        CacheBlock &blk = set.blocks[w];
+        if (!blk.valid || blk.region != regionManaged)
+            continue;
+        const CoreId p = blk.owner;
+        if (aperture(p) <= 0.0)
+            continue;
+        ++cand_count_[p];
+        if (coarse_ts::age(set, static_cast<int>(w)) >= threshold_[p]) {
+            blk.region = regionUnmanaged;
+            --managed_size_[p];
+            ++demote_count_[p];
+            ++demotions_;
+            ++demoted;
+        }
+        if (cand_count_[p] >= 256)
+            adjustThreshold(p);
+    }
+}
+
+int
+VantageScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
+{
+    (void)core;
+    demoteCandidates(set);
+
+    // Victim: the oldest unmanaged block in the set.
+    int victim = invalidWay;
+    unsigned best_age = 0;
+    for (std::size_t w = 0; w < set.ways(); ++w) {
+        const CacheBlock &blk = set.blocks[w];
+        if (!blk.valid || blk.region != regionUnmanaged)
+            continue;
+        const unsigned a = coarse_ts::age(set, static_cast<int>(w));
+        if (victim == invalidWay || a > best_age) {
+            victim = static_cast<int>(w);
+            best_age = a;
+        }
+    }
+
+    if (victim == invalidWay) {
+        // No unmanaged block here: forced eviction of the globally
+        // oldest block (the situation Vantage's sizing makes rare).
+        ++forced_evictions_;
+        victim = cache.repl().victim(set);
+        panicIf(victim == invalidWay, "Vantage: no victim available");
+        CacheBlock &blk = set.blocks[static_cast<std::size_t>(victim)];
+        if (blk.region == regionManaged)
+            --managed_size_[blk.owner];
+    }
+    return victim;
+}
+
+bool
+VantageScheme::onFill(SharedCache &cache, CoreId core, SetView set,
+                      int way)
+{
+    (void)cache;
+    (void)set;
+    (void)way;
+    // The cache tags fresh fills as managed; account for it here.
+    ++managed_size_[core];
+    return false; // TS-LRU stamps the new block
+}
+
+void
+VantageScheme::onIntervalEnd(const IntervalSnapshot &snap)
+{
+    // Extended UCP lookahead at sub-way granularity, scaled into the
+    // managed region.
+    std::vector<std::vector<double>> curves;
+    curves.reserve(snap.cores.size());
+    for (const auto &core : snap.cores)
+        curves.push_back(core.shadowHitsAtPosition);
+
+    const std::uint32_t total_units = ways_ * params_.unitsPerWay;
+    const auto alloc =
+        lookaheadPartition(curves, total_units, params_.unitsPerWay);
+
+    const double managed = (1.0 - params_.unmanagedFrac) *
+                           static_cast<double>(total_blocks_);
+    for (CoreId c = 0; c < num_cores_; ++c)
+        target_[c] = managed * static_cast<double>(alloc[c]) /
+                     static_cast<double>(total_units);
+}
+
+} // namespace prism

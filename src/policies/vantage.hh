@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Vantage fine-grained partitioning (Sanchez & Kozyrakis [17]),
+ * adapted to a set-associative cache for the Figure 7/8 comparison.
+ *
+ * Vantage divides the cache into a managed region (holding the
+ * partitions, ~95% of capacity) and an unmanaged region that absorbs
+ * evictions. On each miss, replacement candidates belonging to
+ * partitions that exceed their target are *demoted* into the
+ * unmanaged region, gated by a per-partition aperture with
+ * negative-feedback control; the actual victim is then taken from the
+ * unmanaged region. Hits must be region-aware and re-promote
+ * unmanaged blocks. Partition targets come from the same extended
+ * (sub-way granularity) UCP lookahead the paper uses for both Vantage
+ * and PriSM.
+ *
+ * Simplifications versus the original (documented in DESIGN.md): the
+ * aperture is derived directly from the partition's overshoot rather
+ * than from the analytical churn model, and the demotion threshold
+ * feedback operates on candidate counts per partition. Both preserve
+ * the mechanism's observable behaviour: fine-grained occupancy
+ * control with slack, at the price of an unmanaged region and
+ * approximate demotions.
+ */
+
+#ifndef PRISM_POLICIES_VANTAGE_HH
+#define PRISM_POLICIES_VANTAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/partition_scheme.hh"
+
+namespace prism
+{
+
+/** Vantage tunables. */
+struct VantageParams
+{
+    /** Fraction of capacity reserved for the unmanaged region. */
+    double unmanagedFrac = 0.05;
+
+    /** Maximum aperture A_max. */
+    double maxAperture = 0.5;
+
+    /** Overshoot slack: aperture reaches A_max when a partition is
+     *  this fraction over its target. */
+    double slack = 0.3;
+
+    /** Demotions allowed per miss (hardware-bounded scan). */
+    unsigned maxDemotionsPerMiss = 2;
+
+    /** Granularity of the extended lookahead (units per way). */
+    std::uint32_t unitsPerWay = 4;
+};
+
+/** The Vantage management scheme; requires a timestamp-style policy. */
+class VantageScheme : public PartitionScheme
+{
+  public:
+    VantageScheme(std::uint32_t num_cores, std::uint64_t total_blocks,
+                  std::uint32_t ways, const VantageParams &params = {});
+
+    std::string name() const override { return "Vantage"; }
+
+    bool onHit(SharedCache &cache, CoreId core, SetView set,
+               int way) override;
+    int chooseVictim(SharedCache &cache, CoreId core,
+                     SetView set) override;
+    bool onFill(SharedCache &cache, CoreId core, SetView set,
+                int way) override;
+    void onIntervalEnd(const IntervalSnapshot &snap) override;
+
+    // --- introspection (tests, reports) ---
+    double targetBlocks(CoreId core) const { return target_[core]; }
+    std::uint64_t managedSize(CoreId core) const
+    {
+        return managed_size_[core];
+    }
+    std::uint64_t forcedEvictions() const { return forced_evictions_; }
+    std::uint64_t demotions() const { return demotions_; }
+    double aperture(CoreId core) const;
+
+  private:
+    void demoteCandidates(SetView &set);
+    void adjustThreshold(CoreId p);
+
+    std::uint32_t num_cores_;
+    std::uint64_t total_blocks_;
+    std::uint32_t ways_;
+    VantageParams params_;
+
+    std::vector<double> target_;        ///< per-core target, blocks
+    std::vector<std::uint64_t> managed_size_;
+    std::vector<std::uint8_t> threshold_; ///< demotion age threshold
+    std::vector<std::uint32_t> cand_count_;
+    std::vector<std::uint32_t> demote_count_;
+
+    std::uint64_t forced_evictions_ = 0;
+    std::uint64_t demotions_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_POLICIES_VANTAGE_HH

@@ -1,0 +1,178 @@
+#include "policies/way_partition.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cache/shared_cache.hh"
+#include "common/prism_assert.hh"
+#include "policies/lookahead.hh"
+
+namespace prism
+{
+
+std::vector<std::uint32_t>
+roundFractionsToWays(const std::vector<double> &fractions,
+                     std::uint32_t ways)
+{
+    const std::size_t n = fractions.size();
+    fatalIf(n == 0, "roundFractionsToWays: no cores");
+    fatalIf(ways < n, "roundFractionsToWays: fewer ways than cores");
+
+    double total = 0.0;
+    for (double f : fractions)
+        total += f;
+    // Degenerate input: fall back to an even split.
+    if (total <= 0.0) {
+        std::vector<std::uint32_t> even(n, ways / n);
+        for (std::size_t i = 0; i < ways % n; ++i)
+            ++even[i];
+        return even;
+    }
+
+    std::vector<std::uint32_t> alloc(n);
+    std::vector<std::pair<double, std::size_t>> remainders(n);
+    std::uint32_t assigned = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double ideal = fractions[i] / total * ways;
+        alloc[i] = static_cast<std::uint32_t>(ideal);
+        remainders[i] = {ideal - alloc[i], i};
+        assigned += alloc[i];
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+    for (std::size_t i = 0; assigned < ways; ++i, ++assigned)
+        ++alloc[remainders[i % n].second];
+
+    // Guarantee one way per core, taking from the largest holders.
+    for (std::size_t i = 0; i < n; ++i) {
+        while (alloc[i] == 0) {
+            const std::size_t donor = static_cast<std::size_t>(
+                std::max_element(alloc.begin(), alloc.end()) -
+                alloc.begin());
+            panicIf(alloc[donor] <= 1,
+                    "roundFractionsToWays: cannot satisfy 1-way minimum");
+            --alloc[donor];
+            ++alloc[i];
+        }
+    }
+    return alloc;
+}
+
+WayPartitionScheme::WayPartitionScheme(std::uint32_t num_cores,
+                                       std::uint32_t ways)
+    : num_cores_(num_cores), ways_(ways)
+{
+    fatalIf(ways_ < num_cores_,
+            "WayPartitionScheme: fewer ways than cores");
+    // Start from an even split.
+    alloc_.assign(num_cores_, ways_ / num_cores_);
+    for (std::uint32_t i = 0; i < ways_ % num_cores_; ++i)
+        ++alloc_[i];
+    allowed_.assign(ways_, 0);
+    counts_.assign(num_cores_, 0);
+}
+
+void
+WayPartitionScheme::setAllocation(std::vector<std::uint32_t> alloc)
+{
+    panicIf(alloc.size() != num_cores_,
+            "WayPartitionScheme::setAllocation: wrong core count");
+    std::uint32_t sum = 0;
+    for (auto a : alloc)
+        sum += a;
+    panicIf(sum != ways_,
+            "WayPartitionScheme::setAllocation: does not sum to ways");
+    alloc_ = std::move(alloc);
+}
+
+int
+WayPartitionScheme::chooseVictim(SharedCache &cache, CoreId core,
+                                 SetView set)
+{
+    // Count this set's blocks per core.
+    std::fill(counts_.begin(), counts_.end(), 0);
+    for (const auto &blk : set.blocks)
+        if (blk.valid)
+            ++counts_[blk.owner];
+
+    // Find the core most over its allocation (ties: lower id).
+    CoreId most_over = invalidCore;
+    std::int64_t best_excess = 0;
+    for (CoreId c = 0; c < num_cores_; ++c) {
+        const std::int64_t excess =
+            static_cast<std::int64_t>(counts_[c]) -
+            static_cast<std::int64_t>(alloc_[c]);
+        if (excess > best_excess) {
+            best_excess = excess;
+            most_over = c;
+        }
+    }
+
+    // The missing core may consume its own space once it reaches its
+    // allocation; until then it takes a block from an over-allocated
+    // core.
+    CoreId victim_core;
+    if (counts_[core] >= alloc_[core] || most_over == invalidCore)
+        victim_core = core;
+    else
+        victim_core = most_over;
+
+    if (counts_[victim_core] == 0) {
+        // The missing core holds nothing here and nobody is over
+        // allocation (possible right after a repartition): fall back
+        // to the global replacement victim.
+        return cache.repl().victim(set);
+    }
+
+    for (std::size_t w = 0; w < set.ways(); ++w)
+        allowed_[w] =
+            set.blocks[w].valid && set.blocks[w].owner == victim_core;
+    const int way = cache.repl().victimAmong(
+        set, std::span<const char>(allowed_.data(), set.ways()));
+    return way != invalidWay ? way : cache.repl().victim(set);
+}
+
+void
+UcpScheme::onIntervalEnd(const IntervalSnapshot &snap)
+{
+    std::vector<std::vector<double>> curves;
+    curves.reserve(snap.cores.size());
+    for (const auto &core : snap.cores)
+        curves.push_back(core.shadowHitsAtPosition);
+    setAllocation(lookaheadPartition(curves, ways_, 1));
+}
+
+void
+KimFairScheme::onIntervalEnd(const IntervalSnapshot &snap)
+{
+    // Miss-increase ratio X_i: how much sharing inflates misses over
+    // the stand-alone (shadow-tag) estimate. Kim et al.'s dynamic
+    // repartitioning moves one way per epoch from the least to the
+    // most affected core.
+    const std::uint32_t n = snap.numCores();
+    std::vector<double> x(n);
+    for (CoreId c = 0; c < n; ++c) {
+        const double alone = std::max(1.0, snap.cores[c].shadowMisses);
+        x[c] = static_cast<double>(snap.cores[c].sharedMisses) / alone;
+    }
+
+    CoreId worst = 0, best = 0;
+    for (CoreId c = 1; c < n; ++c) {
+        if (x[c] > x[worst])
+            worst = c;
+        if (x[c] < x[best])
+            best = c;
+    }
+
+    if (worst == best || x[worst] - x[best] <= threshold_)
+        return;
+    if (alloc_[best] <= 1)
+        return; // donor would drop below the 1-way minimum
+
+    auto alloc = alloc_;
+    --alloc[best];
+    ++alloc[worst];
+    setAllocation(std::move(alloc));
+}
+
+} // namespace prism

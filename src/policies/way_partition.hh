@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Way-partitioning enforcement and the schemes built on it.
+ *
+ * Way-partitioning allocates each core an integral number of ways,
+ * identical in every set. On a miss the victim core is picked from
+ * occupancy-vs-allocation within the indexed set; the underlying
+ * replacement policy then names the victim block of that core — the
+ * same two-step replacement PriSM generalises (paper §1).
+ */
+
+#ifndef PRISM_POLICIES_WAY_PARTITION_HH
+#define PRISM_POLICIES_WAY_PARTITION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/partition_scheme.hh"
+
+namespace prism
+{
+
+/**
+ * Round target fractions to an integral way allocation summing to
+ * @p ways, using largest-remainder rounding; every core receives at
+ * least one way (shrinking the biggest allocations if needed).
+ */
+std::vector<std::uint32_t>
+roundFractionsToWays(const std::vector<double> &fractions,
+                     std::uint32_t ways);
+
+/**
+ * Base class implementing way-partition *enforcement*; subclasses
+ * supply the allocation policy by overriding onIntervalEnd() and
+ * calling setAllocation().
+ */
+class WayPartitionScheme : public PartitionScheme
+{
+  public:
+    WayPartitionScheme(std::uint32_t num_cores, std::uint32_t ways);
+
+    /**
+     * Two-step victim choice: if the missing core is at or above its
+     * allocation in this set, evict its own replacement-order victim;
+     * otherwise evict from the core most over its allocation.
+     */
+    int chooseVictim(SharedCache &cache, CoreId core,
+                     SetView set) override;
+
+    const std::vector<std::uint32_t> &allocation() const
+    {
+        return alloc_;
+    }
+
+    /** Install a new allocation; must sum to the way count. */
+    void setAllocation(std::vector<std::uint32_t> alloc);
+
+  protected:
+    std::uint32_t num_cores_;
+    std::uint32_t ways_;
+    std::vector<std::uint32_t> alloc_;
+
+  private:
+    std::vector<char> allowed_;          // scratch victim mask
+    std::vector<std::uint32_t> counts_;  // scratch per-core counts
+};
+
+/**
+ * Static way-partitioning: the allocation fixed at construction
+ * (default: even split) is never revised. This is the "trivial"
+ * partitioning the paper mentions for the cores == ways machine of
+ * Figure 6, and a useful lower bound for allocation policies.
+ */
+class StaticWayScheme : public WayPartitionScheme
+{
+  public:
+    StaticWayScheme(std::uint32_t num_cores, std::uint32_t ways)
+        : WayPartitionScheme(num_cores, ways)
+    {}
+
+    std::string name() const override { return "StaticWP"; }
+};
+
+/** UCP [14]: way-partitioning driven by the lookahead algorithm. */
+class UcpScheme : public WayPartitionScheme
+{
+  public:
+    UcpScheme(std::uint32_t num_cores, std::uint32_t ways)
+        : WayPartitionScheme(num_cores, ways)
+    {}
+
+    std::string name() const override { return "UCP"; }
+
+    void onIntervalEnd(const IntervalSnapshot &snap) override;
+};
+
+/**
+ * Fair way-partitioning after Kim, Chandra & Solihin [9]: equalise
+ * the miss-increase ratio X_i = shared misses / stand-alone misses by
+ * moving a way per interval from the least to the most affected core.
+ */
+class KimFairScheme : public WayPartitionScheme
+{
+  public:
+    KimFairScheme(std::uint32_t num_cores, std::uint32_t ways,
+                  double threshold = 0.05)
+        : WayPartitionScheme(num_cores, ways), threshold_(threshold)
+    {}
+
+    std::string name() const override { return "FairWP"; }
+
+    void onIntervalEnd(const IntervalSnapshot &snap) override;
+
+  private:
+    double threshold_;
+};
+
+} // namespace prism
+
+#endif // PRISM_POLICIES_WAY_PARTITION_HH

@@ -1,0 +1,58 @@
+#include "prism/alloc_fair.hh"
+
+#include <algorithm>
+
+namespace prism
+{
+
+double
+FairPolicy::estimatedSlowdown(const IntervalSnapshot &snap, CoreId core)
+{
+    const auto &cs = snap.cores[core];
+
+    if (cs.instructions == 0 || cs.cycles == 0) {
+        // No timing model attached: approximate the slowdown with the
+        // miss-increase ratio (the same signal Kim et al. [9] use).
+        const double alone = std::max(1.0, cs.shadowMisses);
+        return std::max(
+            1.0, static_cast<double>(cs.sharedMisses) / alone);
+    }
+
+    const double instr = static_cast<double>(cs.instructions);
+    const double cpi_shared =
+        static_cast<double>(cs.cycles) / instr;
+    const double cpi_llc =
+        static_cast<double>(cs.llcStallCycles) / instr;
+    const double cpi_ideal = std::max(0.0, cpi_shared - cpi_llc);
+
+    // Scale CPI_llc linearly by the stand-alone/shared miss ratio to
+    // estimate the stand-alone LLC component.
+    const double shared_misses =
+        std::max(1.0, static_cast<double>(cs.sharedMisses));
+    const double miss_ratio =
+        std::min(1.0, cs.shadowMisses / shared_misses);
+    const double cpi_llc_alone = cpi_llc * miss_ratio;
+
+    const double cpi_alone = cpi_ideal + cpi_llc_alone;
+    if (cpi_alone <= 0.0)
+        return 1.0;
+    return std::max(1.0, cpi_shared / cpi_alone);
+}
+
+std::vector<double>
+FairPolicy::computeTargets(const IntervalSnapshot &snap)
+{
+    // Allocation grows proportionally to the slowdown each core is
+    // experiencing: T_i ~ C_i * slowdown_i, normalised.
+    std::vector<double> t(snap.numCores());
+    for (CoreId c = 0; c < snap.numCores(); ++c) {
+        const double occ = std::max(
+            static_cast<double>(snap.cores[c].occupancyBlocks), 1.0) /
+            static_cast<double>(snap.totalBlocks);
+        t[c] = occ * estimatedSlowdown(snap, c);
+    }
+    normaliseTargets(t);
+    return t;
+}
+
+} // namespace prism

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * PriSM-F: the fairness allocation policy (Algorithm 2).
+ *
+ * Fairness means every program suffers the same slowdown versus
+ * running alone. Stand-alone performance is estimated from the CPI
+ * decomposition CPI = CPI_ideal + CPI_llc: the LLC component observed
+ * under sharing is scaled by the shadow-tag miss ratio to estimate
+ * the stand-alone LLC component, and cache space is then grown in
+ * proportion to each core's estimated slowdown.
+ */
+
+#ifndef PRISM_PRISM_ALLOC_FAIR_HH
+#define PRISM_PRISM_ALLOC_FAIR_HH
+
+#include "prism/alloc_policy.hh"
+
+namespace prism
+{
+
+/** Algorithm 2 of the paper. */
+class FairPolicy : public PrismAllocPolicy
+{
+  public:
+    std::string name() const override { return "Fair"; }
+
+    std::vector<double>
+    computeTargets(const IntervalSnapshot &snap) override;
+
+    /**
+     * Estimated slowdown (CPI_shared / CPI_standAlone, >= 1 when the
+     * core suffers) of @p core from the snapshot. Falls back to the
+     * miss-increase ratio when no timing data is attached.
+     */
+    static double estimatedSlowdown(const IntervalSnapshot &snap,
+                                    CoreId core);
+
+    unsigned
+    arithmeticOps(unsigned num_cores) const override
+    {
+        // Matches the paper's figures: 28 ops at 4 cores, 224 at 32.
+        return 7 * num_cores;
+    }
+};
+
+} // namespace prism
+
+#endif // PRISM_PRISM_ALLOC_FAIR_HH

@@ -1,0 +1,107 @@
+#include "prism/alloc_hitmax.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prism_assert.hh"
+
+namespace prism
+{
+
+void
+normaliseTargets(std::vector<double> &t)
+{
+    double sum = 0.0;
+    for (double v : t)
+        sum += v;
+    if (sum <= 0.0) {
+        // Degenerate: fall back to an even split.
+        std::fill(t.begin(), t.end(),
+                  1.0 / static_cast<double>(t.size()));
+        return;
+    }
+    for (auto &v : t)
+        v /= sum;
+}
+
+namespace
+{
+
+/**
+ * Shared core of Algorithm 1: scale occupancies by gain shares over
+ * cores [first, last) and normalise into @p budget. @p gain holds
+ * PotentialGain per core (clamped at zero: sharing cannot beat
+ * owning the whole cache; small negatives are shadow-tag noise).
+ */
+std::vector<double>
+algorithmOne(const IntervalSnapshot &snap,
+             const std::vector<double> &gain, CoreId first, CoreId last,
+             double budget)
+{
+    std::vector<double> t(snap.numCores(), 0.0);
+    double total_gain = 0.0;
+    for (CoreId c = first; c < last; ++c)
+        total_gain += gain[c];
+
+    // T_core = C_core * (1 + gain / totalGain); a core with no
+    // occupancy yet is treated as holding one block so it can grow.
+    double t_sum = 0.0;
+    for (CoreId c = first; c < last; ++c) {
+        const double occ = std::max(
+            static_cast<double>(snap.cores[c].occupancyBlocks), 1.0) /
+            static_cast<double>(snap.totalBlocks);
+        const double scale =
+            total_gain > 0.0 ? 1.0 + gain[c] / total_gain : 1.0;
+        t[c] = occ * scale;
+        t_sum += t[c];
+    }
+
+    // Normalise the subset into the given budget — but never scale a
+    // core's target beyond twice its occupancy, Algorithm 1's own
+    // per-interval growth bound. Without the cap a subset of tiny
+    // cores handed a large budget (PriSM-Q's common case) would carry
+    // unreachable targets, permanently classifying them as
+    // "protected" and pushing every eviction onto the QoS core.
+    panicIf(t_sum <= 0.0, "HitMaxPolicy: zero target sum");
+    const double scale_to_budget =
+        std::min(budget / t_sum, 2.0);
+    for (CoreId c = first; c < last; ++c)
+        t[c] *= scale_to_budget;
+    return t;
+}
+
+double
+potentialGain(const CoreIntervalStats &core)
+{
+    return std::max(0.0,
+                    core.standAloneHits() -
+                        static_cast<double>(core.sharedHits));
+}
+
+} // namespace
+
+std::vector<double>
+HitMaxPolicy::computeTargetsSubset(const IntervalSnapshot &snap,
+                                   CoreId first, CoreId last,
+                                   double budget)
+{
+    panicIf(first >= last || last > snap.numCores(),
+            "HitMaxPolicy: bad core range");
+    std::vector<double> gain(snap.numCores(), 0.0);
+    for (CoreId c = first; c < last; ++c)
+        gain[c] = potentialGain(snap.cores[c]);
+    return algorithmOne(snap, gain, first, last, budget);
+}
+
+std::vector<double>
+HitMaxPolicy::computeTargets(const IntervalSnapshot &snap)
+{
+    if (smoothed_gain_.size() != snap.numCores())
+        smoothed_gain_.assign(snap.numCores(), 0.0);
+    for (CoreId c = 0; c < snap.numCores(); ++c)
+        smoothed_gain_[c] = 0.5 * smoothed_gain_[c] +
+                            0.5 * potentialGain(snap.cores[c]);
+    return algorithmOne(snap, smoothed_gain_, 0, snap.numCores(), 1.0);
+}
+
+} // namespace prism

@@ -1,0 +1,27 @@
+#include "prism/alloc_lookahead.hh"
+
+#include "policies/lookahead.hh"
+
+namespace prism
+{
+
+std::vector<double>
+LookaheadPolicy::computeTargets(const IntervalSnapshot &snap)
+{
+    std::vector<std::vector<double>> curves;
+    curves.reserve(snap.cores.size());
+    for (const auto &core : snap.cores)
+        curves.push_back(core.shadowHitsAtPosition);
+
+    const std::uint32_t total_units = snap.ways * units_per_way_;
+    const auto alloc =
+        lookaheadPartition(curves, total_units, units_per_way_);
+
+    std::vector<double> t(snap.numCores());
+    for (CoreId c = 0; c < snap.numCores(); ++c)
+        t[c] = static_cast<double>(alloc[c]) /
+               static_cast<double>(total_units);
+    return t;
+}
+
+} // namespace prism

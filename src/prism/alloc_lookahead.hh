@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Extended-UCP lookahead allocation policy for PriSM.
+ *
+ * The paper's Vantage comparison (Section 5.3) drives both Vantage
+ * and PriSM with the same "extended UCP" allocation policy: UCP's
+ * lookahead run at sub-way granularity, producing fractional target
+ * occupancies. This policy wraps the shared lookahead implementation
+ * as a PriSM allocation policy so Figure 7/8 compare purely the
+ * partitioning mechanisms.
+ */
+
+#ifndef PRISM_PRISM_ALLOC_LOOKAHEAD_HH
+#define PRISM_PRISM_ALLOC_LOOKAHEAD_HH
+
+#include "prism/alloc_policy.hh"
+
+namespace prism
+{
+
+/** Lookahead-driven target occupancies at sub-way granularity. */
+class LookaheadPolicy : public PrismAllocPolicy
+{
+  public:
+    /** @param units_per_way Lookahead granularity (4 = quarter-way). */
+    explicit LookaheadPolicy(std::uint32_t units_per_way = 4)
+        : units_per_way_(units_per_way)
+    {}
+
+    std::string name() const override { return "LA"; }
+
+    std::vector<double>
+    computeTargets(const IntervalSnapshot &snap) override;
+
+    unsigned
+    arithmeticOps(unsigned num_cores) const override
+    {
+        // Lookahead is quadratic in ways — far costlier than
+        // Algorithms 1-3; reported for the overhead comparison.
+        return 32 * 32 * num_cores;
+    }
+
+  private:
+    std::uint32_t units_per_way_;
+};
+
+} // namespace prism
+
+#endif // PRISM_PRISM_ALLOC_LOOKAHEAD_HH

@@ -1,0 +1,100 @@
+#include "prism/alloc_multi_qos.hh"
+
+#include <algorithm>
+
+#include "common/prism_assert.hh"
+#include "prism/alloc_hitmax.hh"
+
+namespace prism
+{
+
+MultiQosPolicy::MultiQosPolicy(std::map<CoreId, double> targets,
+                               const QosParams &params)
+    : targets_(std::move(targets)), params_(params)
+{
+    fatalIf(targets_.empty(), "MultiQosPolicy: no QoS targets");
+}
+
+std::vector<double>
+MultiQosPolicy::computeTargets(const IntervalSnapshot &snap)
+{
+    fatalIf(targets_.rbegin()->first >= snap.numCores(),
+            "MultiQosPolicy: QoS core id out of range");
+
+    std::vector<double> t(snap.numCores(), 0.0);
+
+    // Run the grow/shrink controller for every guarded core.
+    double guarded_sum = 0.0;
+    for (const auto &[core, target_ipc] : targets_) {
+        const auto &cs = snap.cores[core];
+        const double occ = std::max(
+            static_cast<double>(cs.occupancyBlocks), 1.0) /
+            static_cast<double>(snap.totalBlocks);
+        double tc = occ;
+        if (cs.cycles > 0) {
+            const double ipc =
+                static_cast<double>(cs.instructions) /
+                static_cast<double>(cs.cycles);
+            auto it = smoothed_ipc_.find(core);
+            if (it == smoothed_ipc_.end())
+                it = smoothed_ipc_.emplace(core, ipc).first;
+            else
+                it->second = params_.ipcSmoothing * it->second +
+                             (1.0 - params_.ipcSmoothing) * ipc;
+            const double s = it->second;
+            if (s < target_ipc * (1.0 - params_.deadBand))
+                tc = (1.0 + params_.alpha) * occ;
+            else if (s > target_ipc * (1.0 + params_.deadBand))
+                tc = (1.0 - params_.beta) * occ;
+        }
+        t[core] = std::clamp(tc, params_.minFrac, params_.maxFrac);
+        guarded_sum += t[core];
+    }
+
+    // Admission control: guards collectively may not claim the whole
+    // cache; scale back proportionally when over the cap.
+    if (guarded_sum > maxGuardedFraction) {
+        const double scale = maxGuardedFraction / guarded_sum;
+        for (const auto &[core, unused] : targets_) {
+            (void)unused;
+            t[core] *= scale;
+        }
+        guarded_sum = maxGuardedFraction;
+    }
+
+    // Hit-maximise the unguarded cores inside the leftover space
+    // (Algorithm 1's occupancy-times-gain-share scaling over the
+    // possibly non-contiguous complement).
+    const double leftover = 1.0 - guarded_sum;
+    double total_gain = 0.0;
+    std::vector<double> gain(snap.numCores(), 0.0);
+    for (CoreId c = 0; c < snap.numCores(); ++c) {
+        if (targets_.count(c))
+            continue;
+        gain[c] = std::max(
+            0.0, snap.cores[c].standAloneHits() -
+                     static_cast<double>(snap.cores[c].sharedHits));
+        total_gain += gain[c];
+    }
+    double prop_sum = 0.0;
+    std::vector<double> prop(snap.numCores(), 0.0);
+    for (CoreId c = 0; c < snap.numCores(); ++c) {
+        if (targets_.count(c))
+            continue;
+        const double occ = std::max(
+            static_cast<double>(snap.cores[c].occupancyBlocks), 1.0) /
+            static_cast<double>(snap.totalBlocks);
+        const double scale =
+            total_gain > 0.0 ? 1.0 + gain[c] / total_gain : 1.0;
+        prop[c] = occ * scale;
+        prop_sum += prop[c];
+    }
+    if (prop_sum > 0.0)
+        for (CoreId c = 0; c < snap.numCores(); ++c)
+            if (!targets_.count(c))
+                t[c] = prop[c] / prop_sum * leftover;
+
+    return t;
+}
+
+} // namespace prism

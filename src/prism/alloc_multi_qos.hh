@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Multi-program QoS allocation policy (extension beyond the paper).
+ *
+ * Algorithm 3 guarantees an IPC floor for a single core ("without
+ * loss of generality, Core_0"). This policy generalises it: any
+ * subset of cores can carry floors; each guarded core's occupancy is
+ * controlled by the same grow/shrink rule, and the remaining space is
+ * hit-maximised across the unguarded cores. When the guards'
+ * combined demand exceeds the cache, targets are scaled back
+ * proportionally — an admission-control decision the single-core
+ * algorithm never faces.
+ */
+
+#ifndef PRISM_PRISM_ALLOC_MULTI_QOS_HH
+#define PRISM_PRISM_ALLOC_MULTI_QOS_HH
+
+#include <map>
+
+#include "prism/alloc_policy.hh"
+#include "prism/alloc_qos.hh"
+
+namespace prism
+{
+
+/** IPC floors for several cores; hit-max for everyone else. */
+class MultiQosPolicy : public PrismAllocPolicy
+{
+  public:
+    /**
+     * @param targets Map core id -> minimum IPC.
+     * @param params Controller tunables (shared with QosPolicy).
+     */
+    MultiQosPolicy(std::map<CoreId, double> targets,
+                   const QosParams &params = {});
+
+    std::string name() const override { return "MultiQoS"; }
+
+    std::vector<double>
+    computeTargets(const IntervalSnapshot &snap) override;
+
+    unsigned
+    arithmeticOps(unsigned num_cores) const override
+    {
+        return 2 * static_cast<unsigned>(targets_.size()) +
+               5 * num_cores;
+    }
+
+    /** Combined guarded occupancy cap (admission control). */
+    static constexpr double maxGuardedFraction = 0.9;
+
+  private:
+    std::map<CoreId, double> targets_;
+    QosParams params_;
+    std::map<CoreId, double> smoothed_ipc_;
+};
+
+} // namespace prism
+
+#endif // PRISM_PRISM_ALLOC_MULTI_QOS_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * PriSM allocation-policy interface.
+ *
+ * An allocation policy converts a high-level performance goal into
+ * per-core target occupancies T_i (fractions of the cache summing to
+ * one); the PriSM manager then turns them into eviction probabilities
+ * with Equation 1. The paper envisions these running in software off
+ * an augmented set of performance counters — the IntervalSnapshot is
+ * exactly that counter set.
+ */
+
+#ifndef PRISM_PRISM_ALLOC_POLICY_HH
+#define PRISM_PRISM_ALLOC_POLICY_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/partition_scheme.hh"
+
+namespace prism
+{
+
+/** Translates a performance goal into target occupancies. */
+class PrismAllocPolicy
+{
+  public:
+    virtual ~PrismAllocPolicy() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Compute target occupancies for the coming interval.
+     *
+     * @param snap Counter snapshot of the finished interval.
+     * @return Per-core fractions T_i, normalised to sum to one.
+     */
+    virtual std::vector<double>
+    computeTargets(const IntervalSnapshot &snap) = 0;
+
+    /**
+     * Count of arithmetic operations a hardware/software realisation
+     * of this policy performs per recomputation (reported by the
+     * overhead micro-bench, mirroring the paper's 20–224 numbers).
+     */
+    virtual unsigned arithmeticOps(unsigned num_cores) const = 0;
+};
+
+/** Normalise @p t in place to sum to one (fatal on all-zero). */
+void normaliseTargets(std::vector<double> &t);
+
+} // namespace prism
+
+#endif // PRISM_PRISM_ALLOC_POLICY_HH

@@ -1,0 +1,45 @@
+#include "prism/alloc_qos.hh"
+
+#include <algorithm>
+
+#include "common/prism_assert.hh"
+#include "prism/alloc_hitmax.hh"
+
+namespace prism
+{
+
+std::vector<double>
+QosPolicy::computeTargets(const IntervalSnapshot &snap)
+{
+    fatalIf(snap.numCores() < 2, "QosPolicy: needs at least two cores");
+
+    const auto &c0 = snap.cores[0];
+    const double occ0 = std::max(
+        static_cast<double>(c0.occupancyBlocks), 1.0) /
+        static_cast<double>(snap.totalBlocks);
+
+    double t0 = occ0;
+    if (c0.cycles > 0) {
+        const double ipc = static_cast<double>(c0.instructions) /
+                           static_cast<double>(c0.cycles);
+        smoothed_ipc_ = smoothed_ipc_ < 0.0
+                            ? ipc
+                            : params_.ipcSmoothing * smoothed_ipc_ +
+                                  (1.0 - params_.ipcSmoothing) * ipc;
+        if (smoothed_ipc_ < target_ipc_ * (1.0 - params_.deadBand))
+            t0 = (1.0 + params_.alpha) * occ0;
+        else if (smoothed_ipc_ > target_ipc_ * (1.0 + params_.deadBand))
+            t0 = (1.0 - params_.beta) * occ0;
+        // Allocation unchanged while the target is being met.
+    }
+    t0 = std::clamp(t0, params_.minFrac, params_.maxFrac);
+
+    // Hit-maximise the remaining cores within the leftover space.
+    auto t = HitMaxPolicy::computeTargetsSubset(snap, 1,
+                                                snap.numCores(),
+                                                1.0 - t0);
+    t[0] = t0;
+    return t;
+}
+
+} // namespace prism

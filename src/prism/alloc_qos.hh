@@ -1,0 +1,76 @@
+/**
+ * @file
+ * PriSM-Q: the quality-of-service allocation policy (Algorithm 3).
+ *
+ * Core 0 carries an IPC floor (the paper uses 80% of its stand-alone
+ * IPC). Its occupancy is grown by alpha when it runs below target and
+ * shrunk by beta when above; the remaining cores share the rest of
+ * the cache under hit-maximisation.
+ */
+
+#ifndef PRISM_PRISM_ALLOC_QOS_HH
+#define PRISM_PRISM_ALLOC_QOS_HH
+
+#include "prism/alloc_policy.hh"
+
+namespace prism
+{
+
+/** Algorithm 3 tunables; defaults are the paper's. */
+struct QosParams
+{
+    double alpha = 0.1; ///< growth factor when under target
+    /**
+     * Shrink factor when over target. The paper uses 0.1 for both
+     * directions over 500M-instruction runs; shrinking is applied
+     * more conservatively here because growth is rate-limited by the
+     * program's own miss inflow while shrinking acts immediately —
+     * symmetric steps overshoot badly within scaled runs.
+     */
+    double beta = 0.03;
+    /** Bounds on core 0's target occupancy fraction. */
+    double minFrac = 0.005;
+    double maxFrac = 0.95;
+
+    /**
+     * Dead band around the target within which the allocation is
+     * held ("allocation is not changed if the performance target is
+     * being met" — with measured IPC, "met" needs a tolerance), and
+     * the EWMA weight smoothing the per-interval IPC measurement.
+     */
+    double deadBand = 0.03;
+    double ipcSmoothing = 0.5;
+};
+
+/** Algorithm 3 of the paper, guaranteeing IPC for core 0. */
+class QosPolicy : public PrismAllocPolicy
+{
+  public:
+    /** @param target_ipc Minimum IPC core 0 must sustain. */
+    explicit QosPolicy(double target_ipc, const QosParams &params = {})
+        : target_ipc_(target_ipc), params_(params)
+    {}
+
+    std::string name() const override { return "QoS"; }
+
+    std::vector<double>
+    computeTargets(const IntervalSnapshot &snap) override;
+
+    double targetIpc() const { return target_ipc_; }
+
+    unsigned
+    arithmeticOps(unsigned num_cores) const override
+    {
+        // One compare + scale for core 0, hit-max for the rest.
+        return 2 + 5 * (num_cores - 1);
+    }
+
+  private:
+    double target_ipc_;
+    QosParams params_;
+    double smoothed_ipc_ = -1.0; ///< <0 until the first measurement
+};
+
+} // namespace prism
+
+#endif // PRISM_PRISM_ALLOC_QOS_HH

@@ -1,0 +1,103 @@
+#include "prism/eq1.hh"
+
+#include "common/prism_assert.hh"
+
+namespace prism
+{
+
+double
+eq1(double occupancy_c, double target_t, double miss_frac_m,
+    std::uint64_t blocks_n, std::uint64_t interval_w)
+{
+    panicIf(interval_w == 0, "eq1: zero interval length");
+    const double n_over_w = static_cast<double>(blocks_n) /
+                            static_cast<double>(interval_w);
+    const double e = (occupancy_c - target_t) * n_over_w + miss_frac_m;
+    if (e < 0.0)
+        return 0.0;
+    if (e > 1.0)
+        return 1.0;
+    return e;
+}
+
+double
+predictedOccupancy(double occupancy_c, double miss_frac_m,
+                   double evict_prob_e, std::uint64_t blocks_n,
+                   std::uint64_t interval_w)
+{
+    panicIf(blocks_n == 0, "predictedOccupancy: zero blocks");
+    const double w_over_n = static_cast<double>(interval_w) /
+                            static_cast<double>(blocks_n);
+    double tau =
+        occupancy_c + (miss_frac_m - evict_prob_e) * w_over_n;
+    if (tau < 0.0)
+        tau = 0.0;
+    if (tau > 1.0)
+        tau = 1.0;
+    return tau;
+}
+
+std::vector<double>
+evictionDistribution(const std::vector<double> &occupancy,
+                     const std::vector<double> &targets,
+                     const std::vector<double> &miss_frac,
+                     std::uint64_t blocks_n, std::uint64_t interval_w)
+{
+    const std::size_t n = occupancy.size();
+    panicIf(targets.size() != n || miss_frac.size() != n,
+            "evictionDistribution: size mismatch");
+
+    std::vector<double> e(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        e[i] = eq1(occupancy[i], targets[i], miss_frac[i], blocks_n,
+                   interval_w);
+        sum += e[i];
+    }
+
+    if (sum > 1.0) {
+        // More eviction demand than misses available: scale down.
+        for (auto &v : e)
+            v /= sum;
+        return e;
+    }
+
+    if (sum < 1.0) {
+        // The per-core values do not account for every eviction the
+        // interval will perform. The deficit must not be spread
+        // uniformly — that would push cores sitting at their target
+        // below it (Equation 1 gave them E ~= M_i for a reason).
+        // Charge it to the cores holding more than their target,
+        // proportionally to their excess; if nobody is over target,
+        // fall back to miss shares (occupancy-neutral), then uniform.
+        const double deficit = 1.0 - sum;
+        std::vector<double> w(n);
+        double w_sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            // Donors are cores Equation 1 already asked to shrink;
+            // cores it protected (E_i == 0, still growing towards
+            // their target) must not absorb the deficit.
+            w[i] = e[i];
+            w_sum += w[i];
+        }
+        if (w_sum <= 0.0) {
+            double m_sum = 0.0;
+            for (double m : miss_frac)
+                m_sum += m;
+            if (m_sum > 0.0) {
+                for (std::size_t i = 0; i < n; ++i)
+                    w[i] = miss_frac[i];
+                w_sum = m_sum;
+            } else {
+                for (auto &v : w)
+                    v = 1.0;
+                w_sum = static_cast<double>(n);
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            e[i] += deficit * w[i] / w_sum;
+    }
+    return e;
+}
+
+} // namespace prism

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The PriSM analytical model (Equation 1 of the paper).
+ *
+ * Over an interval of W misses, a core with occupancy fraction C_i,
+ * miss fraction M_i and eviction probability E_i ends the interval at
+ * occupancy tau_i = C_i + (M_i - E_i) * W/N. Solving for the eviction
+ * probability that drives the core to target occupancy T_i:
+ *
+ *   E_i = clamp( (C_i - T_i) * N/W + M_i , 0, 1 )
+ *
+ * (clamped because the target may be unreachable within one interval,
+ * in which case the core should be evicted never or always). The
+ * per-core values are then normalised into a distribution for the
+ * core-selection step, which requires sum(E_i) == 1.
+ */
+
+#ifndef PRISM_PRISM_EQ1_HH
+#define PRISM_PRISM_EQ1_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace prism
+{
+
+/** The clamped single-core Equation 1. */
+double eq1(double occupancy_c, double target_t, double miss_frac_m,
+           std::uint64_t blocks_n, std::uint64_t interval_w);
+
+/**
+ * Predicted end-of-interval occupancy tau_i given an eviction
+ * probability (the forward form of the model, used by tests and the
+ * analytical-model validation bench).
+ */
+double predictedOccupancy(double occupancy_c, double miss_frac_m,
+                          double evict_prob_e, std::uint64_t blocks_n,
+                          std::uint64_t interval_w);
+
+/**
+ * Compute the full eviction probability distribution from targets.
+ *
+ * Applies Equation 1 per core and normalises so the entries sum to
+ * one. If every raw value clamps to zero (all cores below target —
+ * possible transiently), eviction falls back to being proportional to
+ * the miss fractions, which leaves occupancies unchanged in
+ * expectation.
+ *
+ * @param occupancy Per-core C_i.
+ * @param targets Per-core T_i.
+ * @param miss_frac Per-core M_i (should sum to ~1).
+ * @param blocks_n N.
+ * @param interval_w W.
+ */
+std::vector<double>
+evictionDistribution(const std::vector<double> &occupancy,
+                     const std::vector<double> &targets,
+                     const std::vector<double> &miss_frac,
+                     std::uint64_t blocks_n, std::uint64_t interval_w);
+
+} // namespace prism
+
+#endif // PRISM_PRISM_EQ1_HH

@@ -1,0 +1,111 @@
+#include "prism/prism_scheme.hh"
+
+#include "cache/shared_cache.hh"
+#include "common/prism_assert.hh"
+#include "prism/eq1.hh"
+
+namespace prism
+{
+
+PrismScheme::PrismScheme(std::uint32_t num_cores,
+                         std::unique_ptr<PrismAllocPolicy> policy,
+                         std::uint64_t seed, const PrismParams &params)
+    : num_cores_(num_cores), policy_(std::move(policy)), rng_(seed),
+      params_(params)
+{
+    fatalIf(!policy_, "PrismScheme: null allocation policy");
+    e_.assign(num_cores_, 1.0 / num_cores_);
+    targets_.assign(num_cores_, 1.0 / num_cores_);
+    allowed_.assign(256, 0);
+    prob_stats_.resize(num_cores_);
+}
+
+std::string
+PrismScheme::name() const
+{
+    return "PriSM-" + policy_->name();
+}
+
+CoreId
+PrismScheme::sampleVictimCore()
+{
+    // Inverse-CDF walk over at most numCores entries — the paper's
+    // random-number-generator + comparator tree in hardware.
+    const double u = rng_.uniform();
+    double acc = 0.0;
+    for (CoreId c = 0; c < num_cores_; ++c) {
+        acc += e_[c];
+        if (u < acc)
+            return c;
+    }
+    // Rounding residue: return the last core with non-zero E.
+    for (CoreId c = num_cores_; c-- > 0;)
+        if (e_[c] > 0.0)
+            return c;
+    return num_cores_ - 1;
+}
+
+int
+PrismScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
+{
+    (void)core;
+    ++replacements_;
+
+    const CoreId victim_core = sampleVictimCore();
+
+    if (allowed_.size() < set.ways())
+        allowed_.resize(set.ways());
+    bool present = false;
+    for (std::size_t w = 0; w < set.ways(); ++w) {
+        const bool mine = set.blocks[w].valid &&
+                          set.blocks[w].owner == victim_core;
+        allowed_[w] = mine;
+        present |= mine;
+    }
+
+    if (present) {
+        const int way = cache.repl().victimAmong(
+            set, std::span<const char>(allowed_.data(), set.ways()));
+        if (way != invalidWay)
+            return way;
+    }
+
+    // Fallback (§3.1): first replacement candidate owned by a core
+    // with non-zero eviction probability.
+    ++victimless_;
+    cache.repl().evictionOrder(set, order_);
+    for (int way : order_) {
+        const CoreId owner =
+            set.blocks[static_cast<std::size_t>(way)].owner;
+        if (e_[owner] > 0.0)
+            return way;
+    }
+    // Every owner in this set has E == 0: take the overall candidate.
+    return order_.empty() ? invalidWay : order_.front();
+}
+
+void
+PrismScheme::onIntervalEnd(const IntervalSnapshot &snap)
+{
+    targets_ = policy_->computeTargets(snap);
+
+    std::vector<double> c(num_cores_), m(num_cores_);
+    for (CoreId i = 0; i < num_cores_; ++i) {
+        c[i] = snap.occupancyFraction(i);
+        m[i] = snap.missFraction(i);
+    }
+
+    e_ = evictionDistribution(c, targets_, m, snap.totalBlocks,
+                              snap.intervalMisses);
+
+    if (params_.probBits > 0) {
+        const FixedPointCodec codec(params_.probBits);
+        e_ = codec.quantiseDistribution(e_);
+    }
+
+    ++recomputes_;
+    for (CoreId i = 0; i < num_cores_; ++i)
+        prob_stats_[i].add(e_[i]);
+}
+
+} // namespace prism

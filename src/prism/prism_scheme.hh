@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The PriSM probabilistic cache manager (paper §3.1).
+ *
+ * Replacement under PriSM is two-step: Core-Selection draws a victim
+ * core from the eviction probability distribution E, then
+ * Victim-Identification asks the underlying replacement policy for
+ * the victim block of that core in the indexed set. When the
+ * selected core has no block in the set, the fallback walks the
+ * replacement order and takes the first candidate owned by any core
+ * with non-zero eviction probability (§3.1); such "victimless"
+ * events are counted for the Figure 13 analysis.
+ *
+ * E is recomputed each interval by a pluggable allocation policy
+ * (PriSM-H/F/Q) via Equation 1, optionally quantised to K bits
+ * (Figure 12).
+ */
+
+#ifndef PRISM_PRISM_PRISM_SCHEME_HH
+#define PRISM_PRISM_PRISM_SCHEME_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/partition_scheme.hh"
+#include "common/fixed_point.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "prism/alloc_policy.hh"
+
+namespace prism
+{
+
+/** PriSM manager configuration. */
+struct PrismParams
+{
+    /**
+     * Bits used to represent each probability; 0 keeps the exact
+     * floating-point values (the paper's baseline; 6 bits is shown to
+     * be performance-neutral).
+     */
+    unsigned probBits = 0;
+};
+
+/** The PriSM management scheme. */
+class PrismScheme : public PartitionScheme
+{
+  public:
+    PrismScheme(std::uint32_t num_cores,
+                std::unique_ptr<PrismAllocPolicy> policy,
+                std::uint64_t seed, const PrismParams &params = {});
+
+    std::string name() const override;
+
+    int chooseVictim(SharedCache &cache, CoreId core,
+                     SetView set) override;
+    void onIntervalEnd(const IntervalSnapshot &snap) override;
+
+    // --- introspection ---
+    const std::vector<double> &evictionProbs() const { return e_; }
+    const std::vector<double> &lastTargets() const { return targets_; }
+    PrismAllocPolicy &policy() { return *policy_; }
+
+    /** Replacements where the selected core had no block in the set. */
+    std::uint64_t victimlessReplacements() const { return victimless_; }
+    std::uint64_t replacements() const { return replacements_; }
+
+    double
+    victimlessFraction() const
+    {
+        return replacements_ ? static_cast<double>(victimless_) /
+                                   static_cast<double>(replacements_)
+                             : 0.0;
+    }
+
+    /** Times the distribution has been recomputed (Figure 11). */
+    std::uint64_t recomputes() const { return recomputes_; }
+
+    /** Mean/stddev tracker of core @p c's eviction probability. */
+    const RunningStat &probStat(CoreId c) const { return prob_stats_[c]; }
+
+  private:
+    /** Draw a victim core id according to E. */
+    CoreId sampleVictimCore();
+
+    std::uint32_t num_cores_;
+    std::unique_ptr<PrismAllocPolicy> policy_;
+    Rng rng_;
+    PrismParams params_;
+
+    std::vector<double> e_;       ///< eviction distribution
+    std::vector<double> targets_; ///< last computed T_i
+
+    std::vector<char> allowed_; // victim-mask scratch
+    std::vector<int> order_;    // eviction-order scratch
+
+    std::uint64_t victimless_ = 0;
+    std::uint64_t replacements_ = 0;
+    std::uint64_t recomputes_ = 0;
+    std::vector<RunningStat> prob_stats_;
+};
+
+} // namespace prism
+
+#endif // PRISM_PRISM_PRISM_SCHEME_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Machine configuration (the paper's Table 2).
+ *
+ * Core count selects the paper's LLC geometry: 4MB/16-way for 4 and 8
+ * cores, 8MB/32-way for 16 cores, 16MB/64-way for 32 cores, with
+ * 1/2/4/8 memory controllers. Timing folds the paper's 4-wide OoO
+ * cores into the CPI decomposition its own fairness policy uses:
+ * CPI = CPI_ideal + CPI_llc (see DESIGN.md, "Substitutions").
+ */
+
+#ifndef PRISM_SIM_MACHINE_CONFIG_HH
+#define PRISM_SIM_MACHINE_CONFIG_HH
+
+#include <cstdint>
+
+#include "cache/repl_policy.hh"
+#include "cache/shared_cache.hh"
+
+namespace prism
+{
+
+/** Full description of the simulated machine and run lengths. */
+struct MachineConfig
+{
+    std::uint32_t numCores = 4;
+
+    // --- shared LLC ---
+    std::uint64_t llcBytes = 4ull << 20;
+    std::uint32_t llcWays = 16;
+    std::uint32_t blockBytes = 64;
+    ReplKind repl = ReplKind::LRU;
+
+    /** Interval W in misses; 0 = the paper default (W == N blocks). */
+    std::uint64_t intervalMisses = 0;
+    std::uint32_t shadowSampling = 32;
+
+    // --- private L1 per core ---
+    std::uint64_t l1Bytes = 64ull << 10;
+    std::uint32_t l1Ways = 2;
+
+    // --- timing (cycles) ---
+    /** Charged on every L1 miss (LLC lookup; part of CPI_ideal). */
+    double llcHitCycles = 10.0;
+    /** DRAM access latency on an LLC miss (the CPI_llc source). */
+    double dramCycles = 250.0;
+    /** Controller occupancy per request (bandwidth model). */
+    double ctrlServiceCycles = 12.0;
+    /** Memory controllers; 0 = auto (max(1, cores/4)). */
+    std::uint32_t memControllers = 0;
+
+    // --- run lengths ---
+    std::uint64_t instrBudget = 2'000'000;
+    std::uint64_t warmupInstr = 500'000;
+
+    std::uint64_t seed = 0x5EED0001ULL;
+
+    /** Controllers after applying the auto rule. */
+    std::uint32_t
+    controllers() const
+    {
+        if (memControllers)
+            return memControllers;
+        return numCores >= 4 ? numCores / 4 : 1;
+    }
+
+    /** LLC configuration derived from this machine. */
+    CacheConfig
+    llcConfig() const
+    {
+        CacheConfig c;
+        c.sizeBytes = llcBytes;
+        c.ways = llcWays;
+        c.blockBytes = blockBytes;
+        c.numCores = numCores;
+        c.repl = repl;
+        c.intervalMisses = intervalMisses;
+        c.shadowSampling = shadowSampling;
+        c.seed = seed;
+        return c;
+    }
+
+    /**
+     * The paper's machine for @p cores (Table 2 plus Section 4's
+     * LLC-per-core-count rule).
+     */
+    static MachineConfig
+    forCores(std::uint32_t cores)
+    {
+        MachineConfig m;
+        m.numCores = cores;
+        if (cores <= 8) {
+            m.llcBytes = 4ull << 20;
+            m.llcWays = 16;
+        } else if (cores == 16) {
+            m.llcBytes = 8ull << 20;
+            m.llcWays = 32;
+        } else {
+            m.llcBytes = 16ull << 20;
+            m.llcWays = 64;
+        }
+        // The paper recomputes every N misses over 200–500M
+        // instructions; our scaled runs are ~100x shorter, so the
+        // evaluation machine halves W to get enough recomputations
+        // per run while keeping Equation 1's N/W correction gentle
+        // (see EXPERIMENTS.md, "Scaling").
+        m.intervalMisses = m.llcBytes / m.blockBytes / 2;
+        return m;
+    }
+};
+
+} // namespace prism
+
+#endif // PRISM_SIM_MACHINE_CONFIG_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * DRAM and memory-controller model.
+ *
+ * Each LLC miss is routed by address hash to one of the controllers;
+ * a request observes the fixed DRAM access latency plus queueing
+ * delay behind earlier requests at the same controller (each request
+ * occupies the controller for a service interval — the bandwidth
+ * model). More cores share more controllers per the paper's Table 2,
+ * so memory contention grows with core count as it does there.
+ */
+
+#ifndef PRISM_SIM_MEMORY_SYSTEM_HH
+#define PRISM_SIM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prism_assert.hh"
+#include "common/types.hh"
+
+namespace prism
+{
+
+/** Multi-controller DRAM with FCFS queueing per controller. */
+class MemorySystem
+{
+  public:
+    /**
+     * @param controllers Number of memory controllers.
+     * @param service_cycles Controller occupancy per request.
+     * @param dram_cycles Access latency of the DRAM itself.
+     */
+    MemorySystem(std::uint32_t controllers, double service_cycles,
+                 double dram_cycles)
+        : service_(service_cycles), dram_(dram_cycles)
+    {
+        fatalIf(controllers == 0, "MemorySystem: zero controllers");
+        busy_until_.assign(controllers, 0.0);
+    }
+
+    /**
+     * Issue a request at time @p now; returns its total latency in
+     * cycles (queueing + DRAM access).
+     */
+    double
+    request(Addr addr, double now)
+    {
+        const std::size_t ctl =
+            (addr * 0x9E3779B97F4A7C15ULL >> 32) % busy_until_.size();
+        const double start =
+            busy_until_[ctl] > now ? busy_until_[ctl] : now;
+        busy_until_[ctl] = start + service_;
+        ++requests_;
+        total_queue_ += start - now;
+        return (start - now) + dram_;
+    }
+
+    /**
+     * Queue a write-back at time @p now: occupies the controller for
+     * a service slot but is off the load critical path (no latency
+     * returned).
+     */
+    void
+    writeback(Addr addr, double now)
+    {
+        const std::size_t ctl =
+            (addr * 0x9E3779B97F4A7C15ULL >> 32) % busy_until_.size();
+        const double start =
+            busy_until_[ctl] > now ? busy_until_[ctl] : now;
+        busy_until_[ctl] = start + service_;
+        ++writebacks_;
+    }
+
+    std::uint64_t requests() const { return requests_; }
+
+    std::uint64_t writebacks() const { return writebacks_; }
+
+    /** Mean queueing delay per request. */
+    double
+    meanQueueCycles() const
+    {
+        return requests_ ? total_queue_ / requests_ : 0.0;
+    }
+
+  private:
+    double service_;
+    double dram_;
+    std::vector<double> busy_until_;
+    std::uint64_t requests_ = 0;
+    std::uint64_t writebacks_ = 0;
+    double total_queue_ = 0.0;
+};
+
+} // namespace prism
+
+#endif // PRISM_SIM_MEMORY_SYSTEM_HH

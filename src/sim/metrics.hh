@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Multi-program performance metrics (Eyerman & Eeckhout [3]).
+ *
+ * ANTT (lower is better) averages each program's slowdown versus its
+ * stand-alone run; fairness (higher is better, in [0,1]) is the ratio
+ * of the smallest to largest normalised progress; IPC throughput is
+ * the plain sum of IPCs (used by the Figure 1(b) study).
+ */
+
+#ifndef PRISM_SIM_METRICS_HH
+#define PRISM_SIM_METRICS_HH
+
+#include <span>
+
+#include "common/prism_assert.hh"
+
+namespace prism
+{
+
+/** Average Normalised Turnaround Time: mean of IPC_SP / IPC_MP. */
+inline double
+antt(std::span<const double> ipc_sp, std::span<const double> ipc_mp)
+{
+    panicIf(ipc_sp.size() != ipc_mp.size() || ipc_sp.empty(),
+            "antt: bad inputs");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < ipc_sp.size(); ++i) {
+        panicIf(ipc_mp[i] <= 0.0, "antt: non-positive shared IPC");
+        sum += ipc_sp[i] / ipc_mp[i];
+    }
+    return sum / static_cast<double>(ipc_sp.size());
+}
+
+/** Fairness: min over pairs of relative slowdowns == min/max. */
+inline double
+fairness(std::span<const double> ipc_sp, std::span<const double> ipc_mp)
+{
+    panicIf(ipc_sp.size() != ipc_mp.size() || ipc_sp.empty(),
+            "fairness: bad inputs");
+    double lo = 0.0, hi = 0.0;
+    for (std::size_t i = 0; i < ipc_sp.size(); ++i) {
+        panicIf(ipc_sp[i] <= 0.0, "fairness: non-positive alone IPC");
+        const double progress = ipc_mp[i] / ipc_sp[i];
+        if (i == 0 || progress < lo)
+            lo = progress;
+        if (i == 0 || progress > hi)
+            hi = progress;
+    }
+    return hi > 0.0 ? lo / hi : 0.0;
+}
+
+/** IPC throughput: sum of shared-mode IPCs. */
+inline double
+ipcThroughput(std::span<const double> ipc_mp)
+{
+    double sum = 0.0;
+    for (double v : ipc_mp)
+        sum += v;
+    return sum;
+}
+
+} // namespace prism
+
+#endif // PRISM_SIM_METRICS_HH

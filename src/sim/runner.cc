@@ -1,0 +1,187 @@
+#include "sim/runner.hh"
+
+#include "common/prism_assert.hh"
+#include "policies/pipp.hh"
+#include "policies/tadip.hh"
+#include "policies/vantage.hh"
+#include "policies/way_partition.hh"
+#include "prism/alloc_fair.hh"
+#include "prism/alloc_hitmax.hh"
+#include "prism/alloc_lookahead.hh"
+#include "prism/alloc_qos.hh"
+#include "prism/hitmax_waypart.hh"
+#include "prism/prism_scheme.hh"
+#include "sim/metrics.hh"
+
+namespace prism
+{
+
+const char *
+schemeName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::Baseline:
+        return "Baseline";
+      case SchemeKind::UCP:
+        return "UCP";
+      case SchemeKind::PIPP:
+        return "PIPP";
+      case SchemeKind::TADIP:
+        return "TA-DIP";
+      case SchemeKind::FairWP:
+        return "FairWP";
+      case SchemeKind::Vantage:
+        return "Vantage";
+      case SchemeKind::PrismH:
+        return "PriSM-H";
+      case SchemeKind::PrismF:
+        return "PriSM-F";
+      case SchemeKind::PrismQ:
+        return "PriSM-Q";
+      case SchemeKind::PrismLA:
+        return "PriSM-LA";
+      case SchemeKind::WPHitMax:
+        return "WP-HitMax";
+      case SchemeKind::StaticWP:
+        return "StaticWP";
+    }
+    return "?";
+}
+
+double
+RunResult::antt() const
+{
+    return prism::antt(ipcStandalone, ipc);
+}
+
+double
+RunResult::fairness() const
+{
+    return prism::fairness(ipcStandalone, ipc);
+}
+
+double
+RunResult::ipcThroughput() const
+{
+    return prism::ipcThroughput(ipc);
+}
+
+std::unique_ptr<PartitionScheme>
+Runner::makeScheme(SchemeKind kind, const SchemeOptions &options,
+                   double qos_target_ipc) const
+{
+    const std::uint32_t cores = config_.numCores;
+    const std::uint32_t ways = config_.llcWays;
+    const std::uint64_t seed = config_.seed ^ 0xDEC0DE5Cu;
+    const PrismParams prism_params{options.probBits};
+
+    switch (kind) {
+      case SchemeKind::Baseline:
+        return nullptr;
+      case SchemeKind::UCP:
+        return std::make_unique<UcpScheme>(cores, ways);
+      case SchemeKind::PIPP:
+        return std::make_unique<PippScheme>(cores, ways, seed);
+      case SchemeKind::TADIP:
+        return std::make_unique<TadipScheme>(cores, seed);
+      case SchemeKind::FairWP:
+        return std::make_unique<KimFairScheme>(cores, ways);
+      case SchemeKind::Vantage: {
+        VantageParams vp;
+        vp.unitsPerWay = options.vantageUnitsPerWay;
+        return std::make_unique<VantageScheme>(
+            cores, config_.llcConfig().numBlocks(), ways, vp);
+      }
+      case SchemeKind::PrismH:
+        return std::make_unique<PrismScheme>(
+            cores, std::make_unique<HitMaxPolicy>(), seed, prism_params);
+      case SchemeKind::PrismF:
+        return std::make_unique<PrismScheme>(
+            cores, std::make_unique<FairPolicy>(), seed, prism_params);
+      case SchemeKind::PrismQ:
+        return std::make_unique<PrismScheme>(
+            cores, std::make_unique<QosPolicy>(qos_target_ipc), seed,
+            prism_params);
+      case SchemeKind::PrismLA:
+        return std::make_unique<PrismScheme>(
+            cores,
+            std::make_unique<LookaheadPolicy>(
+                options.vantageUnitsPerWay),
+            seed, prism_params);
+      case SchemeKind::WPHitMax:
+        return std::make_unique<HitMaxWayScheme>(cores, ways);
+      case SchemeKind::StaticWP:
+        return std::make_unique<StaticWayScheme>(cores, ways);
+    }
+    panic("Runner::makeScheme: unknown scheme");
+}
+
+double
+Runner::standaloneIpc(const std::string &benchmark)
+{
+    auto it = standalone_cache_.find(benchmark);
+    if (it != standalone_cache_.end())
+        return it->second;
+
+    // Same machine, one core, whole LLC, unmanaged replacement.
+    MachineConfig solo = config_;
+    solo.numCores = 1;
+    // Keep the memory system of the shared machine so the stand-alone
+    // run sees identical DRAM latency (just no contention).
+
+    Workload w;
+    w.name = "solo:" + benchmark;
+    w.benchmarks = {benchmark};
+
+    System system(solo, w, nullptr);
+    const SystemResult res = system.run();
+    const double ipc = res.cores[0].ipc();
+    standalone_cache_.emplace(benchmark, ipc);
+    return ipc;
+}
+
+RunResult
+Runner::run(const Workload &workload, SchemeKind kind,
+            const SchemeOptions &options)
+{
+    fatalIf(workload.benchmarks.size() != config_.numCores,
+            "Runner::run: workload does not match machine core count");
+
+    RunResult out;
+    out.workload = workload.name;
+    out.scheme = schemeName(kind);
+    out.benchmarks = workload.benchmarks;
+
+    for (const auto &bench : workload.benchmarks)
+        out.ipcStandalone.push_back(standaloneIpc(bench));
+
+    // PriSM-Q pins its IPC floor to core 0's stand-alone IPC.
+    const double qos_target =
+        options.qosTargetFrac * out.ipcStandalone[0];
+
+    auto scheme = makeScheme(kind, options, qos_target);
+    System system(config_, workload, scheme.get());
+    const SystemResult res = system.run();
+    if (options.statsSink)
+        system.dumpStats(*options.statsSink);
+
+    out.intervals = res.intervals;
+    for (CoreId c = 0; c < config_.numCores; ++c) {
+        out.ipc.push_back(res.cores[c].ipc());
+        out.llcMisses.push_back(res.cores[c].llcMisses);
+        out.llcHits.push_back(res.cores[c].llcHits);
+        out.occupancyAtFinish.push_back(res.cores[c].occupancyAtFinish);
+    }
+
+    if (auto *prism = dynamic_cast<PrismScheme *>(scheme.get())) {
+        out.victimlessFraction = prism->victimlessFraction();
+        out.recomputes = prism->recomputes();
+        for (CoreId c = 0; c < config_.numCores; ++c) {
+            out.evProbMean.push_back(prism->probStat(c).mean());
+            out.evProbStddev.push_back(prism->probStat(c).stddev());
+        }
+    }
+    return out;
+}
+
+} // namespace prism

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Experiment runner: named schemes, stand-alone IPC caching and
+ * workload execution.
+ *
+ * Every figure harness funnels through this module: it instantiates
+ * the requested management scheme, runs the workload on the machine,
+ * runs (and memoises) the stand-alone reference simulations needed
+ * for ANTT/fairness/QoS, and packages the per-core results together
+ * with scheme-internal statistics (eviction-probability traces,
+ * victimless-replacement fractions).
+ */
+
+#ifndef PRISM_SIM_RUNNER_HH
+#define PRISM_SIM_RUNNER_HH
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/machine_config.hh"
+#include "sim/system.hh"
+#include "workload/suites.hh"
+
+namespace prism
+{
+
+/** Selector for the built-in management schemes. */
+enum class SchemeKind
+{
+    Baseline,  ///< unmanaged cache under the configured replacement
+    UCP,       ///< way-partitioning + lookahead [14]
+    PIPP,      ///< promotion/insertion pseudo-partitioning [20]
+    TADIP,     ///< thread-aware DIP [7]
+    FairWP,    ///< fair way-partitioning [9]
+    Vantage,   ///< Vantage on set-associative cache [17]
+    PrismH,    ///< PriSM hit-maximisation
+    PrismF,    ///< PriSM fairness
+    PrismQ,    ///< PriSM QoS for core 0
+    PrismLA,   ///< PriSM driven by extended-UCP lookahead (Fig. 7)
+    WPHitMax,  ///< Algorithm 1 rounded to ways (Figure 5 comparator)
+    StaticWP,  ///< fixed even way split (Figure 6's trivial scheme)
+};
+
+const char *schemeName(SchemeKind kind);
+
+/** Extra knobs some schemes take. */
+struct SchemeOptions
+{
+    /** K-bit quantisation of PriSM probabilities (0 = float). */
+    unsigned probBits = 0;
+
+    /** PriSM-Q: IPC floor as a fraction of stand-alone IPC. */
+    double qosTargetFrac = 0.8;
+
+    /** Vantage/extended-UCP lookahead granularity. */
+    std::uint32_t vantageUnitsPerWay = 4;
+
+    /** If non-null, System::dumpStats() is written here post-run. */
+    std::ostream *statsSink = nullptr;
+};
+
+/** Full outcome of one workload run under one scheme. */
+struct RunResult
+{
+    std::string workload;
+    std::string scheme;
+
+    std::vector<std::string> benchmarks;
+    std::vector<double> ipc;           ///< shared-mode (MP) IPC
+    std::vector<double> ipcStandalone; ///< stand-alone (SP) IPC
+    std::vector<std::uint64_t> llcMisses;
+    std::vector<std::uint64_t> llcHits;
+    std::vector<double> occupancyAtFinish;
+
+    std::uint64_t intervals = 0;
+
+    // --- PriSM-internal statistics (zero for other schemes) ---
+    double victimlessFraction = 0.0;
+    std::vector<double> evProbMean;
+    std::vector<double> evProbStddev;
+    std::uint64_t recomputes = 0;
+
+    double antt() const;
+    double fairness() const;
+    double ipcThroughput() const;
+};
+
+/** Runs workloads and memoises stand-alone reference IPCs. */
+class Runner
+{
+  public:
+    explicit Runner(const MachineConfig &config) : config_(config) {}
+
+    const MachineConfig &config() const { return config_; }
+
+    /** Run @p workload under @p kind. */
+    RunResult run(const Workload &workload, SchemeKind kind,
+                  const SchemeOptions &options = {});
+
+    /**
+     * Stand-alone IPC of @p benchmark on this machine (whole LLC,
+     * unmanaged); memoised across calls.
+     */
+    double standaloneIpc(const std::string &benchmark);
+
+  private:
+    std::unique_ptr<PartitionScheme>
+    makeScheme(SchemeKind kind, const SchemeOptions &options,
+               double qos_target_ipc) const;
+
+    MachineConfig config_;
+    std::map<std::string, double> standalone_cache_;
+};
+
+} // namespace prism
+
+#endif // PRISM_SIM_RUNNER_HH

@@ -1,0 +1,238 @@
+#include "sim/system.hh"
+
+#include <ostream>
+
+#include "common/prism_assert.hh"
+#include "workload/trace_generator.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+/**
+ * Timing profile used for "trace:<path>" workload entries: the trace
+ * supplies the addresses, this supplies generic 4-wide-OoO timing.
+ */
+const BenchmarkProfile traceProfile{
+    "trace", BenchCategory::Intensive, StackDistParams{}, 1.0, 0.15,
+    2.0, 0.3};
+
+} // namespace
+
+System::System(const MachineConfig &config, const Workload &workload,
+               PartitionScheme *scheme)
+    : config_(config), llc_(config.llcConfig()),
+      mem_(config.controllers(), config.ctrlServiceCycles,
+           config.dramCycles),
+      scheme_(scheme)
+{
+    fatalIf(workload.benchmarks.size() != config_.numCores,
+            "System: workload size != core count");
+
+    llc_.setScheme(scheme_);
+    llc_.setTimingHook(
+        [this](IntervalSnapshot &snap) { fillTiming(snap); });
+
+    const auto &lib = ProfileLibrary::instance();
+    cores_.reserve(config_.numCores);
+    for (CoreId c = 0; c < config_.numCores; ++c) {
+        const std::string &bench = workload.benchmarks[c];
+        const BenchmarkProfile *profile;
+        std::unique_ptr<AccessGenerator> gen;
+        if (bench.rfind("trace:", 0) == 0) {
+            // Replay a block-address trace file on this core with
+            // the generic timing profile.
+            profile = &traceProfile;
+            gen = std::make_unique<TraceFileGenerator>(
+                bench.substr(6), c);
+        } else {
+            profile = &lib.get(bench);
+            gen = ProfileLibrary::makeGenerator(
+                *profile, c,
+                config_.seed * 0x9E3779B97F4A7C15ULL + c * 7919 + 1);
+        }
+        Core core{
+            profile,
+            std::move(gen),
+            L1Cache(config_.l1Bytes, config_.l1Ways,
+                    config_.blockBytes),
+            Rng(config_.seed * 31 + c * 17 + 5),
+        };
+        cores_.push_back(std::move(core));
+    }
+}
+
+void
+System::step(CoreId id)
+{
+    Core &c = cores_[id];
+
+    // Instructions until (and including) the next memory access.
+    c.instr_carry += 1.0 / c.profile->memRatio;
+    std::uint64_t k = static_cast<std::uint64_t>(c.instr_carry);
+    c.instr_carry -= static_cast<double>(k);
+    if (k == 0)
+        k = 1;
+    c.instructions += k;
+    c.cycle += static_cast<double>(k) * c.profile->cpiIdeal;
+
+    const Addr addr = c.gen->next();
+    const bool is_store = c.store_rng.chance(c.profile->storeFrac);
+    if (c.l1.access(addr))
+        return;
+
+    // L1 miss: LLC lookup (part of CPI_ideal — it happens whether or
+    // not the LLC hits, and does not depend on the partitioning).
+    c.cycle += config_.llcHitCycles;
+    const AccessResult res = llc_.access(id, addr, is_store);
+    if (res.writeback)
+        mem_.writeback(addr ^ 0x5A5A5A5Aull, c.cycle);
+    if (res.hit) {
+        ++c.llc_hits;
+        return;
+    }
+
+    ++c.llc_misses;
+    // The stall an OoO core observes is the memory latency divided by
+    // the program's memory-level parallelism.
+    const double lat =
+        mem_.request(addr, c.cycle) / c.profile->mlp;
+    c.cycle += lat;
+    c.llc_stall += lat;
+}
+
+void
+System::resetStats()
+{
+    for (Core &c : cores_) {
+        c.instructions = 0;
+        c.llc_stall = 0.0;
+        c.llc_hits = 0;
+        c.llc_misses = 0;
+        c.prev_instr = 0;
+        c.prev_cycle = c.cycle;
+        c.prev_stall = 0.0;
+        c.finished = false;
+    }
+}
+
+void
+System::fillTiming(IntervalSnapshot &snap)
+{
+    for (CoreId i = 0; i < config_.numCores; ++i) {
+        Core &c = cores_[i];
+        auto &cs = snap.cores[i];
+        cs.instructions = c.instructions - c.prev_instr;
+        cs.cycles = static_cast<std::uint64_t>(c.cycle - c.prev_cycle);
+        cs.llcStallCycles =
+            static_cast<std::uint64_t>(c.llc_stall - c.prev_stall);
+        c.prev_instr = c.instructions;
+        c.prev_cycle = c.cycle;
+        c.prev_stall = c.llc_stall;
+    }
+}
+
+SystemResult
+System::run()
+{
+    // --- warm-up: fill the cache and let policies converge ---
+    // All cores keep running (in global time order, like the measured
+    // phase) until the slowest one crosses the warm-up budget, so the
+    // per-core clocks stay aligned at the measurement boundary.
+    if (config_.warmupInstr > 0) {
+        std::uint32_t warm = 0;
+        std::vector<char> done(config_.numCores, 0);
+        while (warm < config_.numCores) {
+            CoreId next = 0;
+            double best = -1.0;
+            for (CoreId i = 0; i < config_.numCores; ++i) {
+                if (best < 0.0 || cores_[i].cycle < best) {
+                    best = cores_[i].cycle;
+                    next = i;
+                }
+            }
+            step(next);
+            if (!done[next] &&
+                cores_[next].instructions >= config_.warmupInstr) {
+                done[next] = 1;
+                ++warm;
+            }
+        }
+    }
+
+    // --- measured phase ---
+    resetStats();
+    std::vector<double> measure_start(config_.numCores);
+    for (CoreId i = 0; i < config_.numCores; ++i)
+        measure_start[i] = cores_[i].cycle;
+
+    // Cores that exhaust their budget keep running (generating cache
+    // pressure, as in the paper's methodology) until every core has
+    // finished; their statistics are frozen at the crossing point.
+    SystemResult result;
+    result.cores.resize(config_.numCores);
+
+    std::uint32_t finished = 0;
+    while (finished < config_.numCores) {
+        CoreId next = 0;
+        double best = -1.0;
+        for (CoreId i = 0; i < config_.numCores; ++i) {
+            if (best < 0.0 || cores_[i].cycle < best) {
+                best = cores_[i].cycle;
+                next = i;
+            }
+        }
+        step(next);
+        Core &c = cores_[next];
+        if (!c.finished && c.instructions >= config_.instrBudget) {
+            c.finished = true;
+            ++finished;
+            auto &r = result.cores[next];
+            r.instructions = c.instructions;
+            r.cycles = c.cycle - measure_start[next];
+            r.llcStallCycles = c.llc_stall;
+            r.llcHits = c.llc_hits;
+            r.llcMisses = c.llc_misses;
+            r.occupancyAtFinish = llc_.occupancyFraction(next);
+        }
+    }
+
+    result.intervals = llc_.intervals();
+    return result;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    os << "system.cores " << config_.numCores << "\n"
+       << "system.llc.size_bytes " << config_.llcBytes << "\n"
+       << "system.llc.ways " << config_.llcWays << "\n"
+       << "system.llc.interval_w " << llc_.intervalLength() << "\n"
+       << "system.llc.intervals " << llc_.intervals() << "\n"
+       << "system.llc.total_misses " << llc_.totalMisses() << "\n"
+       << "system.llc.writebacks " << llc_.writebacks() << "\n"
+       << "system.mem.controllers " << config_.controllers() << "\n"
+       << "system.mem.read_requests " << mem_.requests() << "\n"
+       << "system.mem.writebacks " << mem_.writebacks() << "\n"
+       << "system.mem.mean_queue_cycles " << mem_.meanQueueCycles()
+       << "\n";
+    for (CoreId c = 0; c < config_.numCores; ++c) {
+        const Core &core = cores_[c];
+        const std::string p = "core" + std::to_string(c) + ".";
+        os << p << "benchmark " << core.profile->name << "\n"
+           << p << "instructions " << core.instructions << "\n"
+           << p << "cycles " << static_cast<std::uint64_t>(core.cycle)
+           << "\n"
+           << p << "llc_hits " << core.llc_hits << "\n"
+           << p << "llc_misses " << core.llc_misses << "\n"
+           << p << "llc_stall_cycles "
+           << static_cast<std::uint64_t>(core.llc_stall) << "\n"
+           << p << "l1_hits " << core.l1.hits() << "\n"
+           << p << "l1_misses " << core.l1.misses() << "\n"
+           << p << "occupancy_blocks " << llc_.occupancy(c) << "\n";
+    }
+}
+
+} // namespace prism

@@ -1,0 +1,134 @@
+#include "workload/order_stat_list.hh"
+
+namespace prism
+{
+
+OrderStatList::OrderStatList(std::uint64_t seed)
+    : prio_rng_(seed)
+{
+    // Node 0 is the nil sentinel with count 0 so countOf(nil) == 0.
+    nodes_.push_back(Node{0, 0, nil, nil, 0});
+}
+
+OrderStatList::NodeIdx
+OrderStatList::allocNode(Addr value)
+{
+    NodeIdx n;
+    if (!free_.empty()) {
+        n = free_.back();
+        free_.pop_back();
+    } else {
+        nodes_.push_back(Node{});
+        n = static_cast<NodeIdx>(nodes_.size() - 1);
+    }
+    nodes_[n] = Node{value, prio_rng_.next(), nil, nil, 1};
+    return n;
+}
+
+void
+OrderStatList::freeNode(NodeIdx n)
+{
+    free_.push_back(n);
+}
+
+void
+OrderStatList::pull(NodeIdx n)
+{
+    nodes_[n].count =
+        1 + countOf(nodes_[n].left) + countOf(nodes_[n].right);
+}
+
+void
+OrderStatList::split(NodeIdx t, std::uint32_t k, NodeIdx &lo, NodeIdx &hi)
+{
+    if (t == nil) {
+        lo = hi = nil;
+        return;
+    }
+    const std::uint32_t left_count = countOf(nodes_[t].left);
+    if (k <= left_count) {
+        split(nodes_[t].left, k, lo, nodes_[t].left);
+        hi = t;
+    } else {
+        split(nodes_[t].right, k - left_count - 1, nodes_[t].right, hi);
+        lo = t;
+    }
+    pull(t);
+}
+
+OrderStatList::NodeIdx
+OrderStatList::merge(NodeIdx a, NodeIdx b)
+{
+    if (a == nil)
+        return b;
+    if (b == nil)
+        return a;
+    if (nodes_[a].prio > nodes_[b].prio) {
+        nodes_[a].right = merge(nodes_[a].right, b);
+        pull(a);
+        return a;
+    }
+    nodes_[b].left = merge(a, nodes_[b].left);
+    pull(b);
+    return b;
+}
+
+void
+OrderStatList::pushFront(Addr value)
+{
+    root_ = merge(allocNode(value), root_);
+}
+
+Addr
+OrderStatList::selectToFront(std::size_t rank)
+{
+    panicIf(rank >= size(), "OrderStatList::selectToFront: rank oob");
+    NodeIdx lo, mid, hi;
+    split(root_, static_cast<std::uint32_t>(rank), lo, hi);
+    split(hi, 1, mid, hi);
+    const Addr value = nodes_[mid].value;
+    // mid is a single node; re-link it as the new front.
+    root_ = merge(mid, merge(lo, hi));
+    return value;
+}
+
+Addr
+OrderStatList::peek(std::size_t rank) const
+{
+    panicIf(rank >= size(), "OrderStatList::peek: rank oob");
+    NodeIdx t = root_;
+    std::uint32_t k = static_cast<std::uint32_t>(rank);
+    while (true) {
+        const std::uint32_t left_count = countOf(nodes_[t].left);
+        if (k < left_count) {
+            t = nodes_[t].left;
+        } else if (k == left_count) {
+            return nodes_[t].value;
+        } else {
+            k -= left_count + 1;
+            t = nodes_[t].right;
+        }
+    }
+}
+
+Addr
+OrderStatList::popBack()
+{
+    panicIf(empty(), "OrderStatList::popBack: empty");
+    NodeIdx lo, last;
+    split(root_, static_cast<std::uint32_t>(size()) - 1, lo, last);
+    const Addr value = nodes_[last].value;
+    freeNode(last);
+    root_ = lo;
+    return value;
+}
+
+void
+OrderStatList::clear()
+{
+    nodes_.resize(1);
+    free_.clear();
+    root_ = nil;
+}
+
+} // namespace prism

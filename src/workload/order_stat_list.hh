@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Order-statistic move-to-front list.
+ *
+ * The synthetic workload generator models a program's temporal
+ * locality by drawing LRU *stack distances*: an access at distance d
+ * touches the d-th most recently used block. Supporting that
+ * efficiently needs a sequence with two operations, both O(log n):
+ *
+ *   - selectToFront(d): remove the element at rank d and re-insert it
+ *     at the front, returning its value;
+ *   - pushFront(v): insert a brand-new element at rank 0.
+ *
+ * This is implemented as an implicit treap (randomised balanced BST
+ * keyed by subtree size) over a contiguous node pool.
+ */
+
+#ifndef PRISM_WORKLOAD_ORDER_STAT_LIST_HH
+#define PRISM_WORKLOAD_ORDER_STAT_LIST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prism_assert.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace prism
+{
+
+/** Implicit treap acting as an O(log n) move-to-front list of Addr. */
+class OrderStatList
+{
+  public:
+    /** @param seed Seed for the treap priorities (structure only). */
+    explicit OrderStatList(std::uint64_t seed = 1);
+
+    /** Number of elements currently in the list. */
+    std::size_t size() const { return nodes_.size() - free_.size() - 1; }
+
+    bool empty() const { return size() == 0; }
+
+    /** Insert @p value at the front (rank 0). */
+    void pushFront(Addr value);
+
+    /**
+     * Remove the element at @p rank and re-insert it at the front.
+     *
+     * @param rank Zero-based rank; must be < size().
+     * @return The value of the moved element.
+     */
+    Addr selectToFront(std::size_t rank);
+
+    /** Read the element at @p rank without modifying the list. */
+    Addr peek(std::size_t rank) const;
+
+    /** Remove the element at the back (largest rank); list not empty. */
+    Addr popBack();
+
+    /** Remove all elements. */
+    void clear();
+
+  private:
+    using NodeIdx = std::uint32_t;
+    static constexpr NodeIdx nil = 0;
+
+    struct Node
+    {
+        Addr value;
+        std::uint64_t prio;
+        NodeIdx left;
+        NodeIdx right;
+        std::uint32_t count; // subtree size, including self
+    };
+
+    NodeIdx allocNode(Addr value);
+    void freeNode(NodeIdx n);
+
+    std::uint32_t countOf(NodeIdx n) const { return nodes_[n].count; }
+    void pull(NodeIdx n);
+
+    /** Split t into [0, k) -> lo and [k, …) -> hi. */
+    void split(NodeIdx t, std::uint32_t k, NodeIdx &lo, NodeIdx &hi);
+    NodeIdx merge(NodeIdx a, NodeIdx b);
+
+    std::vector<Node> nodes_; // element 0 is the nil sentinel
+    std::vector<NodeIdx> free_;
+    NodeIdx root_ = nil;
+    Rng prio_rng_;
+};
+
+} // namespace prism
+
+#endif // PRISM_WORKLOAD_ORDER_STAT_LIST_HH

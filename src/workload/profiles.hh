@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SPEC-like synthetic benchmark profiles.
+ *
+ * The paper evaluates on SPEC CPU2000/2006 multi-programmed mixes.
+ * Those traces are not distributable, so each benchmark named in the
+ * paper is modelled as a StackDistGenerator parameterisation whose
+ * miss-ratio-curve *shape* and memory intensity match the benchmark's
+ * published characterisation (cache-friendly / streaming /
+ * memory-intensive / cache-insensitive). The partitioning schemes
+ * under study differentiate exactly on those properties. See
+ * DESIGN.md, "Substitutions".
+ */
+
+#ifndef PRISM_WORKLOAD_PROFILES_HH
+#define PRISM_WORKLOAD_PROFILES_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/generator.hh"
+#include "workload/stack_dist_generator.hh"
+
+namespace prism
+{
+
+/** Coarse classification used when composing workload mixes. */
+enum class BenchCategory
+{
+    Friendly,    ///< steep utility curve; gains a lot from cache space
+    Streaming,   ///< near-zero reuse; pollutes an unmanaged cache
+    Intensive,   ///< high miss traffic, working set larger than LLC
+    Insensitive, ///< working set fits easily; little LLC sensitivity
+};
+
+/** Full description of one synthetic benchmark. */
+struct BenchmarkProfile
+{
+    std::string name;      ///< SPEC-style name, e.g. "179.art"
+    BenchCategory category;
+
+    // --- locality (drives the miss-ratio curve) ---
+    StackDistParams locality;
+
+    // --- timing ---
+    /** CPI when every memory access hits in the LLC or closer. */
+    double cpiIdeal;
+
+    /**
+     * Block-granular L1 accesses per instruction. This folds true
+     * load/store density together with spatial locality (multiple
+     * word accesses to one resident block count once), so streaming
+     * programs have modest values despite high load rates.
+     */
+    double memRatio;
+
+    /**
+     * Memory-level parallelism: concurrent outstanding misses an OoO
+     * core sustains for this program. LLC miss stalls are divided by
+     * this factor; pointer-chasing codes sit near 1, streaming codes
+     * overlap many misses.
+     */
+    double mlp;
+
+    /**
+     * Fraction of memory accesses that are stores. Stores dirty
+     * blocks; dirty evictions generate DRAM write-back traffic that
+     * occupies controller bandwidth.
+     */
+    double storeFrac = 0.3;
+};
+
+/** Registry of all built-in benchmark profiles. */
+class ProfileLibrary
+{
+  public:
+    /** The singleton library with the built-in profiles. */
+    static const ProfileLibrary &instance();
+
+    /** Look up a profile by name; fatal() if unknown. */
+    const BenchmarkProfile &get(const std::string &name) const;
+
+    /** All profile names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /** Names of all profiles in @p category. */
+    std::vector<std::string> namesIn(BenchCategory category) const;
+
+    /**
+     * Instantiate the access generator for @p profile.
+     *
+     * @param stream_id Address-space tag (core index in the mix).
+     * @param seed Per-instance RNG seed.
+     */
+    static std::unique_ptr<AccessGenerator>
+    makeGenerator(const BenchmarkProfile &profile, std::uint32_t stream_id,
+                  std::uint64_t seed);
+
+  private:
+    ProfileLibrary();
+
+    void add(BenchmarkProfile profile);
+
+    std::vector<BenchmarkProfile> profiles_;
+};
+
+} // namespace prism
+
+#endif // PRISM_WORKLOAD_PROFILES_HH

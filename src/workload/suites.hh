@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Multi-programmed workload suites.
+ *
+ * The paper evaluates 71 workloads: 21 quad-core (Q1–Q21), 16
+ * eight-core (E1–E16), 20 sixteen-core (S1–S20) and 14 thirty-two
+ * core (T1–T14) mixes. The exact compositions live in an
+ * unavailable tech report, so this module rebuilds same-sized suites:
+ * mixes the paper's text names explicitly (Q1, Q4–Q8, Q14, Q19, Q20)
+ * are pinned to those compositions, the remainder are deterministic
+ * seeded draws that keep every mix contentious (at least one
+ * cache-friendly and one streaming/intensive program).
+ */
+
+#ifndef PRISM_WORKLOAD_SUITES_HH
+#define PRISM_WORKLOAD_SUITES_HH
+
+#include <string>
+#include <vector>
+
+namespace prism
+{
+
+/** One multi-programmed mix: benchmark i runs on core i. */
+struct Workload
+{
+    std::string name;                    ///< e.g. "Q7"
+    std::vector<std::string> benchmarks; ///< profile names, one per core
+};
+
+/** Named access to the four suites used throughout the evaluation. */
+namespace suites
+{
+
+/** The 21 quad-core mixes Q1–Q21. */
+std::vector<Workload> quadCore();
+
+/** The 16 eight-core mixes E1–E16. */
+std::vector<Workload> eightCore();
+
+/** The 20 sixteen-core mixes S1–S20. */
+std::vector<Workload> sixteenCore();
+
+/** The 14 thirty-two-core mixes T1–T14. */
+std::vector<Workload> thirtyTwoCore();
+
+/** Suite for @p cores in {4, 8, 16, 32}; fatal() otherwise. */
+std::vector<Workload> forCoreCount(unsigned cores);
+
+} // namespace suites
+
+} // namespace prism
+
+#endif // PRISM_WORKLOAD_SUITES_HH

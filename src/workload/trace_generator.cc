@@ -1,0 +1,60 @@
+#include "workload/trace_generator.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/prism_assert.hh"
+
+namespace prism
+{
+
+TraceFileGenerator::TraceFileGenerator(const std::string &path,
+                                       std::uint32_t stream_id)
+    : stream_id_(stream_id)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "TraceFileGenerator: cannot open '" + path + "'");
+
+    std::string line;
+    while (std::getline(in, line)) {
+        // Strip comments and whitespace-only lines.
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string token;
+        if (!(ls >> token))
+            continue;
+        try {
+            blocks_.push_back(std::stoull(token, nullptr, 0));
+        } catch (const std::exception &) {
+            fatal("TraceFileGenerator: bad address '" + token +
+                  "' in " + path);
+        }
+    }
+    fatalIf(blocks_.empty(),
+            "TraceFileGenerator: no addresses in '" + path + "'");
+}
+
+TraceFileGenerator::TraceFileGenerator(std::vector<Addr> blocks,
+                                       std::uint32_t stream_id)
+    : blocks_(std::move(blocks)), stream_id_(stream_id)
+{
+    fatalIf(blocks_.empty(), "TraceFileGenerator: empty trace");
+}
+
+Addr
+TraceFileGenerator::next()
+{
+    const Addr block = blocks_[pos_];
+    if (++pos_ == blocks_.size()) {
+        pos_ = 0;
+        ++loops_;
+    }
+    // Tag with the stream id; keep the low 40 bits of the address so
+    // set mapping follows the trace.
+    return (static_cast<Addr>(stream_id_) << 40) |
+           (block & 0xFFFFFFFFFFULL);
+}
+
+} // namespace prism

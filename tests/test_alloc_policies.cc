@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the PriSM allocation policies (Algorithms 1-3 and the
+ * extended-UCP lookahead policy).
+ */
+
+#include <gtest/gtest.h>
+
+#include "prism/alloc_fair.hh"
+#include "prism/alloc_hitmax.hh"
+#include "prism/alloc_lookahead.hh"
+#include "prism/alloc_qos.hh"
+
+using namespace prism;
+
+namespace
+{
+
+/** Snapshot with symmetric cores occupying the cache evenly. */
+IntervalSnapshot
+baseSnap(std::uint32_t cores)
+{
+    IntervalSnapshot snap;
+    snap.totalBlocks = 4096;
+    snap.ways = 16;
+    snap.intervalMisses = 2048;
+    snap.cores.resize(cores);
+    for (auto &c : snap.cores) {
+        c.occupancyBlocks = 4096 / cores;
+        c.sharedHits = 1000;
+        c.sharedMisses = 2048 / cores;
+        c.shadowHitsAtPosition.assign(16, 1000.0 / 16);
+        c.shadowMisses = 100;
+        c.instructions = 100000;
+        c.cycles = 200000;
+        c.llcStallCycles = 50000;
+    }
+    return snap;
+}
+
+double
+sum(const std::vector<double> &v)
+{
+    double s = 0;
+    for (double x : v)
+        s += x;
+    return s;
+}
+
+} // namespace
+
+TEST(HitMax, SymmetricCoresGetEqualTargets)
+{
+    HitMaxPolicy p;
+    auto snap = baseSnap(4);
+    const auto t = p.computeTargets(snap);
+    EXPECT_NEAR(sum(t), 1.0, 1e-9);
+    for (double v : t)
+        EXPECT_NEAR(v, 0.25, 1e-9);
+}
+
+TEST(HitMax, GainerReceivesMoreSpace)
+{
+    HitMaxPolicy p;
+    auto snap = baseSnap(4);
+    // Core 0 would hit 3000 stand-alone but only 1000 shared.
+    snap.cores[0].shadowHitsAtPosition.assign(16, 3000.0 / 16);
+    const auto t = p.computeTargets(snap);
+    EXPECT_GT(t[0], 0.25);
+    for (int c = 1; c < 4; ++c)
+        EXPECT_LT(t[c], 0.25);
+    EXPECT_NEAR(sum(t), 1.0, 1e-9);
+}
+
+TEST(HitMax, ZeroOccupancyCoreCanGrow)
+{
+    HitMaxPolicy p;
+    auto snap = baseSnap(2);
+    snap.cores[0].occupancyBlocks = 0;
+    snap.cores[0].shadowHitsAtPosition.assign(16, 5000.0 / 16);
+    const auto t = p.computeTargets(snap);
+    EXPECT_GT(t[0], 0.0);
+}
+
+TEST(HitMax, SubsetRespectsbudget)
+{
+    auto snap = baseSnap(4);
+    const auto t =
+        HitMaxPolicy::computeTargetsSubset(snap, 1, 4, 0.6);
+    EXPECT_DOUBLE_EQ(t[0], 0.0);
+    EXPECT_NEAR(t[1] + t[2] + t[3], 0.6, 1e-9);
+}
+
+TEST(HitMax, ArithmeticOpsMatchPaper)
+{
+    HitMaxPolicy p;
+    EXPECT_EQ(p.arithmeticOps(4), 20u);
+    EXPECT_EQ(p.arithmeticOps(32), 160u);
+}
+
+TEST(Fair, EqualSlowdownsKeepEvenSplit)
+{
+    FairPolicy p;
+    auto snap = baseSnap(4);
+    const auto t = p.computeTargets(snap);
+    for (double v : t)
+        EXPECT_NEAR(v, 0.25, 1e-6);
+}
+
+TEST(Fair, SlowedCoreGetsMoreSpace)
+{
+    FairPolicy p;
+    auto snap = baseSnap(2);
+    // Core 0 stalls heavily on the LLC and its misses are 4x its
+    // stand-alone estimate -> large slowdown.
+    snap.cores[0].llcStallCycles = 150000;
+    snap.cores[0].sharedMisses = 400;
+    snap.cores[0].shadowMisses = 100;
+    snap.cores[1].sharedMisses = 100;
+    snap.cores[1].shadowMisses = 100;
+    const auto t = p.computeTargets(snap);
+    EXPECT_GT(t[0], t[1]);
+}
+
+TEST(Fair, SlowdownEstimateFormula)
+{
+    auto snap = baseSnap(1);
+    auto &c = snap.cores[0];
+    c.instructions = 100000;
+    c.cycles = 300000;       // CPI_shared = 3.0
+    c.llcStallCycles = 200000; // CPI_llc = 2.0, CPI_ideal = 1.0
+    c.sharedMisses = 1000;
+    c.shadowMisses = 250;    // stand-alone misses 4x lower
+    // CPI_llc_alone = 2.0 * 0.25 = 0.5; CPI_alone = 1.5.
+    EXPECT_NEAR(FairPolicy::estimatedSlowdown(snap, 0), 2.0, 1e-9);
+}
+
+TEST(Fair, FallbackWithoutTiming)
+{
+    auto snap = baseSnap(1);
+    auto &c = snap.cores[0];
+    c.instructions = 0;
+    c.cycles = 0;
+    c.sharedMisses = 300;
+    c.shadowMisses = 100;
+    EXPECT_NEAR(FairPolicy::estimatedSlowdown(snap, 0), 3.0, 1e-9);
+}
+
+TEST(Qos, GrowsWhenBelowTarget)
+{
+    QosPolicy p(0.9); // core 0 must reach IPC 0.9
+    auto snap = baseSnap(4); // actual IPC = 0.5
+    const auto t = p.computeTargets(snap);
+    EXPECT_NEAR(t[0], 0.25 * 1.1, 1e-9);
+    EXPECT_NEAR(sum(t), 1.0, 1e-9);
+}
+
+TEST(Qos, ShrinksWhenAboveTarget)
+{
+    QosParams params;
+    params.beta = 0.1;
+    QosPolicy p(0.3, params); // actual IPC 0.5 exceeds the target
+    auto snap = baseSnap(4);
+    const auto t = p.computeTargets(snap);
+    EXPECT_NEAR(t[0], 0.25 * 0.9, 1e-9);
+}
+
+TEST(Qos, DeadBandHoldsAllocation)
+{
+    QosPolicy p(0.5); // actual IPC exactly 0.5: inside the dead band
+    auto snap = baseSnap(4);
+    const auto t = p.computeTargets(snap);
+    EXPECT_NEAR(t[0], 0.25, 1e-9);
+}
+
+TEST(Qos, SmoothedIpcFiltersSpikes)
+{
+    // One noisy fast interval must not trigger a shrink by itself.
+    QosPolicy p(0.5);
+    auto snap = baseSnap(4); // IPC 0.5: in band, seeds the EWMA
+    p.computeTargets(snap);
+    auto spike = snap;
+    spike.cores[0].cycles = 100000; // IPC 1.0 for one interval
+    const auto t = p.computeTargets(spike);
+    // EWMA = 0.75 > 0.5*1.03 -> shrink is allowed, but by beta only.
+    EXPECT_GE(t[0], 0.25 * (1.0 - 0.1) - 1e-9);
+}
+
+TEST(Qos, RemainingCoresHitMaximised)
+{
+    QosPolicy p(0.9);
+    auto snap = baseSnap(4);
+    snap.cores[2].shadowHitsAtPosition.assign(16, 4000.0 / 16);
+    const auto t = p.computeTargets(snap);
+    EXPECT_GT(t[2], t[1]);
+    EXPECT_GT(t[2], t[3]);
+}
+
+TEST(Qos, TargetClamped)
+{
+    QosParams params;
+    params.maxFrac = 0.5;
+    QosPolicy p(10.0, params); // unreachable target
+    auto snap = baseSnap(2);
+    snap.cores[0].occupancyBlocks = 4096 * 9 / 10;
+    const auto t = p.computeTargets(snap);
+    EXPECT_LE(t[0], 0.5 + 1e-9);
+}
+
+TEST(Lookahead, PolicyTargetsSumToOne)
+{
+    LookaheadPolicy p(4);
+    auto snap = baseSnap(4);
+    snap.cores[0].shadowHitsAtPosition.assign(16, 500.0);
+    const auto t = p.computeTargets(snap);
+    EXPECT_NEAR(sum(t), 1.0, 1e-9);
+    EXPECT_GT(t[0], t[1]);
+}
+
+TEST(Policies, NamesAreStable)
+{
+    EXPECT_EQ(HitMaxPolicy().name(), "HitMax");
+    EXPECT_EQ(FairPolicy().name(), "Fair");
+    EXPECT_EQ(QosPolicy(1.0).name(), "QoS");
+    EXPECT_EQ(LookaheadPolicy().name(), "LA");
+}

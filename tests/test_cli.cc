@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Smoke tests for the prism_sim command-line driver, exercised as a
+ * subprocess. Located via the PRISM_SIM_BIN environment variable set
+ * by CTest (falls back to the conventional build path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace
+{
+
+std::string
+binPath()
+{
+    if (const char *p = std::getenv("PRISM_SIM_BIN"))
+        return p;
+    return "tools/prism_sim"; // relative to the build directory
+}
+
+/** Run a command, capture stdout+stderr, return (exit, output). */
+std::pair<int, std::string>
+run(const std::string &args)
+{
+    const std::string cmd = binPath() + " " + args + " 2>&1";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string out;
+    std::array<char, 4096> buf;
+    while (std::size_t n = std::fread(buf.data(), 1, buf.size(), pipe))
+        out.append(buf.data(), n);
+    const int status = pclose(pipe);
+    return {WEXITSTATUS(status), out};
+}
+
+} // namespace
+
+TEST(Cli, HelpExitsCleanly)
+{
+    const auto [code, out] = run("--help");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("--scheme"), std::string::npos);
+}
+
+TEST(Cli, ListBenchmarks)
+{
+    const auto [code, out] = run("--list-benchmarks");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("179.art"), std::string::npos);
+    EXPECT_NE(out.find("streaming"), std::string::npos);
+}
+
+TEST(Cli, ListWorkloads)
+{
+    const auto [code, out] = run("--list-workloads");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("Q7:"), std::string::npos);
+    EXPECT_NE(out.find("T14:"), std::string::npos);
+}
+
+TEST(Cli, RunsTinyWorkload)
+{
+    const auto [code, out] = run(
+        "--mix 403.gcc,186.crafty --scheme PriSM-H "
+        "--instr 50000 --warmup 10000");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("ANTT"), std::string::npos);
+    EXPECT_NE(out.find("PriSM-H"), std::string::npos);
+}
+
+TEST(Cli, CsvModeIsMachineReadable)
+{
+    const auto [code, out] = run(
+        "--mix 403.gcc,186.crafty --scheme LRU "
+        "--instr 50000 --warmup 10000 --csv");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("core,benchmark,IPC"), std::string::npos);
+}
+
+TEST(Cli, StatsFlagDumpsCounters)
+{
+    const auto [code, out] = run(
+        "--mix 403.gcc,186.crafty --scheme LRU "
+        "--instr 50000 --warmup 10000 --stats");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("system.llc.total_misses"), std::string::npos);
+}
+
+TEST(Cli, UnknownSchemeFails)
+{
+    const auto [code, out] = run("--scheme Bogus --instr 1000");
+    EXPECT_NE(code, 0);
+    EXPECT_NE(out.find("unknown scheme"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionFails)
+{
+    const auto [code, out] = run("--frobnicate");
+    EXPECT_NE(code, 0);
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for Equation 1 and the eviction-distribution construction —
+ * the analytical core of PriSM (paper §3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "prism/eq1.hh"
+
+using namespace prism;
+
+TEST(Eq1, SteadyStateEvictsAtMissRate)
+{
+    // Target equals occupancy: eviction probability equals the miss
+    // fraction, leaving occupancy unchanged.
+    EXPECT_DOUBLE_EQ(eq1(0.25, 0.25, 0.4, 1024, 512), 0.4);
+}
+
+TEST(Eq1, GrowthClampsToZero)
+{
+    // Target far above occupancy: never evict this core.
+    EXPECT_DOUBLE_EQ(eq1(0.1, 0.9, 0.2, 1024, 64), 0.0);
+}
+
+TEST(Eq1, ShrinkClampsToOne)
+{
+    // Target far below occupancy: always evict this core.
+    EXPECT_DOUBLE_EQ(eq1(0.9, 0.1, 0.2, 1024, 64), 1.0);
+}
+
+TEST(Eq1, LinearInBetween)
+{
+    // E = (C - T) * N/W + M.
+    const double e = eq1(0.5, 0.4, 0.3, 1000, 1000);
+    EXPECT_NEAR(e, 0.1 + 0.3, 1e-12);
+}
+
+TEST(Eq1, PredictedOccupancyInverse)
+{
+    // tau(C, M, eq1(C, T, M)) == T whenever eq1 is unclamped.
+    const double c = 0.4, t = 0.5, m = 0.35;
+    const std::uint64_t n = 4096, w = 2048;
+    const double e = eq1(c, t, m, n, w);
+    EXPECT_GT(e, 0.0);
+    EXPECT_LT(e, 1.0);
+    EXPECT_NEAR(predictedOccupancy(c, m, e, n, w), t, 1e-12);
+}
+
+TEST(Eq1, PredictedOccupancyClampsToUnitRange)
+{
+    EXPECT_DOUBLE_EQ(predictedOccupancy(0.9, 0.9, 0.0, 100, 100), 1.0);
+    EXPECT_DOUBLE_EQ(predictedOccupancy(0.1, 0.0, 0.9, 100, 100), 0.0);
+}
+
+TEST(EvictionDistribution, SumsToOne)
+{
+    const std::vector<double> c{0.4, 0.3, 0.2, 0.1};
+    const std::vector<double> t{0.25, 0.25, 0.25, 0.25};
+    const std::vector<double> m{0.1, 0.2, 0.3, 0.4};
+    const auto e = evictionDistribution(c, t, m, 4096, 2048);
+    double sum = 0;
+    for (double v : e)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(EvictionDistribution, ProtectedCoreKeepsZero)
+{
+    // Core 0 is far below target: its E must stay zero even after
+    // the deficit redistribution.
+    const std::vector<double> c{0.05, 0.5, 0.45};
+    const std::vector<double> t{0.5, 0.25, 0.25};
+    const std::vector<double> m{0.2, 0.4, 0.4};
+    const auto e = evictionDistribution(c, t, m, 4096, 4096);
+    EXPECT_DOUBLE_EQ(e[0], 0.0);
+    EXPECT_NEAR(e[1] + e[2], 1.0, 1e-9);
+}
+
+TEST(EvictionDistribution, OverDemandScalesDown)
+{
+    // Both cores want to shrink fast: raw sum > 1, scaled to 1.
+    const std::vector<double> c{0.6, 0.4};
+    const std::vector<double> t{0.1, 0.1};
+    const std::vector<double> m{0.5, 0.5};
+    const auto e = evictionDistribution(c, t, m, 4096, 4096);
+    EXPECT_NEAR(e[0] + e[1], 1.0, 1e-9);
+    EXPECT_GT(e[0], e[1]); // more over target -> higher share
+}
+
+TEST(EvictionDistribution, AllGrowingFallsBackToMissShares)
+{
+    // Everyone below target: evict in proportion to insertions.
+    const std::vector<double> c{0.1, 0.1};
+    const std::vector<double> t{0.5, 0.5};
+    const std::vector<double> m{0.75, 0.25};
+    const auto e = evictionDistribution(c, t, m, 4096, 64);
+    EXPECT_NEAR(e[0], 0.75, 1e-9);
+    EXPECT_NEAR(e[1], 0.25, 1e-9);
+}
+
+TEST(EvictionDistribution, DegenerateInputsGiveUniform)
+{
+    const std::vector<double> c{0.1, 0.1};
+    const std::vector<double> t{0.5, 0.5};
+    const std::vector<double> m{0.0, 0.0};
+    const auto e = evictionDistribution(c, t, m, 4096, 64);
+    EXPECT_NEAR(e[0], 0.5, 1e-9);
+    EXPECT_NEAR(e[1], 0.5, 1e-9);
+}
+
+/** Property sweep: the distribution is always normalised and in
+ *  range for random inputs. */
+class Eq1Property : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Eq1Property, AlwaysValidDistribution)
+{
+    const int seed = GetParam();
+    std::srand(seed);
+    auto frand = [] { return std::rand() / (RAND_MAX + 1.0); };
+
+    std::vector<double> c(8), t(8), m(8);
+    double csum = 0, tsum = 0, msum = 0;
+    for (int i = 0; i < 8; ++i) {
+        c[i] = frand();
+        t[i] = frand();
+        m[i] = frand();
+        csum += c[i];
+        tsum += t[i];
+        msum += m[i];
+    }
+    for (int i = 0; i < 8; ++i) {
+        c[i] /= csum;
+        t[i] /= tsum;
+        m[i] /= msum;
+    }
+
+    const auto e = evictionDistribution(c, t, m, 65536, 32768);
+    double esum = 0;
+    for (double v : e) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0 + 1e-9);
+        esum += v;
+    }
+    EXPECT_NEAR(esum, 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Eq1Property, ::testing::Range(1, 33));

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the private L1 cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/l1_cache.hh"
+#include "common/rng.hh"
+
+using namespace prism;
+
+TEST(L1Cache, MissThenHit)
+{
+    L1Cache l1;
+    EXPECT_FALSE(l1.access(100));
+    EXPECT_TRUE(l1.access(100));
+    EXPECT_EQ(l1.hits(), 1u);
+    EXPECT_EQ(l1.misses(), 1u);
+}
+
+TEST(L1Cache, TwoWayConflict)
+{
+    // 1KB, 2-way, 64B blocks -> 8 sets. Three blocks mapping to set 0
+    // cannot all be resident.
+    L1Cache l1(1024, 2, 64);
+    l1.access(0);
+    l1.access(8);
+    l1.access(16); // evicts LRU (0)
+    EXPECT_FALSE(l1.access(0));
+    EXPECT_TRUE(l1.access(16));
+}
+
+TEST(L1Cache, LruWithinSet)
+{
+    L1Cache l1(1024, 2, 64);
+    l1.access(0);
+    l1.access(8);
+    l1.access(0);  // 8 now LRU
+    l1.access(16); // evicts 8
+    EXPECT_TRUE(l1.access(0));
+    EXPECT_FALSE(l1.access(8));
+}
+
+TEST(L1Cache, AbsorbsSmallWorkingSet)
+{
+    L1Cache l1; // 64KB = 1024 blocks
+    Rng rng(1);
+    // Warm 256 blocks (well within capacity).
+    for (int pass = 0; pass < 20; ++pass)
+        for (Addr a = 0; a < 256; ++a)
+            l1.access(a);
+    const auto hits_before = l1.hits();
+    for (int i = 0; i < 10000; ++i)
+        l1.access(rng.below(256));
+    EXPECT_EQ(l1.hits() - hits_before, 10000u);
+}
+
+TEST(L1Cache, StreamsAlwaysMiss)
+{
+    L1Cache l1;
+    for (Addr a = 0; a < 100000; ++a)
+        EXPECT_FALSE(l1.access(a * 7919));
+}
+
+TEST(L1Cache, RejectsBadGeometry)
+{
+    EXPECT_DEATH(L1Cache(1000, 3, 64), "");
+}

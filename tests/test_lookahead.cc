@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for UCP's lookahead partitioning algorithm.
+ */
+
+#include <gtest/gtest.h>
+
+#include "policies/lookahead.hh"
+
+using namespace prism;
+
+namespace
+{
+
+std::uint32_t
+sum(const std::vector<std::uint32_t> &v)
+{
+    std::uint32_t s = 0;
+    for (auto x : v)
+        s += x;
+    return s;
+}
+
+} // namespace
+
+TEST(LookaheadHits, CumulativeWithInterpolation)
+{
+    const std::vector<double> curve{10, 6, 4, 2};
+    EXPECT_DOUBLE_EQ(lookaheadHitsAt(curve, 0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(lookaheadHitsAt(curve, 2, 1), 16.0);
+    EXPECT_DOUBLE_EQ(lookaheadHitsAt(curve, 4, 1), 22.0);
+    // Half-way allocations interpolate linearly.
+    EXPECT_DOUBLE_EQ(lookaheadHitsAt(curve, 1, 2), 5.0);
+    EXPECT_DOUBLE_EQ(lookaheadHitsAt(curve, 3, 2), 13.0);
+}
+
+TEST(LookaheadHits, BeyondCurveSaturates)
+{
+    const std::vector<double> curve{5, 5};
+    EXPECT_DOUBLE_EQ(lookaheadHitsAt(curve, 10, 1), 10.0);
+}
+
+TEST(Lookahead, AllocationSumsToTotal)
+{
+    const std::vector<std::vector<double>> curves{
+        {10, 8, 6, 4, 2, 1, 0, 0},
+        {5, 5, 5, 5, 5, 5, 5, 5},
+        {20, 0, 0, 0, 0, 0, 0, 0},
+        {0, 0, 0, 0, 0, 0, 0, 0},
+    };
+    const auto alloc = lookaheadPartition(curves, 8, 1);
+    EXPECT_EQ(sum(alloc), 8u);
+    for (auto a : alloc)
+        EXPECT_GE(a, 1u);
+}
+
+TEST(Lookahead, GreedyPrefersSteepCurve)
+{
+    // Core 0 gains nothing; core 1 gains a lot per way.
+    const std::vector<std::vector<double>> curves{
+        {0, 0, 0, 0},
+        {100, 100, 100, 100},
+    };
+    const auto alloc = lookaheadPartition(curves, 4, 1);
+    EXPECT_EQ(alloc[0], 1u);
+    EXPECT_EQ(alloc[1], 3u);
+}
+
+TEST(Lookahead, LooksAheadPastPlateau)
+{
+    // Core 0 has a cliff: nothing for 2 ways, then a big payoff at
+    // way 3. A purely greedy-by-single-way algorithm would starve it;
+    // lookahead's max-marginal-utility-per-way must see past the
+    // plateau when the payoff is large enough.
+    const std::vector<std::vector<double>> curves{
+        {0, 0, 300, 0, 0, 0},
+        {10, 10, 10, 10, 10, 10},
+    };
+    const auto alloc = lookaheadPartition(curves, 6, 1);
+    EXPECT_GE(alloc[0], 3u);
+}
+
+TEST(Lookahead, ZeroGainSplitsEvenly)
+{
+    const std::vector<std::vector<double>> curves{
+        {0, 0, 0, 0},
+        {0, 0, 0, 0},
+    };
+    const auto alloc = lookaheadPartition(curves, 8, 1);
+    EXPECT_EQ(alloc[0], 4u);
+    EXPECT_EQ(alloc[1], 4u);
+}
+
+TEST(Lookahead, FineGranularityRefines)
+{
+    // With interpolation, a core whose curve saturates after one way
+    // can receive fractional units beyond its knee only if others
+    // gain even less.
+    const std::vector<std::vector<double>> curves{
+        {100, 10, 0, 0},
+        {60, 50, 40, 20},
+    };
+    const auto coarse = lookaheadPartition(curves, 4, 1);
+    const auto fine = lookaheadPartition(curves, 16, 4);
+    EXPECT_EQ(sum(fine), 16u);
+    // Fine-grained allocation shifts space toward core 1's long
+    // tail relative to coarse rounding.
+    const double frac_core1_coarse = coarse[1] / 4.0;
+    const double frac_core1_fine = fine[1] / 16.0;
+    EXPECT_GE(frac_core1_fine, frac_core1_coarse - 0.26);
+}
+
+TEST(Lookahead, SingleCoreTakesAll)
+{
+    const std::vector<std::vector<double>> curves{{1, 1, 1, 1}};
+    const auto alloc = lookaheadPartition(curves, 16, 1);
+    EXPECT_EQ(alloc[0], 16u);
+}
+
+TEST(Lookahead, ManyCoresOneWayEach)
+{
+    // cores == ways: everyone gets the 1-way minimum.
+    std::vector<std::vector<double>> curves(
+        8, std::vector<double>{1, 1, 1, 1, 1, 1, 1, 1});
+    const auto alloc = lookaheadPartition(curves, 8, 1);
+    for (auto a : alloc)
+        EXPECT_EQ(a, 1u);
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for the DRAM / memory-controller model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory_system.hh"
+
+using namespace prism;
+
+TEST(MemorySystem, UncontendedLatencyIsDramOnly)
+{
+    MemorySystem mem(4, 10.0, 200.0);
+    EXPECT_DOUBLE_EQ(mem.request(0x1234, 1000.0), 200.0);
+}
+
+TEST(MemorySystem, BackToBackRequestsQueue)
+{
+    MemorySystem mem(1, 10.0, 200.0);
+    const double t = 0.0;
+    EXPECT_DOUBLE_EQ(mem.request(1, t), 200.0);
+    // Same controller, same instant: waits one service slot.
+    EXPECT_DOUBLE_EQ(mem.request(1, t), 210.0);
+    EXPECT_DOUBLE_EQ(mem.request(1, t), 220.0);
+}
+
+TEST(MemorySystem, IdleGapDrainsQueue)
+{
+    MemorySystem mem(1, 10.0, 200.0);
+    mem.request(1, 0.0);
+    // After the controller went idle, latency is back to DRAM-only.
+    EXPECT_DOUBLE_EQ(mem.request(1, 1000.0), 200.0);
+}
+
+TEST(MemorySystem, MoreControllersLessContention)
+{
+    MemorySystem narrow(1, 10.0, 200.0);
+    MemorySystem wide(8, 10.0, 200.0);
+    double narrow_total = 0, wide_total = 0;
+    for (Addr a = 0; a < 64; ++a) {
+        narrow_total += narrow.request(a, 0.0);
+        wide_total += wide.request(a, 0.0);
+    }
+    EXPECT_LT(wide_total, narrow_total);
+}
+
+TEST(MemorySystem, CountsRequestsAndQueueing)
+{
+    MemorySystem mem(1, 10.0, 200.0);
+    mem.request(1, 0.0);
+    mem.request(1, 0.0);
+    EXPECT_EQ(mem.requests(), 2u);
+    EXPECT_DOUBLE_EQ(mem.meanQueueCycles(), 5.0); // 0 and 10
+}
+
+TEST(MemorySystem, AddressesSpreadOverControllers)
+{
+    MemorySystem mem(4, 100.0, 200.0);
+    // Issue many requests at t=0; if hashing spreads them, total
+    // queueing is far below the single-controller worst case.
+    double total_queue = 0;
+    for (Addr a = 0; a < 400; ++a)
+        total_queue += mem.request(a, 0.0) - 200.0;
+    const double single_ctrl_queue = 399.0 * 400.0 / 2.0 * 100.0 / 400.0;
+    EXPECT_LT(total_queue / 400.0, single_ctrl_queue);
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for ANTT, fairness and throughput metrics [3].
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+
+using namespace prism;
+
+TEST(Metrics, AnttOfUnslowedWorkloadIsOne)
+{
+    const std::vector<double> sp{1.0, 2.0, 0.5};
+    EXPECT_NEAR(antt(sp, sp), 1.0, 1e-12);
+}
+
+TEST(Metrics, AnttAveragesSlowdowns)
+{
+    const std::vector<double> sp{1.0, 1.0};
+    const std::vector<double> mp{0.5, 1.0}; // slowdowns 2 and 1
+    EXPECT_NEAR(antt(sp, mp), 1.5, 1e-12);
+}
+
+TEST(Metrics, AnttLowerIsBetter)
+{
+    const std::vector<double> sp{1.0, 1.0};
+    const std::vector<double> good{0.9, 0.9};
+    const std::vector<double> bad{0.5, 0.5};
+    EXPECT_LT(antt(sp, good), antt(sp, bad));
+}
+
+TEST(Metrics, FairnessPerfectWhenEqualSlowdown)
+{
+    const std::vector<double> sp{2.0, 1.0};
+    const std::vector<double> mp{1.0, 0.5}; // both 2x slower
+    EXPECT_NEAR(fairness(sp, mp), 1.0, 1e-12);
+}
+
+TEST(Metrics, FairnessIsMinOverMax)
+{
+    const std::vector<double> sp{1.0, 1.0};
+    const std::vector<double> mp{0.25, 0.75};
+    EXPECT_NEAR(fairness(sp, mp), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, FairnessInUnitRange)
+{
+    const std::vector<double> sp{1.0, 2.0, 3.0};
+    const std::vector<double> mp{0.9, 0.8, 0.7};
+    const double f = fairness(sp, mp);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 1.0);
+}
+
+TEST(Metrics, ThroughputSums)
+{
+    const std::vector<double> mp{0.5, 0.25, 1.0};
+    EXPECT_DOUBLE_EQ(ipcThroughput(mp), 1.75);
+}
+
+TEST(Metrics, SingleProgramFairnessIsOne)
+{
+    const std::vector<double> sp{1.0};
+    const std::vector<double> mp{0.4};
+    EXPECT_NEAR(fairness(sp, mp), 1.0, 1e-12);
+}

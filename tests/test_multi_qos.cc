@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the multi-core QoS allocation policy (extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "prism/alloc_multi_qos.hh"
+
+using namespace prism;
+
+namespace
+{
+
+IntervalSnapshot
+baseSnap(std::uint32_t cores)
+{
+    IntervalSnapshot snap;
+    snap.totalBlocks = 4096;
+    snap.ways = 16;
+    snap.intervalMisses = 2048;
+    snap.cores.resize(cores);
+    for (auto &c : snap.cores) {
+        c.occupancyBlocks = 4096 / cores;
+        c.sharedHits = 1000;
+        c.sharedMisses = 2048 / cores;
+        c.shadowHitsAtPosition.assign(16, 1000.0 / 16);
+        c.shadowMisses = 100;
+        c.instructions = 100000;
+        c.cycles = 200000; // IPC 0.5
+        c.llcStallCycles = 50000;
+    }
+    return snap;
+}
+
+} // namespace
+
+TEST(MultiQos, GrowsEveryGuardBelowTarget)
+{
+    MultiQosPolicy p({{0, 0.9}, {1, 0.9}}); // both below (IPC 0.5)
+    auto snap = baseSnap(4);
+    const auto t = p.computeTargets(snap);
+    EXPECT_NEAR(t[0], 0.25 * 1.1, 1e-9);
+    EXPECT_NEAR(t[1], 0.25 * 1.1, 1e-9);
+    double sum = 0;
+    for (double v : t)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MultiQos, MixedDirections)
+{
+    QosParams params;
+    params.beta = 0.1;
+    // Core 0 below its floor, core 2 above its own.
+    MultiQosPolicy p({{0, 0.9}, {2, 0.3}}, params);
+    auto snap = baseSnap(4);
+    const auto t = p.computeTargets(snap);
+    EXPECT_NEAR(t[0], 0.25 * 1.1, 1e-9);
+    EXPECT_NEAR(t[2], 0.25 * 0.9, 1e-9);
+}
+
+TEST(MultiQos, AdmissionControlCapsGuards)
+{
+    // Two guards already holding 48% each and still below target:
+    // unconstrained growth would exceed the cache.
+    MultiQosPolicy p({{0, 0.9}, {1, 0.9}});
+    auto snap = baseSnap(4);
+    snap.cores[0].occupancyBlocks = 1966; // 48%
+    snap.cores[1].occupancyBlocks = 1966;
+    const auto t = p.computeTargets(snap);
+    EXPECT_LE(t[0] + t[1], MultiQosPolicy::maxGuardedFraction + 1e-9);
+    // Unguarded cores still receive the leftover.
+    EXPECT_GT(t[2] + t[3], 0.0);
+}
+
+TEST(MultiQos, UnguardedHitMaximised)
+{
+    MultiQosPolicy p({{0, 0.9}});
+    auto snap = baseSnap(4);
+    // Core 2 has far more potential gain than core 3.
+    snap.cores[2].shadowHitsAtPosition.assign(16, 5000.0 / 16);
+    const auto t = p.computeTargets(snap);
+    EXPECT_GT(t[2], t[3]);
+}
+
+TEST(MultiQos, DeadBandHolds)
+{
+    MultiQosPolicy p({{0, 0.5}}); // exactly at target
+    auto snap = baseSnap(4);
+    const auto t = p.computeTargets(snap);
+    EXPECT_NEAR(t[0], 0.25, 1e-9);
+}
+
+TEST(MultiQos, RejectsBadCoreIds)
+{
+    auto snap = baseSnap(2);
+    MultiQosPolicy p({{5, 0.5}});
+    EXPECT_DEATH(p.computeTargets(snap), "out of range");
+}
+
+TEST(MultiQos, RejectsEmptyTargets)
+{
+    EXPECT_DEATH(MultiQosPolicy({}), "no QoS targets");
+}
+
+TEST(MultiQos, ArithmeticOpsScale)
+{
+    MultiQosPolicy p({{0, 0.5}, {1, 0.5}});
+    EXPECT_EQ(p.arithmeticOps(8), 2u * 2u + 5u * 8u);
+}

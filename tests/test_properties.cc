@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Cross-cutting property tests: invariants that must hold for every
+ * management scheme, every replacement policy and random inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "prism/eq1.hh"
+#include "sim/runner.hh"
+#include "workload/stack_dist_generator.hh"
+
+using namespace prism;
+
+namespace
+{
+
+MachineConfig
+tinyQuad(std::uint64_t seed)
+{
+    MachineConfig m = MachineConfig::forCores(4);
+    m.instrBudget = 200'000;
+    m.warmupInstr = 100'000;
+    m.seed = seed;
+    return m;
+}
+
+const std::vector<SchemeKind> allSchemes{
+    SchemeKind::Baseline, SchemeKind::UCP,      SchemeKind::PIPP,
+    SchemeKind::TADIP,    SchemeKind::FairWP,   SchemeKind::Vantage,
+    SchemeKind::PrismH,   SchemeKind::PrismF,   SchemeKind::PrismQ,
+    SchemeKind::PrismLA,  SchemeKind::WPHitMax, SchemeKind::StaticWP,
+};
+
+} // namespace
+
+/** Every scheme on every replacement policy it supports stays sane. */
+class SchemeProperty
+    : public ::testing::TestWithParam<std::tuple<SchemeKind, int>>
+{
+};
+
+TEST_P(SchemeProperty, InvariantsHold)
+{
+    const auto [kind, seed] = GetParam();
+    MachineConfig m = tinyQuad(seed);
+    if (kind == SchemeKind::Vantage)
+        m.repl = ReplKind::TimestampLRU;
+    Runner runner(m);
+    Workload w{"p", {"179.art", "462.libquantum", "300.twolf",
+                     "403.gcc"}};
+    const RunResult res = runner.run(w, kind);
+
+    double occ_sum = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_GT(res.ipc[c], 0.0) << res.scheme;
+        EXPECT_LE(res.ipc[c], 4.0) << res.scheme; // <= issue width
+        EXPECT_GE(res.occupancyAtFinish[c], 0.0) << res.scheme;
+        EXPECT_LE(res.occupancyAtFinish[c], 1.0) << res.scheme;
+        occ_sum += res.occupancyAtFinish[c];
+    }
+    // Occupancies are sampled at each core's own finish time, so the
+    // sum can exceed 1 slightly (the paper notes the same for its
+    // Figure 4); it must still be in a physical ballpark.
+    EXPECT_LE(occ_sum, 1.5) << res.scheme;
+
+    EXPECT_GT(res.fairness(), 0.0) << res.scheme;
+    EXPECT_LE(res.fairness(), 1.0 + 1e-9) << res.scheme;
+    EXPECT_GE(res.antt(), 0.9) << res.scheme;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeProperty,
+    ::testing::Combine(::testing::ValuesIn(allSchemes),
+                       ::testing::Values(1, 2)));
+
+/** PriSM on every replacement policy controls occupancy. */
+class PrismOnRepl : public ::testing::TestWithParam<ReplKind>
+{
+};
+
+TEST_P(PrismOnRepl, SchemeComposesWithPolicy)
+{
+    MachineConfig m = tinyQuad(7);
+    m.repl = GetParam();
+    Runner runner(m);
+    Workload w{"p", {"179.art", "462.libquantum", "300.twolf",
+                     "403.gcc"}};
+    const RunResult res = runner.run(w, SchemeKind::PrismH);
+    for (double ipc : res.ipc)
+        EXPECT_GT(ipc, 0.0);
+    EXPECT_GT(res.recomputes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Repls, PrismOnRepl,
+                         ::testing::Values(ReplKind::LRU,
+                                           ReplKind::TimestampLRU,
+                                           ReplKind::DIP,
+                                           ReplKind::RRIP,
+                                           ReplKind::Random));
+
+/**
+ * Equation-1 closed loop: iterating occupancy under the model's own
+ * dynamics converges to the target from any start.
+ */
+class Eq1Convergence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Eq1Convergence, ReachesTargets)
+{
+    Rng rng(GetParam());
+    const std::size_t n = 4;
+    const std::uint64_t blocks = 65536, w = 32768;
+
+    std::vector<double> c(n), t(n), m(n);
+    double cs = 0, ts = 0, ms = 0;
+    for (auto &v : c)
+        cs += (v = 0.05 + rng.uniform());
+    for (auto &v : t)
+        ts += (v = 0.05 + rng.uniform());
+    for (auto &v : m)
+        ms += (v = 0.05 + rng.uniform());
+    for (auto &v : c)
+        v /= cs;
+    for (auto &v : t)
+        v /= ts;
+    for (auto &v : m)
+        v /= ms;
+
+    // Iterate: each interval evicts E_i*W and inserts M_i*W blocks.
+    for (int it = 0; it < 200; ++it) {
+        const auto e = evictionDistribution(c, t, m, blocks, w);
+        double sum = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            c[i] = predictedOccupancy(c[i], m[i], e[i], blocks, w);
+            sum += c[i];
+        }
+        for (auto &v : c)
+            v /= sum; // cache stays full
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(c[i], t[i], 0.05) << "core " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Eq1Convergence,
+                         ::testing::Range(1, 17));
+
+/** Steeper theta always concentrates more probability mass up top. */
+class ThetaMonotonicity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ThetaMonotonicity, SteeperHitsMoreAtSmallCapacity)
+{
+    const double theta = GetParam();
+    const std::uint64_t ws = 4096;
+
+    auto top_eighth_mass = [&](double th) {
+        StackDistParams p{ws, th, 0.0};
+        StackDistGenerator g(0, p, 5);
+        // Count accesses landing in the top 1/8 of ranks. Ranks map
+        // deterministically to addresses in IRM mode, so identify
+        // them by generating the top-rank address set first.
+        std::set<Addr> top;
+        for (std::uint64_t r = 0; r < ws / 8; ++r)
+            top.insert(makeBlockAddr(0, r));
+        int hits = 0;
+        const int nacc = 50000;
+        for (int i = 0; i < nacc; ++i)
+            hits += top.count(g.next());
+        return static_cast<double>(hits) / nacc;
+    };
+
+    EXPECT_GT(top_eighth_mass(theta), top_eighth_mass(theta + 0.3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ThetaMonotonicity,
+                         ::testing::Values(0.3, 0.4, 0.5, 0.6, 0.7));
+
+/** Determinism: identical configuration => identical results. */
+class DeterminismProperty : public ::testing::TestWithParam<SchemeKind>
+{
+};
+
+TEST_P(DeterminismProperty, RunsAreReproducible)
+{
+    MachineConfig m = tinyQuad(11);
+    if (GetParam() == SchemeKind::Vantage)
+        m.repl = ReplKind::TimestampLRU;
+    Workload w{"p", {"175.vpr", "470.lbm", "401.bzip2", "197.parser"}};
+    Runner r1(m), r2(m);
+    const auto a = r1.run(w, GetParam());
+    const auto b = r2.run(w, GetParam());
+    for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_DOUBLE_EQ(a.ipc[c], b.ipc[c]);
+        EXPECT_EQ(a.llcMisses[c], b.llcMisses[c]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, DeterminismProperty,
+                         ::testing::ValuesIn(allSchemes));

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the per-set recency-list helpers and coarse timestamps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_block.hh"
+
+using namespace prism;
+
+namespace
+{
+
+SetState
+makeOrder(std::initializer_list<int> ways)
+{
+    SetState st;
+    for (int w : ways)
+        st.order.push_back(static_cast<std::uint16_t>(w));
+    return st;
+}
+
+} // namespace
+
+TEST(Recency, FindLocatesWay)
+{
+    SetState st = makeOrder({3, 1, 2});
+    EXPECT_EQ(recency::find(st, 3), 0);
+    EXPECT_EQ(recency::find(st, 1), 1);
+    EXPECT_EQ(recency::find(st, 2), 2);
+    EXPECT_EQ(recency::find(st, 9), -1);
+}
+
+TEST(Recency, MoveToFrontExisting)
+{
+    SetState st = makeOrder({3, 1, 2});
+    recency::moveToFront(st, 2);
+    EXPECT_EQ(st.order, (std::vector<std::uint16_t>{2, 3, 1}));
+}
+
+TEST(Recency, MoveToFrontNew)
+{
+    SetState st = makeOrder({3, 1});
+    recency::moveToFront(st, 7);
+    EXPECT_EQ(st.order, (std::vector<std::uint16_t>{7, 3, 1}));
+}
+
+TEST(Recency, RemoveAbsentIsNoop)
+{
+    SetState st = makeOrder({1, 2});
+    recency::remove(st, 9);
+    EXPECT_EQ(st.order.size(), 2u);
+}
+
+TEST(Recency, PromoteByOne)
+{
+    SetState st = makeOrder({3, 1, 2});
+    recency::promoteByOne(st, 2);
+    EXPECT_EQ(st.order, (std::vector<std::uint16_t>{3, 2, 1}));
+    // Promoting the MRU way is a no-op.
+    recency::promoteByOne(st, 3);
+    EXPECT_EQ(st.order.front(), 3);
+}
+
+TEST(Recency, InsertAtLruOffset)
+{
+    SetState st = makeOrder({3, 1, 2});
+    recency::insertAtLruOffset(st, 7, 0); // LRU position
+    EXPECT_EQ(st.order.back(), 7);
+    recency::insertAtLruOffset(st, 8, 2);
+    EXPECT_EQ(st.order, (std::vector<std::uint16_t>{3, 1, 8, 2, 7}));
+}
+
+TEST(Recency, InsertAtLruOffsetClamped)
+{
+    SetState st = makeOrder({1});
+    recency::insertAtLruOffset(st, 5, 100); // beyond MRU -> front
+    EXPECT_EQ(st.order.front(), 5);
+}
+
+TEST(Recency, InsertReinsertsExisting)
+{
+    SetState st = makeOrder({3, 1, 2});
+    recency::insertAtLruOffset(st, 3, 0); // move MRU to LRU position
+    EXPECT_EQ(st.order, (std::vector<std::uint16_t>{1, 2, 3}));
+}
+
+TEST(Recency, LruWay)
+{
+    SetState st = makeOrder({3, 1, 2});
+    EXPECT_EQ(recency::lruWay(st), 2);
+}
+
+TEST(CoarseTs, AgeWrapsCorrectly)
+{
+    std::vector<CacheBlock> blocks(4);
+    SetState st;
+    SetView set{0, std::span<CacheBlock>(blocks), st};
+
+    // Touch way 0, then advance the clock by many accesses.
+    coarse_ts::touch(set, 0);
+    for (int i = 0; i < 100; ++i)
+        ++set.state.accesses;
+    coarse_ts::touch(set, 1);
+    EXPECT_GT(coarse_ts::age(set, 0), coarse_ts::age(set, 1));
+}
+
+TEST(CoarseTs, FreshTouchHasAgeZero)
+{
+    std::vector<CacheBlock> blocks(2);
+    SetState st;
+    SetView set{0, std::span<CacheBlock>(blocks), st};
+    coarse_ts::touch(set, 0);
+    EXPECT_EQ(coarse_ts::age(set, 0), 0u);
+}

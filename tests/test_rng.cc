@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the deterministic xoshiro256** generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+using namespace prism;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.reseed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng a(0);
+    // The state must not be all zeros (xoshiro would then be stuck).
+    std::set<std::uint64_t> vals;
+    for (int i = 0; i < 64; ++i)
+        vals.insert(a.next());
+    EXPECT_GT(vals.size(), 60u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng a(123);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = a.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng a(99);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(a.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng a(5);
+    int counts[10] = {};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[a.below(10)];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng a(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = a.between(3, 7);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 7u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng a(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += a.chance(0.25);
+    EXPECT_NEAR(hits, n / 4, n / 100);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng a(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(a.chance(0.0));
+        EXPECT_TRUE(a.chance(1.0));
+    }
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(21);
+    Rng child = a.split();
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == child.next();
+    EXPECT_LT(same, 2);
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the UMON-style shadow tag directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/shadow_tags.hh"
+#include "common/rng.hh"
+
+using namespace prism;
+
+TEST(ShadowTags, SamplesPowerOfTwoSets)
+{
+    ShadowTags st(1, 256, 4, 32);
+    int sampled = 0;
+    for (std::uint32_t s = 0; s < 256; ++s)
+        sampled += st.sampled(s);
+    EXPECT_EQ(sampled, 8);
+    EXPECT_TRUE(st.sampled(0));
+    EXPECT_TRUE(st.sampled(32));
+    EXPECT_FALSE(st.sampled(1));
+}
+
+TEST(ShadowTags, UnsampledAccessIsIgnored)
+{
+    ShadowTags st(1, 256, 4, 32);
+    st.access(0, 123, 5);
+    st.access(0, 123, 5);
+    EXPECT_EQ(st.misses(0), 0u);
+    EXPECT_EQ(st.hitsAt(0, 0), 0u);
+}
+
+TEST(ShadowTags, RecordsPositionalHits)
+{
+    ShadowTags st(1, 256, 4, 32);
+    // Touch A, B, then A again: A is at stack position 1.
+    st.access(0, 1000, 0);
+    st.access(0, 2000, 0);
+    st.access(0, 1000, 0);
+    EXPECT_EQ(st.misses(0), 2u);
+    EXPECT_EQ(st.hitsAt(0, 1), 1u);
+    // And now A is MRU again.
+    st.access(0, 1000, 0);
+    EXPECT_EQ(st.hitsAt(0, 0), 1u);
+}
+
+TEST(ShadowTags, LruEvictionAtFullAssociativity)
+{
+    ShadowTags st(1, 256, 2, 32);
+    st.access(0, 1, 0);
+    st.access(0, 2, 0);
+    st.access(0, 3, 0); // evicts 1
+    st.access(0, 1, 0); // miss again
+    EXPECT_EQ(st.misses(0), 4u);
+}
+
+TEST(ShadowTags, PerCoreIsolation)
+{
+    ShadowTags st(2, 256, 4, 32);
+    st.access(0, 77, 0);
+    st.access(1, 77, 0); // different core: its own miss
+    EXPECT_EQ(st.misses(0), 1u);
+    EXPECT_EQ(st.misses(1), 1u);
+    st.access(0, 77, 0);
+    EXPECT_EQ(st.hitsAt(0, 0), 1u);
+    EXPECT_EQ(st.hitsAt(1, 0), 0u);
+}
+
+TEST(ShadowTags, ScaledCurveUsesSamplingFactor)
+{
+    ShadowTags st(1, 256, 4, 32);
+    st.access(0, 5, 0);
+    st.access(0, 5, 0);
+    const auto curve = st.scaledHitCurve(0);
+    EXPECT_DOUBLE_EQ(curve[0], 32.0);
+    EXPECT_DOUBLE_EQ(st.scaledMisses(0), 32.0);
+}
+
+TEST(ShadowTags, ResetClearsCountersKeepsTags)
+{
+    ShadowTags st(1, 256, 4, 32);
+    st.access(0, 5, 0);
+    st.resetInterval();
+    EXPECT_EQ(st.misses(0), 0u);
+    // The tag array survives the reset: the next access hits.
+    st.access(0, 5, 0);
+    EXPECT_EQ(st.hitsAt(0, 0), 1u);
+}
+
+TEST(ShadowTags, StandaloneEstimateTracksTruth)
+{
+    // A core cycling through fewer blocks than the associativity
+    // should be measured as ~100% hits after warm-up.
+    ShadowTags st(1, 1024, 8, 32);
+    Rng rng(3);
+    std::vector<Addr> blocks;
+    for (int b = 0; b < 6; ++b)
+        blocks.push_back(b * 1024); // all map to sampled set 0
+    for (int i = 0; i < 1000; ++i)
+        st.access(0, blocks[rng.below(blocks.size())], 0);
+    double hits = 0;
+    for (int p = 0; p < 8; ++p)
+        hits += st.hitsAt(0, p);
+    const double total = hits + st.misses(0);
+    EXPECT_GT(hits / total, 0.98);
+}
+
+TEST(ShadowTags, TinyCacheStillSamples)
+{
+    // Fewer sets than the sampling factor: at least one set sampled.
+    ShadowTags st(1, 8, 4, 32);
+    st.access(0, 0, 0);
+    st.access(0, 0, 0);
+    EXPECT_EQ(st.misses(0) + st.hitsAt(0, 0), 2u);
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for IntervalSnapshot arithmetic, PriSM's core-selection
+ * sampling statistics, and Algorithm 1's gain smoothing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/shared_cache.hh"
+#include "sim/runner.hh"
+#include "common/rng.hh"
+#include "prism/alloc_hitmax.hh"
+#include "prism/prism_scheme.hh"
+#include "workload/generator.hh"
+
+using namespace prism;
+
+TEST(IntervalSnapshot, FractionHelpers)
+{
+    IntervalSnapshot snap;
+    snap.totalBlocks = 1000;
+    snap.intervalMisses = 400;
+    snap.cores.resize(2);
+    snap.cores[0].occupancyBlocks = 250;
+    snap.cores[0].sharedMisses = 100;
+    snap.cores[1].occupancyBlocks = 750;
+    snap.cores[1].sharedMisses = 300;
+
+    EXPECT_DOUBLE_EQ(snap.occupancyFraction(0), 0.25);
+    EXPECT_DOUBLE_EQ(snap.occupancyFraction(1), 0.75);
+    EXPECT_DOUBLE_EQ(snap.missFraction(0), 0.25);
+    EXPECT_DOUBLE_EQ(snap.missFraction(1), 0.75);
+}
+
+TEST(IntervalSnapshot, MissFractionWithNoMisses)
+{
+    IntervalSnapshot snap;
+    snap.totalBlocks = 1000;
+    snap.intervalMisses = 0;
+    snap.cores.resize(1);
+    EXPECT_DOUBLE_EQ(snap.missFraction(0), 0.0);
+}
+
+TEST(CoreIntervalStats, StandAloneHitHelpers)
+{
+    CoreIntervalStats cs;
+    cs.shadowHitsAtPosition = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(cs.standAloneHits(), 100.0);
+    EXPECT_DOUBLE_EQ(cs.standAloneHitsWithWays(2), 30.0);
+    EXPECT_DOUBLE_EQ(cs.standAloneHitsWithWays(99), 100.0);
+    EXPECT_DOUBLE_EQ(cs.standAloneHitsWithWays(0), 0.0);
+}
+
+namespace
+{
+
+struct FixedTargets : PrismAllocPolicy
+{
+    explicit FixedTargets(std::vector<double> t)
+        : targets(std::move(t))
+    {}
+
+    std::string name() const override { return "Fixed"; }
+
+    std::vector<double>
+    computeTargets(const IntervalSnapshot &) override
+    {
+        return targets;
+    }
+
+    unsigned arithmeticOps(unsigned) const override { return 0; }
+
+    std::vector<double> targets;
+};
+
+} // namespace
+
+TEST(CoreSelection, RealisedEvictionsFollowDistribution)
+{
+    // Cores stream symmetric traffic; with a fixed skewed target the
+    // realised eviction shares must track the computed E closely.
+    CacheConfig cfg;
+    cfg.sizeBytes = 256 * 1024;
+    cfg.ways = 8;
+    cfg.numCores = 2;
+    cfg.intervalMisses = 4096;
+    SharedCache cache(cfg);
+    PrismScheme scheme(2,
+                       std::make_unique<FixedTargets>(
+                           std::vector<double>{0.5, 0.5}),
+                       17);
+    cache.setScheme(&scheme);
+
+    Rng rng(23);
+    std::uint64_t evicted[2] = {0, 0};
+    for (int i = 0; i < 400000; ++i) {
+        const CoreId c = static_cast<CoreId>(rng.below(2));
+        const auto res =
+            cache.access(c, makeBlockAddr(c, rng.below(16384)));
+        if (res.evicted)
+            ++evicted[res.evictedOwner];
+    }
+    // Equal targets + symmetric traffic -> equal eviction shares.
+    const double total =
+        static_cast<double>(evicted[0] + evicted[1]);
+    EXPECT_NEAR(evicted[0] / total, 0.5, 0.05);
+}
+
+TEST(CoreSelection, SkewedTargetsSkewEvictions)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 256 * 1024;
+    cfg.ways = 8;
+    cfg.numCores = 2;
+    cfg.intervalMisses = 4096;
+    SharedCache cache(cfg);
+    PrismScheme scheme(2,
+                       std::make_unique<FixedTargets>(
+                           std::vector<double>{0.8, 0.2}),
+                       17);
+    cache.setScheme(&scheme);
+
+    Rng rng(29);
+    std::uint64_t evicted[2] = {0, 0};
+    for (int i = 0; i < 400000; ++i) {
+        const CoreId c = static_cast<CoreId>(rng.below(2));
+        const auto res =
+            cache.access(c, makeBlockAddr(c, rng.below(16384)));
+        if (res.evicted)
+            ++evicted[res.evictedOwner];
+    }
+    // Core 1 (target 0.2) must absorb clearly more evictions.
+    EXPECT_GT(evicted[1], evicted[0]);
+}
+
+TEST(HitMaxSmoothing, GainsAreAveragedAcrossIntervals)
+{
+    HitMaxPolicy policy;
+    IntervalSnapshot snap;
+    snap.totalBlocks = 4096;
+    snap.ways = 16;
+    snap.intervalMisses = 2048;
+    snap.cores.resize(2);
+    for (auto &c : snap.cores) {
+        c.occupancyBlocks = 2048;
+        c.sharedHits = 1000;
+        // Both cores carry a persistent gain of 1000 hits.
+        c.shadowHitsAtPosition.assign(16, 2000.0 / 16);
+    }
+
+    // Interval 1: symmetric -> equal targets.
+    auto t = policy.computeTargets(snap);
+    EXPECT_NEAR(t[0], 0.5, 1e-9);
+
+    // Interval 2: core 0 suddenly shows a huge gain; the smoothed
+    // response is attenuated relative to an unsmoothed policy.
+    auto spike = snap;
+    spike.cores[0].shadowHitsAtPosition.assign(16, 9000.0 / 16);
+    t = policy.computeTargets(spike);
+    const double smoothed_first = t[0];
+    EXPECT_GT(smoothed_first, 0.5);
+
+    // Feeding the same spike repeatedly converges further upward as
+    // the EWMA approaches the new gain level.
+    for (int i = 0; i < 8; ++i)
+        t = policy.computeTargets(spike);
+    EXPECT_GT(t[0], smoothed_first + 0.01);
+}
+
+TEST(RunnerOptions, ProbBitsPlumbedThrough)
+{
+    MachineConfig m = MachineConfig::forCores(4);
+    m.instrBudget = 150'000;
+    m.warmupInstr = 50'000;
+    Runner runner(m);
+    Workload w{"t", {"179.art", "470.lbm", "403.gcc", "300.twolf"}};
+
+    SchemeOptions opt;
+    opt.probBits = 6;
+    const auto res = runner.run(w, SchemeKind::PrismH, opt);
+    // Each mean probability must be representable-ish in 6 bits
+    // (weak check that quantisation actually happened upstream: run
+    // completes and yields a normalised distribution).
+    double sum = 0;
+    for (double e : res.evProbMean)
+        sum += e;
+    EXPECT_NEAR(sum, 1.0, 0.25);
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for RunningStat (Welford) and the mean helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+using namespace prism;
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, MatchesDirectComputation)
+{
+    Rng rng(77);
+    std::vector<double> xs;
+    RunningStat s;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform() * 10 - 5;
+        xs.push_back(x);
+        s.add(x);
+    }
+    double mean = 0;
+    for (double x : xs)
+        mean += x;
+    mean /= xs.size();
+    double var = 0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= xs.size();
+
+    EXPECT_NEAR(s.mean(), mean, 1e-9);
+    EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(RunningStat, ConstantSeriesHasZeroStddev)
+{
+    RunningStat s;
+    for (int i = 0; i < 100; ++i)
+        s.add(0.25);
+    EXPECT_NEAR(s.stddev(), 0.0, 1e-12);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Stats, GeomeanOfConstants)
+{
+    const std::vector<double> v{2.0, 2.0, 2.0};
+    EXPECT_NEAR(geomean(v), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanKnownValue)
+{
+    const std::vector<double> v{1.0, 4.0};
+    EXPECT_NEAR(geomean(v), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MeanKnownValue)
+{
+    const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, GeomeanBelowArithmeticMean)
+{
+    const std::vector<double> v{1.0, 10.0, 100.0};
+    EXPECT_LT(geomean(v), mean(v));
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for the post-run statistics dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "sim/system.hh"
+
+using namespace prism;
+
+TEST(StatsDump, ContainsAllSections)
+{
+    MachineConfig m = MachineConfig::forCores(4);
+    m.instrBudget = 100'000;
+    m.warmupInstr = 30'000;
+    Workload w{"t", {"403.gcc", "186.crafty", "197.parser",
+                     "462.libquantum"}};
+    System sys(m, w, nullptr);
+    sys.run();
+
+    std::ostringstream os;
+    sys.dumpStats(os);
+    const std::string out = os.str();
+
+    for (const char *key :
+         {"system.cores 4", "system.llc.size_bytes", "system.llc.ways",
+          "system.llc.total_misses", "system.llc.writebacks",
+          "system.mem.read_requests", "system.mem.writebacks",
+          "core0.benchmark 403.gcc", "core3.benchmark 462.libquantum",
+          "core0.instructions", "core0.l1_hits",
+          "core3.occupancy_blocks"})
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+}
+
+TEST(StatsDump, CountersAreConsistent)
+{
+    MachineConfig m = MachineConfig::forCores(4);
+    m.instrBudget = 100'000;
+    m.warmupInstr = 0;
+    Workload w{"t", {"403.gcc", "186.crafty", "197.parser",
+                     "462.libquantum"}};
+    System sys(m, w, nullptr);
+    sys.run();
+
+    std::ostringstream os;
+    sys.dumpStats(os);
+    std::istringstream in(os.str());
+
+    std::map<std::string, std::string> kv;
+    std::string k, v;
+    while (in >> k >> v)
+        kv[k] = v;
+
+    // Per-core hits+misses sum to the cache totals.
+    std::uint64_t hits = 0, misses = 0;
+    for (int c = 0; c < 4; ++c) {
+        hits += std::stoull(kv["core" + std::to_string(c) +
+                               ".llc_hits"]);
+        misses += std::stoull(kv["core" + std::to_string(c) +
+                                 ".llc_misses"]);
+    }
+    EXPECT_EQ(misses, std::stoull(kv["system.llc.total_misses"]));
+    // Reads to DRAM equal LLC misses (no prefetching).
+    EXPECT_EQ(misses, std::stoull(kv["system.mem.read_requests"]));
+}

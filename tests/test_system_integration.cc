@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Integration tests: whole-system simulations exercising the runner,
+ * the timing model and cross-scheme behavioural properties the paper
+ * relies on. These use deliberately small instruction budgets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/runner.hh"
+
+using namespace prism;
+
+namespace
+{
+
+MachineConfig
+tinyQuad()
+{
+    MachineConfig m = MachineConfig::forCores(4);
+    m.instrBudget = 300'000;
+    m.warmupInstr = 150'000;
+    return m;
+}
+
+} // namespace
+
+TEST(System, RunsToCompletion)
+{
+    MachineConfig m = tinyQuad();
+    Workload w{"t", {"403.gcc", "186.crafty", "197.parser",
+                     "462.libquantum"}};
+    System sys(m, w, nullptr);
+    const auto res = sys.run();
+    ASSERT_EQ(res.cores.size(), 4u);
+    for (const auto &c : res.cores) {
+        EXPECT_GE(c.instructions, m.instrBudget);
+        EXPECT_GT(c.cycles, 0.0);
+        EXPECT_GT(c.ipc(), 0.0);
+    }
+}
+
+TEST(System, DeterministicAcrossRuns)
+{
+    MachineConfig m = tinyQuad();
+    Workload w{"t", {"403.gcc", "300.twolf", "197.parser", "470.lbm"}};
+    System a(m, w, nullptr), b(m, w, nullptr);
+    const auto ra = a.run(), rb = b.run();
+    for (int c = 0; c < 4; ++c) {
+        EXPECT_DOUBLE_EQ(ra.cores[c].cycles, rb.cores[c].cycles);
+        EXPECT_EQ(ra.cores[c].llcMisses, rb.cores[c].llcMisses);
+    }
+}
+
+TEST(System, SeedChangesOutcomeSlightly)
+{
+    MachineConfig m = tinyQuad();
+    Workload w{"t", {"403.gcc", "300.twolf", "197.parser", "470.lbm"}};
+    System a(m, w, nullptr);
+    m.seed = 999;
+    System b(m, w, nullptr);
+    const auto ra = a.run(), rb = b.run();
+    std::uint64_t miss_a = 0, miss_b = 0;
+    for (int c = 0; c < 4; ++c) {
+        miss_a += ra.cores[c].llcMisses;
+        miss_b += rb.cores[c].llcMisses;
+    }
+    EXPECT_NE(miss_a, miss_b);
+}
+
+TEST(System, WorkloadSizeMustMatchCores)
+{
+    MachineConfig m = tinyQuad();
+    Workload w{"t", {"403.gcc"}};
+    EXPECT_DEATH(System(m, w, nullptr), "");
+}
+
+TEST(System, RejectsMismatchedCoreCount)
+{
+    MachineConfig m = tinyQuad();
+    m.numCores = 2;
+    Runner r(m);
+    Workload w{"t", {"403.gcc", "300.twolf", "197.parser", "470.lbm"}};
+    EXPECT_DEATH(r.run(w, SchemeKind::Baseline), "");
+}
+
+TEST(Runner, StandaloneIpcIsCached)
+{
+    Runner r(tinyQuad());
+    const double a = r.standaloneIpc("403.gcc");
+    const double b = r.standaloneIpc("403.gcc");
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GT(a, 0.0);
+}
+
+TEST(Runner, StandaloneBeatsShared)
+{
+    // A cache-sensitive program must run at least as fast alone as it
+    // does in a contended mix (the premise of ANTT).
+    MachineConfig m = tinyQuad();
+    Runner r(m);
+    Workload w{"t", {"300.twolf", "470.lbm", "462.libquantum",
+                     "433.milc"}};
+    const auto res = r.run(w, SchemeKind::Baseline);
+    EXPECT_LE(res.ipc[0], res.ipcStandalone[0] * 1.02);
+    EXPECT_GE(res.antt(), 1.0);
+}
+
+TEST(Runner, AllSchemesProduceValidResults)
+{
+    MachineConfig m = tinyQuad();
+    Runner r(m);
+    Workload w{"t", {"179.art", "403.gcc", "300.twolf", "470.lbm"}};
+    for (auto kind :
+         {SchemeKind::Baseline, SchemeKind::UCP, SchemeKind::PIPP,
+          SchemeKind::TADIP, SchemeKind::FairWP, SchemeKind::PrismH,
+          SchemeKind::PrismF, SchemeKind::PrismQ,
+          SchemeKind::WPHitMax}) {
+        const auto res = r.run(w, kind);
+        EXPECT_EQ(res.scheme, schemeName(kind));
+        for (double ipc : res.ipc)
+            EXPECT_GT(ipc, 0.0) << res.scheme;
+        EXPECT_GT(res.antt(), 0.9) << res.scheme;
+        EXPECT_GT(res.fairness(), 0.0) << res.scheme;
+        EXPECT_LE(res.fairness(), 1.0) << res.scheme;
+    }
+}
+
+TEST(Runner, VantageRunsOnTimestampLru)
+{
+    MachineConfig m = tinyQuad();
+    m.repl = ReplKind::TimestampLRU;
+    Runner r(m);
+    Workload w{"t", {"179.art", "403.gcc", "300.twolf", "470.lbm"}};
+    const auto res = r.run(w, SchemeKind::Vantage);
+    for (double ipc : res.ipc)
+        EXPECT_GT(ipc, 0.0);
+}
+
+TEST(Runner, PrismReportsInternalStats)
+{
+    MachineConfig m = tinyQuad();
+    Runner r(m);
+    Workload w{"t", {"179.art", "403.gcc", "300.twolf", "470.lbm"}};
+    const auto res = r.run(w, SchemeKind::PrismH);
+    EXPECT_GT(res.recomputes, 0u);
+    ASSERT_EQ(res.evProbMean.size(), 4u);
+    double esum = 0;
+    for (double e : res.evProbMean)
+        esum += e;
+    EXPECT_NEAR(esum, 1.0, 0.2);
+}
+
+TEST(Runner, StreamerGainsNothingFromCache)
+{
+    // Property behind hit-maximisation: a streaming program's IPC is
+    // nearly identical under LRU and under PriSM-H even though its
+    // occupancy shrinks drastically.
+    MachineConfig m = tinyQuad();
+    m.instrBudget = 500'000;
+    Runner r(m);
+    Workload w{"t", {"179.art", "300.twolf", "470.lbm",
+                     "462.libquantum"}};
+    const auto lru = r.run(w, SchemeKind::Baseline);
+    const auto ph = r.run(w, SchemeKind::PrismH);
+    EXPECT_NEAR(ph.ipc[2], lru.ipc[2], lru.ipc[2] * 0.1);
+    EXPECT_NEAR(ph.ipc[3], lru.ipc[3], lru.ipc[3] * 0.1);
+}
+
+TEST(System, TraceWorkloadsRun)
+{
+    // Drive one core from a trace file end to end.
+    const std::string path =
+        testing::TempDir() + "prism_sys_trace.txt";
+    {
+        std::ofstream out(path);
+        for (int i = 0; i < 4096; ++i)
+            out << i << "\n";
+    }
+    MachineConfig m = tinyQuad();
+    Workload w{"t", {"trace:" + path, "403.gcc", "300.twolf",
+                     "470.lbm"}};
+    System sys(m, w, nullptr);
+    const auto res = sys.run();
+    std::remove(path.c_str());
+    EXPECT_GT(res.cores[0].ipc(), 0.0);
+    // The 4096-block trace loops inside the LLC: high hit rate.
+    EXPECT_GT(res.cores[0].llcHits, res.cores[0].llcMisses);
+}
+
+TEST(Runner, MachineConfigForCoresMatchesPaper)
+{
+    EXPECT_EQ(MachineConfig::forCores(4).llcBytes, 4ull << 20);
+    EXPECT_EQ(MachineConfig::forCores(4).llcWays, 16u);
+    EXPECT_EQ(MachineConfig::forCores(8).llcBytes, 4ull << 20);
+    EXPECT_EQ(MachineConfig::forCores(16).llcBytes, 8ull << 20);
+    EXPECT_EQ(MachineConfig::forCores(16).llcWays, 32u);
+    EXPECT_EQ(MachineConfig::forCores(32).llcBytes, 16ull << 20);
+    EXPECT_EQ(MachineConfig::forCores(32).llcWays, 64u);
+    EXPECT_EQ(MachineConfig::forCores(4).controllers(), 1u);
+    EXPECT_EQ(MachineConfig::forCores(32).controllers(), 8u);
+}

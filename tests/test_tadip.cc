@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for TA-DIP's per-core insertion dueling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/shared_cache.hh"
+#include "policies/tadip.hh"
+
+using namespace prism;
+
+namespace
+{
+
+CacheConfig
+cfg()
+{
+    CacheConfig c;
+    c.sizeBytes = 256 * 1024; // 1024 sets of 4 ways
+    c.ways = 4;
+    c.numCores = 2;
+    c.intervalMisses = 1u << 20;
+    return c;
+}
+
+} // namespace
+
+TEST(Tadip, StartsNeutral)
+{
+    TadipScheme s(4, 1);
+    for (CoreId c = 0; c < 4; ++c) {
+        EXPECT_EQ(s.psel(c), 511u);
+        EXPECT_FALSE(s.usesBip(c));
+    }
+}
+
+TEST(Tadip, VictimDelegatesToBasePolicy)
+{
+    SharedCache cache(cfg());
+    TadipScheme scheme(2, 1);
+    cache.setScheme(&scheme);
+    // Fill set 0; victim should be the LRU block.
+    for (std::uint64_t t = 0; t < 4; ++t)
+        cache.access(0, t * 1024);
+    cache.access(1, 9 * 1024);
+    EXPECT_FALSE(cache.access(0, 0).hit); // oldest fill evicted
+}
+
+TEST(Tadip, LruLeaderMissesRaisePsel)
+{
+    // Fills into core 0's LRU-leader sets vote against LRU: PSEL
+    // rises monotonically towards the BIP side. Leader sets use the
+    // documented hash so we can target them directly.
+    SharedCache cache(cfg());
+    TadipScheme scheme(2, 1);
+    cache.setScheme(&scheme);
+
+    std::vector<std::uint32_t> lru_leaders;
+    for (std::uint32_t s = 0; s < cache.numSets(); ++s)
+        if ((s * 2654435761u) % 64 == 0)
+            lru_leaders.push_back(s);
+    ASSERT_FALSE(lru_leaders.empty());
+
+    const unsigned before = scheme.psel(0);
+    std::uint64_t tag = 1;
+    for (int round = 0; round < 50; ++round)
+        for (auto s : lru_leaders)
+            cache.access(0, (tag++) * cache.numSets() + s);
+    EXPECT_GT(scheme.psel(0), before);
+}
+
+TEST(Tadip, FollowerInsertionRespectsPsel)
+{
+    SharedCache cache(cfg());
+    TadipScheme scheme(2, 1);
+    cache.setScheme(&scheme);
+
+    // Find a follower set for core 0 by probing insertion behaviour
+    // is impractical directly; instead verify the aggregate: with
+    // PSEL biased to BIP, most fills land at the LRU position.
+    // Drive PSEL to the BIP side by construction: misses in LRU
+    // leader sets increment it.
+    for (std::uint64_t t = 0; t < 400000 && !scheme.usesBip(0); ++t)
+        cache.access(0, t * 7919);
+    if (scheme.usesBip(0)) {
+        // Insert into a full set and check the block lands at LRU.
+        int lru_inserts = 0, total = 0;
+        for (std::uint32_t s = 0; s < 64; ++s) {
+            // Fill the set with core 1 first.
+            for (std::uint64_t t = 0; t < 4; ++t)
+                cache.access(1, (t + 600000) * 1024 + s);
+            cache.access(0, (900000 + s) * 1024 + s);
+            const SetView set = cache.setView(s);
+            const int lru_way = recency::lruWay(set.state);
+            if (set.blocks[lru_way].owner == 0)
+                ++lru_inserts;
+            ++total;
+        }
+        EXPECT_GT(lru_inserts, total / 2);
+    }
+}
+
+TEST(Tadip, PselSaturates)
+{
+    TadipScheme s(1, 1);
+    // PSEL must stay within [0, 1023] no matter what.
+    SharedCache cache(cfg());
+    cache.setScheme(&s);
+    for (std::uint64_t t = 0; t < 500000; ++t)
+        cache.access(0, t);
+    EXPECT_LE(s.psel(0), 1023u);
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the set-associative Vantage adaptation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/shared_cache.hh"
+#include "common/rng.hh"
+#include "policies/vantage.hh"
+
+using namespace prism;
+
+namespace
+{
+
+CacheConfig
+cfg()
+{
+    CacheConfig c;
+    c.sizeBytes = 64 * 1024; // 1024 blocks
+    c.ways = 8;              // 128 sets
+    c.numCores = 2;
+    c.repl = ReplKind::TimestampLRU;
+    c.intervalMisses = 1u << 20;
+    return c;
+}
+
+} // namespace
+
+TEST(Vantage, InitialTargetsShareManagedRegion)
+{
+    VantageScheme v(2, 1024, 8);
+    EXPECT_NEAR(v.targetBlocks(0), 0.95 * 1024 / 2, 1.0);
+    EXPECT_NEAR(v.targetBlocks(1), 0.95 * 1024 / 2, 1.0);
+}
+
+TEST(Vantage, ApertureZeroWhenUnderTarget)
+{
+    VantageScheme v(2, 1024, 8);
+    EXPECT_DOUBLE_EQ(v.aperture(0), 0.0);
+}
+
+TEST(Vantage, FillsAreManaged)
+{
+    SharedCache cache(cfg());
+    VantageScheme v(2, 1024, 8);
+    cache.setScheme(&v);
+    for (std::uint64_t t = 0; t < 100; ++t)
+        cache.access(0, t);
+    EXPECT_EQ(v.managedSize(0), 100u);
+}
+
+TEST(Vantage, OverTargetPartitionGetsDemoted)
+{
+    SharedCache cache(cfg());
+    VantageScheme v(2, 1024, 8);
+    cache.setScheme(&v);
+
+    // Core 0 floods the cache far past its ~487-block target.
+    for (std::uint64_t t = 0; t < 20000; ++t)
+        cache.access(0, t % 4096);
+    EXPECT_GT(v.demotions(), 0u);
+    // Managed size should be pulled towards the target.
+    EXPECT_LT(v.managedSize(0), 1024u);
+}
+
+TEST(Vantage, VictimPrefersUnmanagedRegion)
+{
+    SharedCache cache(cfg());
+    VantageScheme v(2, 1024, 8);
+    cache.setScheme(&v);
+    // Warm up with enough traffic that demotions populate the
+    // unmanaged region; forced evictions should then be rare.
+    for (std::uint64_t t = 0; t < 50000; ++t)
+        cache.access(0, t % 4096);
+    const double forced_frac =
+        static_cast<double>(v.forcedEvictions()) / 50000.0;
+    EXPECT_LT(forced_frac, 0.5);
+}
+
+TEST(Vantage, HitPromotesUnmanagedBlock)
+{
+    SharedCache cache(cfg());
+    VantageScheme v(2, 1024, 8);
+    cache.setScheme(&v);
+
+    cache.access(0, 42);
+    // Manually demote the block, then hit it: it must be re-promoted.
+    const std::uint32_t set_idx = cache.setIndex(42);
+    SetView set = cache.setView(set_idx);
+    for (std::size_t w = 0; w < set.ways(); ++w) {
+        if (set.blocks[w].valid && set.blocks[w].tag == 42) {
+            set.blocks[w].region = regionUnmanaged;
+        }
+    }
+    const auto before = v.managedSize(0);
+    cache.access(0, 42);
+    EXPECT_EQ(v.managedSize(0), before + 1);
+}
+
+TEST(Vantage, IntervalRecomputesTargets)
+{
+    VantageScheme v(2, 1024, 8);
+    IntervalSnapshot snap;
+    snap.totalBlocks = 1024;
+    snap.ways = 8;
+    snap.intervalMisses = 512;
+    snap.cores.resize(2);
+    snap.cores[0].shadowHitsAtPosition = {100, 100, 100, 100,
+                                          100, 100, 100, 100};
+    snap.cores[1].shadowHitsAtPosition = {1, 0, 0, 0, 0, 0, 0, 0};
+    v.onIntervalEnd(snap);
+    EXPECT_GT(v.targetBlocks(0), v.targetBlocks(1));
+    const double total = v.targetBlocks(0) + v.targetBlocks(1);
+    EXPECT_NEAR(total, 0.95 * 1024, 2.0);
+}
+
+TEST(Vantage, ManagedSizeConservation)
+{
+    SharedCache cache(cfg());
+    VantageScheme v(2, 1024, 8);
+    cache.setScheme(&v);
+    Rng rng(8);
+    for (int i = 0; i < 100000; ++i)
+        cache.access(static_cast<CoreId>(rng.below(2)),
+                     rng.below(8192));
+
+    // Managed counters must equal a direct scan of the block array.
+    std::uint64_t managed[2] = {0, 0};
+    for (std::uint32_t s = 0; s < cache.numSets(); ++s) {
+        SetView set = cache.setView(s);
+        for (const auto &blk : set.blocks)
+            if (blk.valid && blk.region == regionManaged)
+                ++managed[blk.owner];
+    }
+    EXPECT_EQ(v.managedSize(0), managed[0]);
+    EXPECT_EQ(v.managedSize(1), managed[1]);
+}

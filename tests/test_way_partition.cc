@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for way-partition enforcement, UCP and Kim-fairness schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/shared_cache.hh"
+#include "policies/way_partition.hh"
+
+using namespace prism;
+
+namespace
+{
+
+CacheConfig
+cfg2core()
+{
+    CacheConfig c;
+    c.sizeBytes = 64 * 1024;
+    c.ways = 4;
+    c.numCores = 2;
+    c.intervalMisses = 1u << 20; // effectively off
+    return c;
+}
+
+Addr
+addrFor(std::uint32_t set, std::uint64_t tag)
+{
+    return static_cast<Addr>(tag) * 256 + set;
+}
+
+} // namespace
+
+TEST(RoundFractions, BasicLargestRemainder)
+{
+    const auto a = roundFractionsToWays({0.5, 0.3, 0.2}, 10);
+    EXPECT_EQ(a[0], 5u);
+    EXPECT_EQ(a[1], 3u);
+    EXPECT_EQ(a[2], 2u);
+}
+
+TEST(RoundFractions, SumsExactly)
+{
+    const auto a = roundFractionsToWays({0.33, 0.33, 0.34}, 16);
+    EXPECT_EQ(a[0] + a[1] + a[2], 16u);
+}
+
+TEST(RoundFractions, EnforcesOneWayMinimum)
+{
+    const auto a = roundFractionsToWays({0.98, 0.01, 0.01}, 8);
+    EXPECT_GE(a[1], 1u);
+    EXPECT_GE(a[2], 1u);
+    EXPECT_EQ(a[0] + a[1] + a[2], 8u);
+}
+
+TEST(RoundFractions, DegenerateZeroFractions)
+{
+    const auto a = roundFractionsToWays({0.0, 0.0}, 8);
+    EXPECT_EQ(a[0], 4u);
+    EXPECT_EQ(a[1], 4u);
+}
+
+TEST(WayPartition, InitialEvenSplit)
+{
+    UcpScheme s(4, 16);
+    for (auto a : s.allocation())
+        EXPECT_EQ(a, 4u);
+}
+
+TEST(WayPartition, SetAllocationValidates)
+{
+    UcpScheme s(2, 4);
+    s.setAllocation({3, 1});
+    EXPECT_EQ(s.allocation()[0], 3u);
+    EXPECT_DEATH(s.setAllocation({3, 3}), "");
+}
+
+TEST(WayPartition, EnforcesQuotaOnMiss)
+{
+    SharedCache cache(cfg2core());
+    UcpScheme scheme(2, 4);
+    scheme.setAllocation({3, 1});
+    cache.setScheme(&scheme);
+
+    // Core 1 fills the whole set first.
+    for (std::uint64_t t = 0; t < 4; ++t)
+        cache.access(1, addrFor(0, t));
+    // Core 0 misses repeatedly: core 1 is over quota (4 > 1), so its
+    // blocks are the victims until core 0 reaches its quota of 3.
+    for (std::uint64_t t = 10; t < 13; ++t)
+        cache.access(0, addrFor(0, t));
+    EXPECT_EQ(cache.countInSet(0, 0), 3u);
+    EXPECT_EQ(cache.countInSet(0, 1), 1u);
+}
+
+TEST(WayPartition, AtQuotaEvictsOwnBlocks)
+{
+    SharedCache cache(cfg2core());
+    UcpScheme scheme(2, 4);
+    scheme.setAllocation({2, 2});
+    cache.setScheme(&scheme);
+
+    for (std::uint64_t t = 0; t < 2; ++t)
+        cache.access(0, addrFor(0, t));
+    for (std::uint64_t t = 5; t < 7; ++t)
+        cache.access(1, addrFor(0, t));
+    // Core 0 at quota: its next miss evicts its own LRU block.
+    cache.access(0, addrFor(0, 100));
+    EXPECT_EQ(cache.countInSet(0, 0), 2u);
+    EXPECT_EQ(cache.countInSet(0, 1), 2u);
+    EXPECT_FALSE(cache.access(0, addrFor(0, 0)).hit); // tag 0 evicted
+}
+
+TEST(Ucp, IntervalAdoptsLookahead)
+{
+    UcpScheme scheme(2, 4);
+    IntervalSnapshot snap;
+    snap.totalBlocks = 1024;
+    snap.ways = 4;
+    snap.intervalMisses = 512;
+    snap.cores.resize(2);
+    // Core 0's curve dominates: it should win the spare ways.
+    snap.cores[0].shadowHitsAtPosition = {100, 100, 100, 100};
+    snap.cores[1].shadowHitsAtPosition = {1, 0, 0, 0};
+    scheme.onIntervalEnd(snap);
+    EXPECT_EQ(scheme.allocation()[0], 3u);
+    EXPECT_EQ(scheme.allocation()[1], 1u);
+}
+
+TEST(KimFair, MovesWayToMostAffectedCore)
+{
+    KimFairScheme scheme(2, 4);
+    IntervalSnapshot snap;
+    snap.totalBlocks = 1024;
+    snap.ways = 4;
+    snap.intervalMisses = 512;
+    snap.cores.resize(2);
+    // Core 0 suffers 4x miss inflation; core 1 runs at stand-alone.
+    snap.cores[0].sharedMisses = 400;
+    snap.cores[0].shadowMisses = 100;
+    snap.cores[1].sharedMisses = 110;
+    snap.cores[1].shadowMisses = 100;
+    scheme.onIntervalEnd(snap);
+    EXPECT_EQ(scheme.allocation()[0], 3u);
+    EXPECT_EQ(scheme.allocation()[1], 1u);
+}
+
+TEST(KimFair, StableWhenBalanced)
+{
+    KimFairScheme scheme(2, 4);
+    IntervalSnapshot snap;
+    snap.totalBlocks = 1024;
+    snap.ways = 4;
+    snap.intervalMisses = 512;
+    snap.cores.resize(2);
+    snap.cores[0].sharedMisses = 200;
+    snap.cores[0].shadowMisses = 100;
+    snap.cores[1].sharedMisses = 201;
+    snap.cores[1].shadowMisses = 100;
+    scheme.onIntervalEnd(snap);
+    EXPECT_EQ(scheme.allocation()[0], 2u);
+    EXPECT_EQ(scheme.allocation()[1], 2u);
+}
+
+TEST(KimFair, NeverDrainsDonorBelowOneWay)
+{
+    KimFairScheme scheme(2, 4);
+    IntervalSnapshot snap;
+    snap.totalBlocks = 1024;
+    snap.ways = 4;
+    snap.intervalMisses = 512;
+    snap.cores.resize(2);
+    snap.cores[0].sharedMisses = 1000;
+    snap.cores[0].shadowMisses = 100;
+    snap.cores[1].sharedMisses = 100;
+    snap.cores[1].shadowMisses = 100;
+    for (int i = 0; i < 10; ++i)
+        scheme.onIntervalEnd(snap);
+    EXPECT_EQ(scheme.allocation()[1], 1u);
+    EXPECT_EQ(scheme.allocation()[0], 3u);
+}

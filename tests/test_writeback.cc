@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for dirty-block tracking and write-back reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/shared_cache.hh"
+#include "sim/memory_system.hh"
+
+using namespace prism;
+
+namespace
+{
+
+CacheConfig
+cfg()
+{
+    CacheConfig c;
+    c.sizeBytes = 64 * 1024;
+    c.ways = 4;
+    c.numCores = 1;
+    c.intervalMisses = 1u << 30;
+    return c;
+}
+
+Addr
+addrFor(std::uint32_t set, std::uint64_t tag)
+{
+    return static_cast<Addr>(tag) * 256 + set;
+}
+
+} // namespace
+
+TEST(Writeback, CleanEvictionHasNoWriteback)
+{
+    SharedCache c(cfg());
+    for (std::uint64_t t = 0; t < 5; ++t) {
+        const auto res = c.access(0, addrFor(0, t), /*store=*/false);
+        EXPECT_FALSE(res.writeback);
+    }
+    EXPECT_EQ(c.writebacks(), 0u);
+}
+
+TEST(Writeback, StoreFillMarksDirty)
+{
+    SharedCache c(cfg());
+    c.access(0, addrFor(0, 0), true);
+    for (std::uint64_t t = 1; t < 4; ++t)
+        c.access(0, addrFor(0, t), false);
+    // Evicting the (LRU) dirty block reports a writeback.
+    const auto res = c.access(0, addrFor(0, 9), false);
+    EXPECT_TRUE(res.evicted);
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Writeback, StoreHitDirtiesCleanBlock)
+{
+    SharedCache c(cfg());
+    c.access(0, addrFor(0, 0), false); // clean fill
+    c.access(0, addrFor(0, 0), true);  // store hit -> dirty
+    for (std::uint64_t t = 1; t < 4; ++t)
+        c.access(0, addrFor(0, t), false);
+    const auto res = c.access(0, addrFor(0, 9), false);
+    EXPECT_TRUE(res.writeback);
+}
+
+TEST(Writeback, DirtyBitClearedOnRefill)
+{
+    SharedCache c(cfg());
+    c.access(0, addrFor(0, 0), true);
+    for (std::uint64_t t = 1; t < 5; ++t)
+        c.access(0, addrFor(0, t), false); // evicts the dirty block
+    EXPECT_EQ(c.writebacks(), 1u);
+    // The way now holds a clean block; evicting it again is clean.
+    for (std::uint64_t t = 5; t < 9; ++t)
+        c.access(0, addrFor(0, t), false);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Writeback, MemorySystemCountsWrites)
+{
+    MemorySystem mem(2, 10.0, 200.0);
+    mem.writeback(1, 0.0);
+    mem.writeback(2, 0.0);
+    EXPECT_EQ(mem.writebacks(), 2u);
+    EXPECT_EQ(mem.requests(), 0u); // writes are not read requests
+}
+
+TEST(Writeback, WritesOccupyControllerBandwidth)
+{
+    MemorySystem mem(1, 10.0, 200.0);
+    mem.writeback(1, 0.0);
+    // The following read queues behind the write's service slot.
+    EXPECT_DOUBLE_EQ(mem.request(1, 0.0), 210.0);
+}

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * prism_sim — command-line driver for the PriSM simulator.
+ *
+ * Runs a multi-programmed workload on the paper's evaluation machine
+ * under any of the built-in cache-management schemes and prints
+ * per-core statistics plus the summary metrics.
+ *
+ * Examples:
+ *   prism_sim --cores 4 --workload Q7 --scheme PriSM-H
+ *   prism_sim --mix 179.art,470.lbm,403.gcc,300.twolf --scheme UCP
+ *   prism_sim --cores 16 --workload S3 --scheme PriSM-F --csv
+ *   prism_sim --list-benchmarks
+ */
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "common/table.hh"
+#include "sim/runner.hh"
+#include "workload/profiles.hh"
+
+using namespace prism;
+
+namespace
+{
+
+struct Options
+{
+    unsigned cores = 4;
+    std::string workload;
+    std::string mix;
+    std::string scheme = "PriSM-H";
+    std::string repl = "LRU";
+    std::uint64_t instr = 1'500'000;
+    std::uint64_t warmup = 500'000;
+    std::uint64_t seed = 0x5EED0001ULL;
+    unsigned bits = 0;
+    double qos_frac = 0.8;
+    bool csv = false;
+    bool stats = false;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "usage: prism_sim [options]\n"
+        "  --cores N            4, 8, 16 or 32 (default 4)\n"
+        "  --workload NAME      suite mix, e.g. Q7, E3, S12, T5\n"
+        "  --mix a,b,c,...      explicit benchmark list (one per core)\n"
+        "  --scheme NAME        LRU | UCP | PIPP | TA-DIP | FairWP |\n"
+        "                       Vantage | PriSM-H | PriSM-F | PriSM-Q |\n"
+        "                       PriSM-LA | WP-HitMax | StaticWP\n"
+        "                       (default PriSM-H)\n"
+        "  --repl NAME          LRU | TS-LRU | DIP | RRIP | Random\n"
+        "  --instr N            instructions per core (default 1.5M)\n"
+        "  --warmup N           warm-up instructions (default 500k)\n"
+        "  --seed N             simulation seed\n"
+        "  --bits K             K-bit PriSM probabilities (0 = float)\n"
+        "  --qos-frac F         PriSM-Q IPC floor fraction (default 0.8)\n"
+        "  --csv                machine-readable output\n"
+        "  --stats              dump raw simulator statistics\n"
+        "  --list-benchmarks    print the profile library and exit\n"
+        "  --list-workloads     print the suite mixes and exit\n";
+}
+
+SchemeKind
+parseScheme(const std::string &name)
+{
+    for (SchemeKind kind :
+         {SchemeKind::Baseline, SchemeKind::UCP, SchemeKind::PIPP,
+          SchemeKind::TADIP, SchemeKind::FairWP, SchemeKind::Vantage,
+          SchemeKind::PrismH, SchemeKind::PrismF, SchemeKind::PrismQ,
+          SchemeKind::PrismLA, SchemeKind::WPHitMax,
+          SchemeKind::StaticWP}) {
+        if (name == schemeName(kind))
+            return kind;
+    }
+    if (name == "LRU")
+        return SchemeKind::Baseline;
+    fatal("unknown scheme '" + name + "' (try --help)");
+}
+
+ReplKind
+parseRepl(const std::string &name)
+{
+    for (ReplKind kind : {ReplKind::LRU, ReplKind::TimestampLRU,
+                          ReplKind::DIP, ReplKind::RRIP,
+                          ReplKind::Random}) {
+        if (name == replKindName(kind))
+            return kind;
+    }
+    fatal("unknown replacement policy '" + name + "'");
+}
+
+std::vector<std::string>
+splitMix(const std::string &mix)
+{
+    std::vector<std::string> out;
+    std::istringstream in(mix);
+    std::string item;
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+void
+listBenchmarks()
+{
+    const auto &lib = ProfileLibrary::instance();
+    Table t({"benchmark", "category", "working set (blocks)",
+             "mem ratio", "MLP"});
+    auto cat = [](BenchCategory c) {
+        switch (c) {
+          case BenchCategory::Friendly:
+            return "friendly";
+          case BenchCategory::Streaming:
+            return "streaming";
+          case BenchCategory::Intensive:
+            return "intensive";
+          case BenchCategory::Insensitive:
+            return "insensitive";
+        }
+        return "?";
+    };
+    for (const auto &name : lib.names()) {
+        const auto &p = lib.get(name);
+        std::uint64_t footprint = p.locality.workingSetBlocks +
+                                  p.locality.loopBlocks;
+        t.addRow({p.name, cat(p.category), std::to_string(footprint),
+                  Table::num(p.memRatio, 2), Table::num(p.mlp, 1)});
+    }
+    t.print(std::cout);
+}
+
+void
+listWorkloads()
+{
+    for (unsigned cores : {4u, 8u, 16u, 32u}) {
+        for (const auto &w : suites::forCoreCount(cores)) {
+            std::cout << w.name << ":";
+            for (const auto &b : w.benchmarks)
+                std::cout << ' ' << b;
+            std::cout << '\n';
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            fatalIf(i + 1 >= argc, "missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list-benchmarks") {
+            listBenchmarks();
+            return 0;
+        } else if (arg == "--list-workloads") {
+            listWorkloads();
+            return 0;
+        } else if (arg == "--cores") {
+            opt.cores = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--workload") {
+            opt.workload = value();
+        } else if (arg == "--mix") {
+            opt.mix = value();
+        } else if (arg == "--scheme") {
+            opt.scheme = value();
+        } else if (arg == "--repl") {
+            opt.repl = value();
+        } else if (arg == "--instr") {
+            opt.instr = std::stoull(value());
+        } else if (arg == "--warmup") {
+            opt.warmup = std::stoull(value());
+        } else if (arg == "--seed") {
+            opt.seed = std::stoull(value());
+        } else if (arg == "--bits") {
+            opt.bits = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--qos-frac") {
+            opt.qos_frac = std::stod(value());
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else {
+            usage();
+            fatal("unknown option '" + arg + "'");
+        }
+    }
+
+    // Resolve the workload.
+    Workload workload;
+    if (!opt.mix.empty()) {
+        workload.name = "custom";
+        workload.benchmarks = splitMix(opt.mix);
+        opt.cores = static_cast<unsigned>(workload.benchmarks.size());
+    } else if (!opt.workload.empty()) {
+        bool found = false;
+        for (unsigned cores : {4u, 8u, 16u, 32u}) {
+            for (const auto &w : suites::forCoreCount(cores)) {
+                if (w.name == opt.workload) {
+                    workload = w;
+                    opt.cores = cores;
+                    found = true;
+                }
+            }
+        }
+        fatalIf(!found, "unknown workload '" + opt.workload + "'");
+    } else {
+        workload = suites::forCoreCount(opt.cores).front();
+    }
+
+    MachineConfig machine = MachineConfig::forCores(opt.cores);
+    machine.instrBudget = opt.instr;
+    machine.warmupInstr = opt.warmup;
+    machine.seed = opt.seed;
+    machine.repl = parseRepl(opt.repl);
+
+    SchemeOptions scheme_opt;
+    scheme_opt.probBits = opt.bits;
+    scheme_opt.qosTargetFrac = opt.qos_frac;
+    std::ostringstream stats;
+    if (opt.stats)
+        scheme_opt.statsSink = &stats;
+
+    Runner runner(machine);
+    const RunResult res =
+        runner.run(workload, parseScheme(opt.scheme), scheme_opt);
+
+    Table t({"core", "benchmark", "IPC", "IPC alone", "slowdown",
+             "LLC hits", "LLC misses", "occupancy"});
+    for (std::size_t c = 0; c < res.ipc.size(); ++c)
+        t.addRow({std::to_string(c), res.benchmarks[c],
+                  Table::num(res.ipc[c]),
+                  Table::num(res.ipcStandalone[c]),
+                  Table::num(res.ipc[c] / res.ipcStandalone[c], 2),
+                  std::to_string(res.llcHits[c]),
+                  std::to_string(res.llcMisses[c]),
+                  Table::num(res.occupancyAtFinish[c], 3)});
+
+    if (opt.csv) {
+        t.printCsv(std::cout);
+    } else {
+        std::cout << "workload " << workload.name << " on "
+                  << opt.cores << " cores, scheme " << res.scheme
+                  << ", repl " << opt.repl << "\n\n";
+        t.print(std::cout);
+        std::cout << "\nANTT " << Table::num(res.antt())
+                  << " (lower is better), fairness "
+                  << Table::num(res.fairness()) << ", throughput "
+                  << Table::num(res.ipcThroughput()) << " IPC\n";
+        if (res.recomputes)
+            std::cout << "PriSM: " << res.recomputes
+                      << " recomputations, victimless fraction "
+                      << Table::pct(res.victimlessFraction) << "\n";
+    }
+    if (opt.stats)
+        std::cout << "\n" << stats.str();
+    return 0;
+}
