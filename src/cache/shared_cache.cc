@@ -138,8 +138,37 @@ SharedCache::access(CoreId core, Addr addr, bool is_store)
 }
 
 void
+SharedCache::auditAndRepairOwnership()
+{
+    std::vector<std::uint64_t> counted(config_.numCores, 0);
+    for (const CacheBlock &blk : blocks_)
+        if (blk.valid && blk.owner < config_.numCores)
+            ++counted[blk.owner];
+
+    bool mismatch = false;
+    for (CoreId c = 0; c < config_.numCores; ++c)
+        mismatch |= counted[c] != occupancy_[c];
+    if (mismatch) {
+        ++invariant_violations_;
+        ++ownership_repairs_;
+        occupancy_ = std::move(counted);
+    }
+}
+
+void
 SharedCache::endInterval()
 {
+    // Fault-injection seam: corrupt the live occupancy counters
+    // before they are snapshotted. In checked mode the audit then
+    // detects the drift and repairs it from the resident blocks;
+    // unchecked, the corruption flows into Equation 1, whose
+    // hardened inputs clamp it.
+    if (occupancy_fault_hook_)
+        occupancy_fault_hook_(occupancy_, config_.numBlocks(),
+                              intervals_ + 1);
+    if (checked_)
+        auditAndRepairOwnership();
+
     IntervalSnapshot snap;
     snap.totalBlocks = numBlocks();
     snap.ways = config_.ways;

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cache/cache_block.hh"
@@ -111,6 +112,38 @@ class SharedCache
     }
 
     /**
+     * Hook invoked at each interval boundary with the live per-core
+     * occupancy counters, the block count and the 1-based interval
+     * index — the fault-injection seam (a FaultInjector corrupts the
+     * counters here without the cache depending on it).
+     */
+    void
+    setOccupancyFaultHook(
+        std::function<bool(std::vector<std::uint64_t> &, std::uint64_t,
+                           std::uint64_t)>
+            hook)
+    {
+        occupancy_fault_hook_ = std::move(hook);
+    }
+
+    /**
+     * Checked mode: audit block-ownership invariants at every
+     * interval boundary and repair the occupancy counters from the
+     * blocks actually resident when they disagree.
+     */
+    void setChecked(bool on) { checked_ = on; }
+    bool checked() const { return checked_; }
+
+    /** Ownership invariant violations detected in checked mode. */
+    std::uint64_t invariantViolations() const
+    {
+        return invariant_violations_;
+    }
+
+    /** Occupancy-counter repairs performed in checked mode. */
+    std::uint64_t ownershipRepairs() const { return ownership_repairs_; }
+
+    /**
      * Perform one access by @p core to block address @p addr.
      * @param is_store Marks the block dirty; a dirty block's later
      *        eviction is reported as a writeback.
@@ -132,6 +165,13 @@ class SharedCache
 
     /** Borrowed view of set @p set_idx. */
     SetView setView(std::uint32_t set_idx);
+
+    /** Read-only view of every block frame (audit hooks). */
+    std::span<const CacheBlock>
+    blocks() const
+    {
+        return blocks_;
+    }
 
     // --- occupancy & statistics ---
     std::uint64_t
@@ -174,6 +214,13 @@ class SharedCache
   private:
     void endInterval();
 
+    /**
+     * Recount per-core ownership from the resident blocks and repair
+     * the incremental occupancy counters if they disagree (checked
+     * mode; counters can only drift under fault injection).
+     */
+    void auditAndRepairOwnership();
+
     CacheConfig config_;
     std::uint32_t num_sets_;
     std::uint64_t interval_w_;
@@ -197,6 +244,14 @@ class SharedCache
     std::uint64_t intervals_ = 0;
 
     std::function<void(IntervalSnapshot &)> timing_hook_;
+
+    // --- robustness (checked mode / fault injection) ---
+    std::function<bool(std::vector<std::uint64_t> &, std::uint64_t,
+                       std::uint64_t)>
+        occupancy_fault_hook_;
+    bool checked_ = false;
+    std::uint64_t invariant_violations_ = 0;
+    std::uint64_t ownership_repairs_ = 0;
 };
 
 } // namespace prism

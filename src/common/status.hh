@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A recoverable error channel beside panic()/fatal().
+ *
+ * panic() and fatal() end the process; they are the right tool for
+ * programming errors and impossible configurations detected at
+ * start-up. Runtime robustness machinery (the invariant auditor, the
+ * fault-spec parser, configuration validation) instead reports
+ * problems through Status values so the caller can recover, degrade
+ * gracefully or surface an actionable message.
+ */
+
+#ifndef PRISM_COMMON_STATUS_HH
+#define PRISM_COMMON_STATUS_HH
+
+#include <string>
+#include <utility>
+
+namespace prism
+{
+
+/** Success, or an error carrying a human-readable message. */
+class Status
+{
+  public:
+    /** Default construction is success. */
+    Status() = default;
+
+    /** Build an error status with @p msg (must be non-empty). */
+    static Status
+    error(std::string msg)
+    {
+        Status s;
+        s.msg_ = msg.empty() ? std::string("unknown error")
+                             : std::move(msg);
+        return s;
+    }
+
+    bool ok() const { return msg_.empty(); }
+    explicit operator bool() const { return ok(); }
+
+    /** Empty string when ok(). */
+    const std::string &message() const { return msg_; }
+
+  private:
+    std::string msg_;
+};
+
+} // namespace prism
+
+#endif // PRISM_COMMON_STATUS_HH

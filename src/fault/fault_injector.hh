@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection for the PriSM control
+ * loop.
+ *
+ * A FaultInjector perturbs the interval machinery at recompute
+ * boundaries according to a schedule parsed from a compact spec
+ * string. All randomness (which core to hit, how hard) comes from an
+ * explicitly seeded Rng, so a given (spec, seed) pair reproduces the
+ * exact same fault sequence run after run — faults are testable, not
+ * flaky.
+ *
+ * Spec grammar (see docs/TESTING.md):
+ *
+ *   spec    := clause (',' clause)*
+ *   clause  := kind '@' period [ '+' phase ]
+ *   kind    := occ | stale | drop | nan | inf | quant | shadow
+ *
+ * Intervals are 1-based. "kind@N" fires at intervals N, 2N, 3N, ...;
+ * "kind@N+K" fires at K, K+N, K+2N, ... Example:
+ *
+ *   nan@4,occ@3+1,drop@10
+ *
+ * poisons one Equation 1 input with NaN every 4th interval, corrupts
+ * an occupancy counter at intervals 1, 4, 7, ... and loses every 10th
+ * recompute event.
+ */
+
+#ifndef PRISM_FAULT_FAULT_INJECTOR_HH
+#define PRISM_FAULT_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/partition_scheme.hh"
+#include "common/rng.hh"
+#include "common/status.hh"
+
+namespace prism
+{
+
+/** The fault classes the injector can introduce (spec keywords). */
+enum class FaultKind : unsigned
+{
+    CorruptOccupancy, ///< "occ": skew a per-core occupancy counter
+    StaleSnapshot,    ///< "stale": reuse the previous interval inputs
+    DropRecompute,    ///< "drop": lose one interval recompute event
+    PoisonNan,        ///< "nan": NaN into one Equation 1 input
+    PoisonInf,        ///< "inf": Inf into one Equation 1 input
+    QuantSaturate,    ///< "quant": saturate the probability encoding
+    ShadowSkew,       ///< "shadow": mis-scale shadow-tag estimates
+};
+
+inline constexpr unsigned numFaultKinds = 7;
+
+/** Spec keyword for @p kind ("occ", "nan", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** One parsed clause of a fault spec: kind@period[+phase]. */
+struct FaultClause
+{
+    FaultKind kind = FaultKind::CorruptOccupancy;
+    std::uint64_t period = 1; ///< fire every this many intervals
+    std::uint64_t phase = 0;  ///< first firing interval; 0 = period
+
+    /** Whether this clause fires at 1-based interval @p interval. */
+    bool
+    firesAt(std::uint64_t interval) const
+    {
+        const std::uint64_t first = phase ? phase : period;
+        return interval >= first && (interval - first) % period == 0;
+    }
+};
+
+/**
+ * Parse @p spec into clauses. Returns an error Status naming the
+ * offending clause on malformed input; @p out is only written on
+ * success.
+ */
+Status parseFaultSpec(const std::string &spec,
+                      std::vector<FaultClause> &out);
+
+/** Schedules and applies faults; counts every injection. */
+class FaultInjector
+{
+  public:
+    FaultInjector(std::vector<FaultClause> clauses, std::uint64_t seed);
+
+    /** Whether any clause of @p kind fires at @p interval. */
+    bool fires(FaultKind kind, std::uint64_t interval) const;
+
+    // --- appliers: each mutates its target and counts the injection
+    // --- when (and only when) a clause of its kind fires.
+
+    /**
+     * Corrupt one core's occupancy counter: zero it, halve it or
+     * overcount it by a quarter of the cache. @p occupancy is the
+     * cache's live counter array.
+     */
+    bool corruptOccupancy(std::vector<std::uint64_t> &occupancy,
+                          std::uint64_t total_blocks,
+                          std::uint64_t interval);
+
+    /**
+     * Mis-scale one core's shadow-tag estimates in @p snap (lost
+     * counts, 4x overcount or sign corruption).
+     */
+    bool skewShadow(IntervalSnapshot &snap, std::uint64_t interval);
+
+    /**
+     * Poison one entry of the Equation 1 input vectors with NaN
+     * (PoisonNan) and/or +-Inf (PoisonInf).
+     */
+    bool poisonInputs(std::vector<double> &occ_frac,
+                      std::vector<double> &miss_frac,
+                      std::uint64_t interval);
+
+    /** The caller should reuse the previous interval's inputs. */
+    bool staleSnapshot(std::uint64_t interval);
+
+    /** The caller should skip this recompute entirely. */
+    bool dropRecompute(std::uint64_t interval);
+
+    /**
+     * Saturate the encoded distribution: scale every entry up by a
+     * random gain and clamp at 1, as a fixed-point pipeline whose
+     * accumulator overflowed would.
+     */
+    bool saturateQuantisation(std::vector<double> &e,
+                              std::uint64_t interval);
+
+    /** Total injections so far, across all kinds. */
+    std::uint64_t injected() const { return injected_; }
+
+    /** Injections of one kind. */
+    std::uint64_t
+    injectedOf(FaultKind kind) const
+    {
+        return per_kind_[static_cast<unsigned>(kind)];
+    }
+
+  private:
+    void
+    count(FaultKind kind)
+    {
+        ++injected_;
+        ++per_kind_[static_cast<unsigned>(kind)];
+    }
+
+    std::vector<FaultClause> clauses_;
+    Rng rng_;
+    std::uint64_t injected_ = 0;
+    std::array<std::uint64_t, numFaultKinds> per_kind_{};
+};
+
+} // namespace prism
+
+#endif // PRISM_FAULT_FAULT_INJECTOR_HH

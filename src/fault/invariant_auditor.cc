@@ -1,0 +1,81 @@
+#include "fault/invariant_auditor.hh"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cache/shared_cache.hh"
+
+namespace prism
+{
+
+Status
+InvariantAuditor::checkDistribution(std::span<const double> e)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < e.size(); ++i) {
+        const double v = e[i];
+        if (!std::isfinite(v)) {
+            ++violations_;
+            return Status::error("distribution: E[" +
+                                 std::to_string(i) +
+                                 "] is not finite");
+        }
+        if (v < -eps_ || v > 1.0 + eps_) {
+            ++violations_;
+            return Status::error("distribution: E[" +
+                                 std::to_string(i) + "] = " +
+                                 std::to_string(v) +
+                                 " outside [0, 1]");
+        }
+        sum += v;
+    }
+    if (std::abs(sum - 1.0) > eps_) {
+        ++violations_;
+        return Status::error("distribution: sum(E) = " +
+                             std::to_string(sum) + ", expected 1");
+    }
+    return Status();
+}
+
+Status
+InvariantAuditor::checkOwnership(const SharedCache &cache)
+{
+    const std::uint32_t cores = cache.config().numCores;
+    std::vector<std::uint64_t> counted(cores, 0);
+    std::uint64_t resident = 0;
+    for (const CacheBlock &blk : cache.blocks()) {
+        if (!blk.valid)
+            continue;
+        ++resident;
+        if (blk.owner >= cores) {
+            ++violations_;
+            return Status::error("ownership: resident block owned by "
+                                 "invalid core " +
+                                 std::to_string(blk.owner));
+        }
+        ++counted[blk.owner];
+    }
+
+    std::uint64_t global = 0;
+    for (CoreId c = 0; c < cores; ++c) {
+        global += cache.occupancy(c);
+        if (counted[c] != cache.occupancy(c)) {
+            ++violations_;
+            return Status::error(
+                "ownership: core " + std::to_string(c) + " counter " +
+                std::to_string(cache.occupancy(c)) + " != " +
+                std::to_string(counted[c]) + " blocks counted in sets");
+        }
+    }
+    if (global != resident) {
+        ++violations_;
+        return Status::error("ownership: counters sum to " +
+                             std::to_string(global) + " but " +
+                             std::to_string(resident) +
+                             " blocks are resident");
+    }
+    return Status();
+}
+
+} // namespace prism

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-interval invariant checks for the PriSM core.
+ *
+ * PriSM's correctness rests on numeric invariants the paper states
+ * but hardware (and this simulator, under fault injection) can
+ * violate: the eviction distribution must sum to 1 with every entry
+ * finite and in [0,1] (Equation 1 after renormalisation), and the
+ * cache's per-core block-ownership counters must agree with the
+ * blocks actually resident. The auditor checks them and reports
+ * violations as recoverable Status values — the caller decides how to
+ * degrade (renormalise, repair counters, or fall back to the
+ * underlying replacement policy) instead of aborting.
+ */
+
+#ifndef PRISM_FAULT_INVARIANT_AUDITOR_HH
+#define PRISM_FAULT_INVARIANT_AUDITOR_HH
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.hh"
+
+namespace prism
+{
+
+class SharedCache;
+
+/** Checks PriSM invariants; counts the violations it finds. */
+class InvariantAuditor
+{
+  public:
+    /** @param epsilon Tolerance on the distribution-sum check. */
+    explicit InvariantAuditor(double epsilon = 1e-6)
+        : eps_(epsilon)
+    {
+    }
+
+    /**
+     * Check that @p e is a probability distribution: every entry
+     * finite and in [0, 1], entries summing to 1 within epsilon.
+     */
+    Status checkDistribution(std::span<const double> e);
+
+    /**
+     * Check that per-core block ownership in @p cache is consistent:
+     * counting owners set by set must reproduce the cache's global
+     * per-core occupancy counters, and the counters must sum to the
+     * number of resident blocks.
+     */
+    Status checkOwnership(const SharedCache &cache);
+
+    /** Violations found so far (across both checks). */
+    std::uint64_t violations() const { return violations_; }
+
+    double epsilon() const { return eps_; }
+
+  private:
+    double eps_;
+    std::uint64_t violations_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_FAULT_INVARIANT_AUDITOR_HH

@@ -1,15 +1,58 @@
 #include "prism/eq1.hh"
 
+#include <cmath>
+
 #include "common/prism_assert.hh"
 
 namespace prism
 {
 
+namespace
+{
+
+/**
+ * Clamp one Equation 1 input into [0, 1]. NaN (no information) maps
+ * to 0; +Inf saturates at 1, -Inf at 0 — so a single corrupted
+ * counter degrades the estimate for one core instead of poisoning the
+ * whole distribution.
+ */
+double
+clampUnit(double v)
+{
+    if (std::isnan(v))
+        return 0.0;
+    if (v < 0.0)
+        return 0.0;
+    if (v > 1.0)
+        return 1.0;
+    return v;
+}
+
+bool
+validUnit(double v)
+{
+    return std::isfinite(v) && v >= 0.0 && v <= 1.0;
+}
+
+} // namespace
+
 double
 eq1(double occupancy_c, double target_t, double miss_frac_m,
     std::uint64_t blocks_n, std::uint64_t interval_w)
 {
-    panicIf(interval_w == 0, "eq1: zero interval length");
+    occupancy_c = clampUnit(occupancy_c);
+    target_t = clampUnit(target_t);
+    miss_frac_m = clampUnit(miss_frac_m);
+
+    if (interval_w == 0) {
+        // Limit of N/W -> infinity: any occupancy error dominates.
+        if (occupancy_c > target_t)
+            return 1.0;
+        if (occupancy_c < target_t)
+            return 0.0;
+        return miss_frac_m;
+    }
+
     const double n_over_w = static_cast<double>(blocks_n) /
                             static_cast<double>(interval_w);
     const double e = (occupancy_c - target_t) * n_over_w + miss_frac_m;
@@ -41,17 +84,31 @@ std::vector<double>
 evictionDistribution(const std::vector<double> &occupancy,
                      const std::vector<double> &targets,
                      const std::vector<double> &miss_frac,
-                     std::uint64_t blocks_n, std::uint64_t interval_w)
+                     std::uint64_t blocks_n, std::uint64_t interval_w,
+                     Eq1Stats *stats)
 {
     const std::size_t n = occupancy.size();
     panicIf(targets.size() != n || miss_frac.size() != n,
             "evictionDistribution: size mismatch");
 
+    // Sanitise inputs up front: NaN/Inf/out-of-range values (stale or
+    // corrupted counters upstream) are clamped into [0, 1] and
+    // counted rather than propagated into the distribution.
+    auto sanitize = [&](double v) {
+        if (validUnit(v))
+            return v;
+        if (stats)
+            ++stats->clampedInputs;
+        return clampUnit(v);
+    };
+
+    std::vector<double> m(n);
     std::vector<double> e(n);
     double sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-        e[i] = eq1(occupancy[i], targets[i], miss_frac[i], blocks_n,
-                   interval_w);
+        m[i] = sanitize(miss_frac[i]);
+        e[i] = eq1(sanitize(occupancy[i]), sanitize(targets[i]), m[i],
+                   blocks_n, interval_w);
         sum += e[i];
     }
 
@@ -82,11 +139,11 @@ evictionDistribution(const std::vector<double> &occupancy,
         }
         if (w_sum <= 0.0) {
             double m_sum = 0.0;
-            for (double m : miss_frac)
-                m_sum += m;
+            for (double mi : m)
+                m_sum += mi;
             if (m_sum > 0.0) {
                 for (std::size_t i = 0; i < n; ++i)
-                    w[i] = miss_frac[i];
+                    w[i] = m[i];
                 w_sum = m_sum;
             } else {
                 for (auto &v : w)

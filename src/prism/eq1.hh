@@ -24,7 +24,21 @@
 namespace prism
 {
 
-/** The clamped single-core Equation 1. */
+/** Counters filled in by the hardened distribution construction. */
+struct Eq1Stats
+{
+    /** Inputs that were NaN/Inf/outside [0,1] and had to be clamped. */
+    std::uint64_t clampedInputs = 0;
+};
+
+/**
+ * The clamped single-core Equation 1.
+ *
+ * Hardened: non-finite or out-of-range inputs are clamped into
+ * [0, 1] (NaN and -Inf to 0, +Inf to 1) before evaluation, and
+ * @p interval_w == 0 takes the analytic limit (occupancy error
+ * dominates) instead of dividing by zero.
+ */
 double eq1(double occupancy_c, double target_t, double miss_frac_m,
            std::uint64_t blocks_n, std::uint64_t interval_w);
 
@@ -46,17 +60,23 @@ double predictedOccupancy(double occupancy_c, double miss_frac_m,
  * the miss fractions, which leaves occupancies unchanged in
  * expectation.
  *
+ * Inputs are sanitised first: NaN/Inf or out-of-range entries are
+ * clamped into [0, 1] and counted in @p stats instead of propagating
+ * into the distribution.
+ *
  * @param occupancy Per-core C_i.
  * @param targets Per-core T_i.
  * @param miss_frac Per-core M_i (should sum to ~1).
  * @param blocks_n N.
  * @param interval_w W.
+ * @param stats Optional clamp counters (may be null).
  */
 std::vector<double>
 evictionDistribution(const std::vector<double> &occupancy,
                      const std::vector<double> &targets,
                      const std::vector<double> &miss_frac,
-                     std::uint64_t blocks_n, std::uint64_t interval_w);
+                     std::uint64_t blocks_n, std::uint64_t interval_w,
+                     Eq1Stats *stats = nullptr);
 
 } // namespace prism
 

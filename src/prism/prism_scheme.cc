@@ -1,5 +1,7 @@
 #include "prism/prism_scheme.hh"
 
+#include <cmath>
+
 #include "cache/shared_cache.hh"
 #include "common/prism_assert.hh"
 #include "prism/eq1.hh"
@@ -51,6 +53,13 @@ PrismScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
     (void)core;
     ++replacements_;
 
+    if (fallback_) {
+        // Degraded: the last recompute produced an unrecoverable
+        // distribution, so probabilistic core selection is off and
+        // the underlying replacement policy serves the interval.
+        return cache.repl().victim(set);
+    }
+
     const CoreId victim_core = sampleVictimCore();
 
     if (allowed_.size() < set.ways())
@@ -87,25 +96,97 @@ PrismScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
 void
 PrismScheme::onIntervalEnd(const IntervalSnapshot &snap)
 {
-    targets_ = policy_->computeTargets(snap);
+    const std::uint64_t interval = ++interval_idx_;
+    bool degraded = false;
+
+    if (injector_ && injector_->dropRecompute(interval)) {
+        // The recompute event was lost: keep serving the previous
+        // distribution for another interval.
+        ++dropped_recomputes_;
+        ++degraded_intervals_;
+        return;
+    }
+
+    const IntervalSnapshot *input = &snap;
+    IntervalSnapshot perturbed;
+    if (injector_) {
+        perturbed = snap;
+        injector_->skewShadow(perturbed, interval);
+        input = &perturbed;
+    }
+
+    targets_ = policy_->computeTargets(*input);
 
     std::vector<double> c(num_cores_), m(num_cores_);
     for (CoreId i = 0; i < num_cores_; ++i) {
-        c[i] = snap.occupancyFraction(i);
-        m[i] = snap.missFraction(i);
+        c[i] = input->occupancyFraction(i);
+        m[i] = input->missFraction(i);
     }
 
-    e_ = evictionDistribution(c, targets_, m, snap.totalBlocks,
-                              snap.intervalMisses);
+    if (injector_) {
+        std::vector<double> clean_c = c, clean_m = m;
+        if (!prev_c_.empty() &&
+            injector_->staleSnapshot(interval)) {
+            c = prev_c_;
+            m = prev_m_;
+            degraded = true;
+        }
+        injector_->poisonInputs(c, m, interval);
+        prev_c_ = std::move(clean_c);
+        prev_m_ = std::move(clean_m);
+    }
+
+    Eq1Stats recompute_stats;
+    e_ = evictionDistribution(c, targets_, m, input->totalBlocks,
+                              input->intervalMisses, &recompute_stats);
+    eq1_stats_.clampedInputs += recompute_stats.clampedInputs;
+    if (recompute_stats.clampedInputs > 0)
+        degraded = true;
 
     if (params_.probBits > 0) {
         const FixedPointCodec codec(params_.probBits);
         e_ = codec.quantiseDistribution(e_);
     }
 
+    if (injector_)
+        injector_->saturateQuantisation(e_, interval);
+
+    fallback_ = false;
+    if (checked_ && !auditor_.checkDistribution(e_).ok()) {
+        degraded = true;
+        if (!repairDistribution())
+            fallback_ = true;
+    }
+
+    if (degraded)
+        ++degraded_intervals_;
+
     ++recomputes_;
     for (CoreId i = 0; i < num_cores_; ++i)
         prob_stats_[i].add(e_[i]);
+}
+
+bool
+PrismScheme::repairDistribution()
+{
+    double sum = 0.0;
+    for (double &v : e_) {
+        if (!std::isfinite(v) || v < 0.0)
+            v = 0.0;
+        else if (v > 1.0)
+            v = 1.0;
+        sum += v;
+    }
+    if (sum <= 0.0) {
+        // No probability mass survived: leave a safe uniform
+        // distribution behind and tell the caller to fall back to
+        // the underlying replacement policy until the next interval.
+        e_.assign(num_cores_, 1.0 / num_cores_);
+        return false;
+    }
+    for (double &v : e_)
+        v /= sum;
+    return true;
 }
 
 } // namespace prism

@@ -28,7 +28,10 @@
 #include "common/fixed_point.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "fault/fault_injector.hh"
+#include "fault/invariant_auditor.hh"
 #include "prism/alloc_policy.hh"
+#include "prism/eq1.hh"
 
 namespace prism
 {
@@ -81,9 +84,58 @@ class PrismScheme : public PartitionScheme
     /** Mean/stddev tracker of core @p c's eviction probability. */
     const RunningStat &probStat(CoreId c) const { return prob_stats_[c]; }
 
+    // --- robustness: fault injection, auditing, degradation ---
+
+    /** Attach a fault injector (non-owning); null detaches. */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    const FaultInjector *faultInjector() const { return injector_; }
+
+    /** Audit the distribution each interval and recover in place. */
+    void setChecked(bool on) { checked_ = on; }
+    bool checked() const { return checked_; }
+
+    /**
+     * Intervals in which the scheme operated in a recovery regime:
+     * a recompute was dropped, inputs were stale or had to be
+     * clamped, or the distribution needed repair / fallback.
+     */
+    std::uint64_t degradedIntervals() const { return degraded_intervals_; }
+
+    /** Distribution invariant violations the auditor caught. */
+    std::uint64_t invariantViolations() const
+    {
+        return auditor_.violations();
+    }
+
+    /** Recompute events lost to injected faults. */
+    std::uint64_t droppedRecomputes() const { return dropped_recomputes_; }
+
+    /** Equation 1 inputs clamped for being NaN/Inf/out-of-range. */
+    std::uint64_t clampedInputs() const
+    {
+        return eq1_stats_.clampedInputs;
+    }
+
+    /**
+     * Whether the scheme is currently deferring to the underlying
+     * replacement policy (distribution was unrecoverable).
+     */
+    bool fallbackActive() const { return fallback_; }
+
   private:
     /** Draw a victim core id according to E. */
     CoreId sampleVictimCore();
+
+    /**
+     * Clamp and renormalise e_ in place after an audit failure.
+     * @return false when the distribution is unrecoverable (no
+     *         probability mass left) and fallback mode is required.
+     */
+    bool repairDistribution();
 
     std::uint32_t num_cores_;
     std::unique_ptr<PrismAllocPolicy> policy_;
@@ -100,6 +152,18 @@ class PrismScheme : public PartitionScheme
     std::uint64_t replacements_ = 0;
     std::uint64_t recomputes_ = 0;
     std::vector<RunningStat> prob_stats_;
+
+    // --- robustness state ---
+    FaultInjector *injector_ = nullptr; ///< non-owning; may be null
+    InvariantAuditor auditor_;
+    bool checked_ = false;
+    bool fallback_ = false; ///< defer to repl policy this interval
+    std::uint64_t interval_idx_ = 0;
+    std::uint64_t degraded_intervals_ = 0;
+    std::uint64_t dropped_recomputes_ = 0;
+    Eq1Stats eq1_stats_;
+    std::vector<double> prev_c_; ///< last clean C_i (stale fault)
+    std::vector<double> prev_m_; ///< last clean M_i (stale fault)
 };
 
 } // namespace prism

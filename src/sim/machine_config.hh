@@ -13,6 +13,8 @@
 #define PRISM_SIM_MACHINE_CONFIG_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "cache/repl_policy.hh"
 #include "cache/shared_cache.hh"
@@ -78,6 +80,73 @@ struct MachineConfig
         c.shadowSampling = shadowSampling;
         c.seed = seed;
         return c;
+    }
+
+    /**
+     * Check the configuration before any component is built.
+     *
+     * Returns one actionable message per problem found (empty means
+     * valid). Callers that cannot proceed (Runner, prism_sim) report
+     * the list instead of failing deep inside cache construction.
+     */
+    std::vector<std::string>
+    validate() const
+    {
+        std::vector<std::string> errors;
+        auto isPow2 = [](std::uint64_t v) {
+            return v != 0 && (v & (v - 1)) == 0;
+        };
+
+        if (numCores == 0)
+            errors.push_back("numCores must be at least 1");
+        if (llcWays == 0)
+            errors.push_back("llcWays must be at least 1");
+        if (!isPow2(blockBytes))
+            errors.push_back("blockBytes (" +
+                             std::to_string(blockBytes) +
+                             ") must be a power of two");
+        if (llcWays != 0 && blockBytes != 0) {
+            const std::uint64_t line =
+                static_cast<std::uint64_t>(blockBytes) * llcWays;
+            if (llcBytes == 0 || llcBytes % line != 0) {
+                errors.push_back(
+                    "llcBytes (" + std::to_string(llcBytes) +
+                    ") must be a non-zero multiple of blockBytes * "
+                    "llcWays (" +
+                    std::to_string(line) + ")");
+            } else if (!isPow2(llcBytes / line)) {
+                errors.push_back(
+                    "LLC set count (llcBytes / blockBytes / llcWays "
+                    "= " +
+                    std::to_string(llcBytes / line) +
+                    ") must be a power of two");
+            }
+        }
+        if (l1Ways == 0)
+            errors.push_back("l1Ways must be at least 1");
+        if (l1Ways != 0 && blockBytes != 0) {
+            const std::uint64_t line =
+                static_cast<std::uint64_t>(blockBytes) * l1Ways;
+            if (l1Bytes == 0 || l1Bytes % line != 0)
+                errors.push_back(
+                    "l1Bytes (" + std::to_string(l1Bytes) +
+                    ") must be a non-zero multiple of blockBytes * "
+                    "l1Ways (" +
+                    std::to_string(line) + ")");
+            else if (!isPow2(l1Bytes / line))
+                errors.push_back(
+                    "L1 set count (l1Bytes / blockBytes / l1Ways = " +
+                    std::to_string(l1Bytes / line) +
+                    ") must be a power of two");
+        }
+        if (instrBudget == 0)
+            errors.push_back("instrBudget must be at least 1");
+        if (warmupInstr >= instrBudget)
+            errors.push_back(
+                "warmupInstr (" + std::to_string(warmupInstr) +
+                ") must be smaller than instrBudget (" +
+                std::to_string(instrBudget) + ")");
+        return errors;
     }
 
     /**

@@ -1,6 +1,7 @@
 #include "sim/runner.hh"
 
 #include "common/prism_assert.hh"
+#include "fault/fault_injector.hh"
 #include "policies/pipp.hh"
 #include "policies/tadip.hh"
 #include "policies/vantage.hh"
@@ -144,6 +145,15 @@ RunResult
 Runner::run(const Workload &workload, SchemeKind kind,
             const SchemeOptions &options)
 {
+    {
+        const std::vector<std::string> errors = config_.validate();
+        if (!errors.empty()) {
+            std::string joined = "Runner: invalid machine configuration:";
+            for (const std::string &e : errors)
+                joined += "\n  - " + e;
+            fatal(joined);
+        }
+    }
     fatalIf(workload.benchmarks.size() != config_.numCores,
             "Runner::run: workload does not match machine core count");
 
@@ -159,8 +169,34 @@ Runner::run(const Workload &workload, SchemeKind kind,
     const double qos_target =
         options.qosTargetFrac * out.ipcStandalone[0];
 
+    std::unique_ptr<FaultInjector> injector;
+    if (!options.faultSpec.empty()) {
+        std::vector<FaultClause> clauses;
+        const Status st = parseFaultSpec(options.faultSpec, clauses);
+        fatalIf(!st.ok(), st.message());
+        injector = std::make_unique<FaultInjector>(
+            std::move(clauses), config_.seed ^ 0xFA017EC7ULL);
+    }
+
     auto scheme = makeScheme(kind, options, qos_target);
+    auto *prism_scheme = dynamic_cast<PrismScheme *>(scheme.get());
+    if (prism_scheme) {
+        prism_scheme->setChecked(options.checked);
+        prism_scheme->setFaultInjector(injector.get());
+    }
+
     System system(config_, workload, scheme.get());
+    system.llc().setChecked(options.checked);
+    if (injector) {
+        FaultInjector *inj = injector.get();
+        system.llc().setOccupancyFaultHook(
+            [inj](std::vector<std::uint64_t> &occ,
+                  std::uint64_t total_blocks, std::uint64_t interval) {
+                return inj->corruptOccupancy(occ, total_blocks,
+                                             interval);
+            });
+    }
+
     const SystemResult res = system.run();
     if (options.statsSink)
         system.dumpStats(*options.statsSink);
@@ -173,12 +209,22 @@ Runner::run(const Workload &workload, SchemeKind kind,
         out.occupancyAtFinish.push_back(res.cores[c].occupancyAtFinish);
     }
 
-    if (auto *prism = dynamic_cast<PrismScheme *>(scheme.get())) {
-        out.victimlessFraction = prism->victimlessFraction();
-        out.recomputes = prism->recomputes();
+    out.invariantViolations = system.llc().invariantViolations();
+    out.ownershipRepairs = system.llc().ownershipRepairs();
+    if (injector)
+        out.faultsInjected = injector->injected();
+
+    if (prism_scheme) {
+        out.victimlessFraction = prism_scheme->victimlessFraction();
+        out.recomputes = prism_scheme->recomputes();
+        out.degradedIntervals = prism_scheme->degradedIntervals();
+        out.invariantViolations += prism_scheme->invariantViolations();
+        out.clampedEq1Inputs = prism_scheme->clampedInputs();
+        out.droppedRecomputes = prism_scheme->droppedRecomputes();
         for (CoreId c = 0; c < config_.numCores; ++c) {
-            out.evProbMean.push_back(prism->probStat(c).mean());
-            out.evProbStddev.push_back(prism->probStat(c).stddev());
+            out.evProbMean.push_back(prism_scheme->probStat(c).mean());
+            out.evProbStddev.push_back(
+                prism_scheme->probStat(c).stddev());
         }
     }
     return out;

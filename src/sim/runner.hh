@@ -60,6 +60,20 @@ struct SchemeOptions
 
     /** If non-null, System::dumpStats() is written here post-run. */
     std::ostream *statsSink = nullptr;
+
+    /**
+     * Fault-injection spec ("" = none); grammar in docs/TESTING.md.
+     * The injector is seeded from the machine seed, so a fixed
+     * (seed, spec) pair reproduces identical fault sequences.
+     */
+    std::string faultSpec;
+
+    /**
+     * Checked mode: audit the eviction distribution and the cache's
+     * ownership counters every interval, repairing / degrading
+     * instead of propagating violations.
+     */
+    bool checked = false;
 };
 
 /** Full outcome of one workload run under one scheme. */
@@ -82,6 +96,15 @@ struct RunResult
     std::vector<double> evProbMean;
     std::vector<double> evProbStddev;
     std::uint64_t recomputes = 0;
+
+    // --- robustness statistics (checked mode / fault injection) ---
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t degradedIntervals = 0;
+    /** Distribution + ownership invariant violations detected. */
+    std::uint64_t invariantViolations = 0;
+    std::uint64_t ownershipRepairs = 0;
+    std::uint64_t clampedEq1Inputs = 0;
+    std::uint64_t droppedRecomputes = 0;
 
     double antt() const;
     double fairness() const;

@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "common/prism_assert.hh"
+#include "prism/prism_scheme.hh"
 #include "workload/trace_generator.hh"
 
 namespace prism
@@ -217,7 +218,26 @@ System::dumpStats(std::ostream &os) const
        << "system.mem.read_requests " << mem_.requests() << "\n"
        << "system.mem.writebacks " << mem_.writebacks() << "\n"
        << "system.mem.mean_queue_cycles " << mem_.meanQueueCycles()
+       << "\n"
+       << "system.llc.checked " << (llc_.checked() ? 1 : 0) << "\n"
+       << "system.llc.invariant_violations "
+       << llc_.invariantViolations() << "\n"
+       << "system.llc.ownership_repairs " << llc_.ownershipRepairs()
        << "\n";
+    if (const auto *p = dynamic_cast<const PrismScheme *>(scheme_)) {
+        os << "prism.recomputes " << p->recomputes() << "\n"
+           << "prism.degraded_intervals " << p->degradedIntervals()
+           << "\n"
+           << "prism.invariant_violations " << p->invariantViolations()
+           << "\n"
+           << "prism.dropped_recomputes " << p->droppedRecomputes()
+           << "\n"
+           << "prism.clamped_eq1_inputs " << p->clampedInputs()
+           << "\n";
+        if (p->faultInjector())
+            os << "prism.faults_injected "
+               << p->faultInjector()->injected() << "\n";
+    }
     for (CoreId c = 0; c < config_.numCores; ++c) {
         const Core &core = cores_[c];
         const std::string p = "core" + std::to_string(c) + ".";

@@ -101,5 +101,55 @@ TEST(Cli, UnknownSchemeFails)
 TEST(Cli, UnknownOptionFails)
 {
     const auto [code, out] = run("--frobnicate");
-    EXPECT_NE(code, 0);
+    EXPECT_EQ(code, 2);
+    EXPECT_NE(out.find("usage"), std::string::npos);
+}
+
+TEST(Cli, MalformedNumberFails)
+{
+    const auto [code, out] = run("--instr 12x34");
+    EXPECT_EQ(code, 2);
+    EXPECT_NE(out.find("12x34"), std::string::npos);
+}
+
+TEST(Cli, MixCoreCountMismatchFails)
+{
+    const auto [code, out] =
+        run("--cores 4 --mix 403.gcc,186.crafty --instr 50000 "
+            "--warmup 10000");
+    EXPECT_EQ(code, 2);
+    EXPECT_NE(out.find("--mix"), std::string::npos);
+}
+
+TEST(Cli, BadFaultSpecFails)
+{
+    const auto [code, out] = run(
+        "--mix 403.gcc,186.crafty --instr 50000 --warmup 10000 "
+        "--faults zap@3");
+    EXPECT_EQ(code, 2);
+    EXPECT_NE(out.find("unknown fault kind"), std::string::npos);
+
+    const auto [code2, out2] = run(
+        "--mix 403.gcc,186.crafty --instr 50000 --warmup 10000 "
+        "--faults nan@0");
+    EXPECT_EQ(code2, 2);
+}
+
+TEST(Cli, InvalidConfigurationFails)
+{
+    const auto [code, out] = run(
+        "--mix 403.gcc,186.crafty --instr 1000 --warmup 50000");
+    EXPECT_EQ(code, 2);
+    EXPECT_NE(out.find("warmupInstr"), std::string::npos);
+}
+
+TEST(Cli, CheckedFaultRunReportsRobustness)
+{
+    const auto [code, out] = run(
+        "--mix 403.gcc,186.crafty --scheme PriSM-H "
+        "--instr 40000 --warmup 10000 --interval 200 "
+        "--checked --faults nan@2,occ@3,drop@5");
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("robustness:"), std::string::npos);
+    EXPECT_EQ(out.find("robustness: 0 faults"), std::string::npos);
 }

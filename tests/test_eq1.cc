@@ -6,9 +6,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "prism/eq1.hh"
 
 using namespace prism;
+
+namespace
+{
+const double kNan = std::numeric_limits<double>::quiet_NaN();
+const double kInf = std::numeric_limits<double>::infinity();
+} // namespace
 
 TEST(Eq1, SteadyStateEvictsAtMissRate)
 {
@@ -107,6 +116,92 @@ TEST(EvictionDistribution, DegenerateInputsGiveUniform)
     const auto e = evictionDistribution(c, t, m, 4096, 64);
     EXPECT_NEAR(e[0], 0.5, 1e-9);
     EXPECT_NEAR(e[1], 0.5, 1e-9);
+}
+
+// --- hardening: the paths fault injection exercises ---
+
+TEST(Eq1Hardened, NonFiniteInputsAreClamped)
+{
+    // NaN inputs behave as 0, +Inf as 1; the result is always finite.
+    EXPECT_DOUBLE_EQ(eq1(kNan, 0.25, 0.4, 1024, 512),
+                     eq1(0.0, 0.25, 0.4, 1024, 512));
+    EXPECT_DOUBLE_EQ(eq1(0.25, kNan, 0.4, 1024, 512),
+                     eq1(0.25, 0.0, 0.4, 1024, 512));
+    EXPECT_DOUBLE_EQ(eq1(0.25, 0.25, kInf, 1024, 512),
+                     eq1(0.25, 0.25, 1.0, 1024, 512));
+    EXPECT_DOUBLE_EQ(eq1(-kInf, 0.25, 0.4, 1024, 512),
+                     eq1(0.0, 0.25, 0.4, 1024, 512));
+    EXPECT_TRUE(std::isfinite(eq1(kNan, kInf, -kInf, 1024, 512)));
+}
+
+TEST(Eq1Hardened, OutOfRangeInputsAreClamped)
+{
+    EXPECT_DOUBLE_EQ(eq1(1.7, 0.25, 0.4, 1024, 512),
+                     eq1(1.0, 0.25, 0.4, 1024, 512));
+    EXPECT_DOUBLE_EQ(eq1(-0.3, 0.25, 0.4, 1024, 512),
+                     eq1(0.0, 0.25, 0.4, 1024, 512));
+}
+
+TEST(Eq1Hardened, ZeroIntervalTakesAnalyticLimit)
+{
+    // W == 0: the occupancy error dominates infinitely.
+    EXPECT_DOUBLE_EQ(eq1(0.6, 0.4, 0.3, 1024, 0), 1.0);
+    EXPECT_DOUBLE_EQ(eq1(0.2, 0.4, 0.3, 1024, 0), 0.0);
+    EXPECT_DOUBLE_EQ(eq1(0.4, 0.4, 0.3, 1024, 0), 0.3);
+}
+
+TEST(EvictionDistributionHardened, NanInputsSanitisedAndCounted)
+{
+    const std::vector<double> c{kNan, 0.3, 0.2, 0.1};
+    const std::vector<double> t{0.25, 0.25, 0.25, 0.25};
+    const std::vector<double> m{0.1, kInf, 0.3, -0.4};
+    Eq1Stats stats;
+    const auto e = evictionDistribution(c, t, m, 4096, 2048, &stats);
+    EXPECT_EQ(stats.clampedInputs, 3u);
+    double sum = 0;
+    for (double v : e) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0 + 1e-9);
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(EvictionDistributionHardened, AllZeroMissFractions)
+{
+    // No misses recorded at all and everyone on target: uniform.
+    const std::vector<double> c{0.25, 0.25, 0.25, 0.25};
+    const std::vector<double> t{0.25, 0.25, 0.25, 0.25};
+    const std::vector<double> m{0.0, 0.0, 0.0, 0.0};
+    const auto e = evictionDistribution(c, t, m, 4096, 2048);
+    for (double v : e)
+        EXPECT_NEAR(v, 0.25, 1e-9);
+}
+
+TEST(EvictionDistributionHardened, AllCoresOverTarget)
+{
+    // Every core above target: raw demands scale down to sum 1.
+    const std::vector<double> c{0.4, 0.3, 0.3};
+    const std::vector<double> t{0.1, 0.1, 0.1};
+    const std::vector<double> m{0.4, 0.3, 0.3};
+    const auto e = evictionDistribution(c, t, m, 4096, 1024);
+    double sum = 0;
+    for (double v : e) {
+        EXPECT_GT(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(EvictionDistributionHardened, CleanInputsCountNoClamps)
+{
+    const std::vector<double> c{0.4, 0.6};
+    const std::vector<double> t{0.5, 0.5};
+    const std::vector<double> m{0.5, 0.5};
+    Eq1Stats stats;
+    evictionDistribution(c, t, m, 4096, 2048, &stats);
+    EXPECT_EQ(stats.clampedInputs, 0u);
 }
 
 /** Property sweep: the distribution is always normalised and in

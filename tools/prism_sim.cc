@@ -10,14 +10,22 @@
  *   prism_sim --cores 4 --workload Q7 --scheme PriSM-H
  *   prism_sim --mix 179.art,470.lbm,403.gcc,300.twolf --scheme UCP
  *   prism_sim --cores 16 --workload S3 --scheme PriSM-F --csv
+ *   prism_sim --checked --faults nan@2,occ@3 --stats
  *   prism_sim --list-benchmarks
+ *
+ * Exit codes: 0 success, 1 runtime failure, 2 usage/configuration
+ * error (unknown flag, malformed number, invalid machine, bad fault
+ * spec).
  */
 
+#include <charconv>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 
 #include "common/table.hh"
+#include "fault/fault_injector.hh"
 #include "sim/runner.hh"
 #include "workload/profiles.hh"
 
@@ -29,23 +37,27 @@ namespace
 struct Options
 {
     unsigned cores = 4;
+    bool cores_set = false;
     std::string workload;
     std::string mix;
     std::string scheme = "PriSM-H";
     std::string repl = "LRU";
     std::uint64_t instr = 1'500'000;
     std::uint64_t warmup = 500'000;
+    std::uint64_t interval = 0;
     std::uint64_t seed = 0x5EED0001ULL;
     unsigned bits = 0;
     double qos_frac = 0.8;
+    std::string faults;
+    bool checked = false;
     bool csv = false;
     bool stats = false;
 };
 
 void
-usage()
+usage(std::ostream &os)
 {
-    std::cout <<
+    os <<
         "usage: prism_sim [options]\n"
         "  --cores N            4, 8, 16 or 32 (default 4)\n"
         "  --workload NAME      suite mix, e.g. Q7, E3, S12, T5\n"
@@ -57,13 +69,61 @@ usage()
         "  --repl NAME          LRU | TS-LRU | DIP | RRIP | Random\n"
         "  --instr N            instructions per core (default 1.5M)\n"
         "  --warmup N           warm-up instructions (default 500k)\n"
+        "  --interval W         recompute interval in misses\n"
+        "                       (0 = paper default, half the blocks)\n"
         "  --seed N             simulation seed\n"
         "  --bits K             K-bit PriSM probabilities (0 = float)\n"
         "  --qos-frac F         PriSM-Q IPC floor fraction (default 0.8)\n"
+        "  --faults SPEC        inject faults at interval boundaries;\n"
+        "                       SPEC = kind@period[+phase],... with kind\n"
+        "                       occ|stale|drop|nan|inf|quant|shadow\n"
+        "                       (e.g. nan@4,occ@3+1,drop@10)\n"
+        "  --checked            audit invariants each interval; repair\n"
+        "                       or degrade instead of aborting\n"
         "  --csv                machine-readable output\n"
         "  --stats              dump raw simulator statistics\n"
         "  --list-benchmarks    print the profile library and exit\n"
         "  --list-workloads     print the suite mixes and exit\n";
+}
+
+/** Diagnose a usage error and exit with code 2. */
+[[noreturn]] void
+cliError(const std::string &msg)
+{
+    std::cerr << "prism_sim: " << msg << "\n\n";
+    usage(std::cerr);
+    std::exit(2);
+}
+
+std::uint64_t
+parseU64(const std::string &flag, const std::string &text)
+{
+    std::uint64_t v = 0;
+    const char *end = text.data() + text.size();
+    const auto res = std::from_chars(text.data(), end, v);
+    if (text.empty() || res.ec != std::errc() || res.ptr != end)
+        cliError("invalid number '" + text + "' for " + flag);
+    return v;
+}
+
+unsigned
+parseUnsigned(const std::string &flag, const std::string &text)
+{
+    const std::uint64_t v = parseU64(flag, text);
+    if (v > 0xFFFFFFFFull)
+        cliError("value '" + text + "' for " + flag +
+                 " is out of range");
+    return static_cast<unsigned>(v);
+}
+
+double
+parseDouble(const std::string &flag, const std::string &text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size())
+        cliError("invalid number '" + text + "' for " + flag);
+    return v;
 }
 
 SchemeKind
@@ -80,7 +140,7 @@ parseScheme(const std::string &name)
     }
     if (name == "LRU")
         return SchemeKind::Baseline;
-    fatal("unknown scheme '" + name + "' (try --help)");
+    cliError("unknown scheme '" + name + "'");
 }
 
 ReplKind
@@ -92,7 +152,7 @@ parseRepl(const std::string &name)
         if (name == replKindName(kind))
             return kind;
     }
-    fatal("unknown replacement policy '" + name + "'");
+    cliError("unknown replacement policy '" + name + "'");
 }
 
 std::vector<std::string>
@@ -158,11 +218,12 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> std::string {
-            fatalIf(i + 1 >= argc, "missing value for " + arg);
+            if (i + 1 >= argc)
+                cliError("missing value for " + arg);
             return argv[++i];
         };
         if (arg == "--help" || arg == "-h") {
-            usage();
+            usage(std::cout);
             return 0;
         } else if (arg == "--list-benchmarks") {
             listBenchmarks();
@@ -171,7 +232,8 @@ main(int argc, char **argv)
             listWorkloads();
             return 0;
         } else if (arg == "--cores") {
-            opt.cores = static_cast<unsigned>(std::stoul(value()));
+            opt.cores = parseUnsigned(arg, value());
+            opt.cores_set = true;
         } else if (arg == "--workload") {
             opt.workload = value();
         } else if (arg == "--mix") {
@@ -181,23 +243,39 @@ main(int argc, char **argv)
         } else if (arg == "--repl") {
             opt.repl = value();
         } else if (arg == "--instr") {
-            opt.instr = std::stoull(value());
+            opt.instr = parseU64(arg, value());
         } else if (arg == "--warmup") {
-            opt.warmup = std::stoull(value());
+            opt.warmup = parseU64(arg, value());
+        } else if (arg == "--interval") {
+            opt.interval = parseU64(arg, value());
         } else if (arg == "--seed") {
-            opt.seed = std::stoull(value());
+            opt.seed = parseU64(arg, value());
         } else if (arg == "--bits") {
-            opt.bits = static_cast<unsigned>(std::stoul(value()));
+            opt.bits = parseUnsigned(arg, value());
         } else if (arg == "--qos-frac") {
-            opt.qos_frac = std::stod(value());
+            opt.qos_frac = parseDouble(arg, value());
+        } else if (arg == "--faults") {
+            opt.faults = value();
+        } else if (arg == "--checked") {
+            opt.checked = true;
         } else if (arg == "--csv") {
             opt.csv = true;
         } else if (arg == "--stats") {
             opt.stats = true;
         } else {
-            usage();
-            fatal("unknown option '" + arg + "'");
+            cliError("unknown option '" + arg + "'");
         }
+    }
+
+    // Validate enumerated names and the fault spec up front so a typo
+    // is a usage error, not a failure half-way into a long run.
+    const SchemeKind scheme_kind = parseScheme(opt.scheme);
+    const ReplKind repl_kind = parseRepl(opt.repl);
+    if (!opt.faults.empty()) {
+        std::vector<FaultClause> clauses;
+        const Status st = parseFaultSpec(opt.faults, clauses);
+        if (!st.ok())
+            cliError(st.message());
     }
 
     // Resolve the workload.
@@ -205,6 +283,14 @@ main(int argc, char **argv)
     if (!opt.mix.empty()) {
         workload.name = "custom";
         workload.benchmarks = splitMix(opt.mix);
+        if (workload.benchmarks.empty())
+            cliError("--mix lists no benchmarks");
+        if (opt.cores_set &&
+            workload.benchmarks.size() != opt.cores)
+            cliError("--mix lists " +
+                     std::to_string(workload.benchmarks.size()) +
+                     " benchmarks but --cores asked for " +
+                     std::to_string(opt.cores));
         opt.cores = static_cast<unsigned>(workload.benchmarks.size());
     } else if (!opt.workload.empty()) {
         bool found = false;
@@ -217,27 +303,45 @@ main(int argc, char **argv)
                 }
             }
         }
-        fatalIf(!found, "unknown workload '" + opt.workload + "'");
+        if (!found)
+            cliError("unknown workload '" + opt.workload + "'");
     } else {
+        if (opt.cores != 4 && opt.cores != 8 && opt.cores != 16 &&
+            opt.cores != 32)
+            cliError("--cores must be 4, 8, 16 or 32 (got " +
+                     std::to_string(opt.cores) + ")");
         workload = suites::forCoreCount(opt.cores).front();
     }
 
     MachineConfig machine = MachineConfig::forCores(opt.cores);
     machine.instrBudget = opt.instr;
     machine.warmupInstr = opt.warmup;
+    if (opt.interval)
+        machine.intervalMisses = opt.interval;
     machine.seed = opt.seed;
-    machine.repl = parseRepl(opt.repl);
+    machine.repl = repl_kind;
+
+    // Catch impossible machines here, with one actionable message per
+    // problem, instead of failing deep inside cache construction.
+    if (const auto errors = machine.validate(); !errors.empty()) {
+        std::cerr << "prism_sim: invalid configuration:\n";
+        for (const auto &e : errors)
+            std::cerr << "  - " << e << "\n";
+        return 2;
+    }
 
     SchemeOptions scheme_opt;
     scheme_opt.probBits = opt.bits;
     scheme_opt.qosTargetFrac = opt.qos_frac;
+    scheme_opt.faultSpec = opt.faults;
+    scheme_opt.checked = opt.checked;
     std::ostringstream stats;
     if (opt.stats)
         scheme_opt.statsSink = &stats;
 
     Runner runner(machine);
     const RunResult res =
-        runner.run(workload, parseScheme(opt.scheme), scheme_opt);
+        runner.run(workload, scheme_kind, scheme_opt);
 
     Table t({"core", "benchmark", "IPC", "IPC alone", "slowdown",
              "LLC hits", "LLC misses", "occupancy"});
@@ -265,6 +369,15 @@ main(int argc, char **argv)
             std::cout << "PriSM: " << res.recomputes
                       << " recomputations, victimless fraction "
                       << Table::pct(res.victimlessFraction) << "\n";
+    }
+    if (opt.checked || !opt.faults.empty()) {
+        std::cout << "robustness: " << res.faultsInjected
+                  << " faults injected, " << res.degradedIntervals
+                  << " degraded intervals, " << res.invariantViolations
+                  << " invariant violations, " << res.ownershipRepairs
+                  << " ownership repairs, " << res.clampedEq1Inputs
+                  << " clamped eq1 inputs, " << res.droppedRecomputes
+                  << " dropped recomputes\n";
     }
     if (opt.stats)
         std::cout << "\n" << stats.str();
