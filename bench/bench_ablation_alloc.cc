@@ -1,48 +1,10 @@
 /**
  * @file
- * Ablation (beyond the paper): the PriSM mechanism under different
- * allocation policies.
- *
- * The paper decouples the partitioning mechanism from the allocation
- * policy; this harness quantifies how much of PriSM's result comes
- * from each by running the same probabilistic manager with
- * Algorithm 1 (PriSM-H), the fairness policy (PriSM-F) and the
- * extended-UCP lookahead (PriSM-LA) side by side against UCP.
+ * Shim binary for figure "ablation_alloc" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Ablation: allocation policies on the PriSM mechanism",
-           "mechanism (PriSM-LA vs UCP) and allocation policy "
-           "(PriSM-H vs PriSM-LA) contributions, 4 and 16 cores");
-
-    for (unsigned cores : {4u, 16u}) {
-        Runner runner(machine(cores));
-        std::vector<RunResult> lru, ucp, ph, pla, pf;
-        for (const auto &w : suite(cores)) {
-            lru.push_back(runner.run(w, SchemeKind::Baseline));
-            ucp.push_back(runner.run(w, SchemeKind::UCP));
-            ph.push_back(runner.run(w, SchemeKind::PrismH));
-            pla.push_back(runner.run(w, SchemeKind::PrismLA));
-            pf.push_back(runner.run(w, SchemeKind::PrismF));
-        }
-        Table t({"scheme", "antt/LRU"});
-        t.addRow({"UCP (way-partition + lookahead)",
-                  Table::num(geomeanNormAntt(ucp, lru))});
-        t.addRow({"PriSM-LA (mechanism + lookahead)",
-                  Table::num(geomeanNormAntt(pla, lru))});
-        t.addRow({"PriSM-H (mechanism + Algorithm 1)",
-                  Table::num(geomeanNormAntt(ph, lru))});
-        t.addRow({"PriSM-F (mechanism + Algorithm 2)",
-                  Table::num(geomeanNormAntt(pf, lru))});
-        printBanner(std::cout, std::to_string(cores) + " cores");
-        t.print(std::cout);
-    }
-    return 0;
-}
+PRISM_FIGURE_MAIN("ablation_alloc")

@@ -1,55 +1,10 @@
 /**
  * @file
- * Ablation (beyond the paper): sensitivity of PriSM-H to the
- * interval length W.
- *
- * The paper recomputes once every N misses; DESIGN.md documents why
- * the scaled evaluation machine uses W = N/2. This harness sweeps W
- * from N/8 to 2N and reports ANTT vs LRU, showing the plateau the
- * default sits on: too-short intervals amplify the (C-T)*N/W
- * correction into bang-bang control, too-long intervals starve the
- * allocation policy of recomputations within a scaled run.
+ * Shim binary for figure "ablation_interval" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Ablation: PriSM-H vs interval length W (quad)",
-           "design choice: W = N/2 for scaled runs (paper uses N over "
-           "100x longer windows)");
-
-    Table t({"W", "PriSM-H antt/LRU"});
-    for (unsigned div : {8u, 4u, 2u, 1u}) {
-        MachineConfig m = machine(4);
-        const std::uint64_t n = m.llcBytes / m.blockBytes;
-        m.intervalMisses = n / div;
-        Runner runner(m);
-        std::vector<RunResult> lru, ph;
-        for (const auto &w : suite(4)) {
-            lru.push_back(runner.run(w, SchemeKind::Baseline));
-            ph.push_back(runner.run(w, SchemeKind::PrismH));
-        }
-        t.addRow({"N/" + std::to_string(div),
-                  Table::num(geomeanNormAntt(ph, lru))});
-    }
-    {
-        MachineConfig m = machine(4);
-        m.intervalMisses = 2 * (m.llcBytes / m.blockBytes);
-        m.instrBudget *= 2; // still see a handful of intervals
-        Runner runner(m);
-        std::vector<RunResult> lru, ph;
-        for (const auto &w : suite(4)) {
-            lru.push_back(runner.run(w, SchemeKind::Baseline));
-            ph.push_back(runner.run(w, SchemeKind::PrismH));
-        }
-        t.addRow({"2N", Table::num(geomeanNormAntt(ph, lru))});
-    }
-    printBanner(std::cout, "ANTT normalised to LRU (lower is better)");
-    t.print(std::cout);
-    return 0;
-}
+PRISM_FIGURE_MAIN("ablation_interval")

@@ -1,47 +1,10 @@
 /**
  * @file
- * Ablation (extends the paper's §5.6): PriSM across replacement
- * policies.
- *
- * The paper demonstrates replacement-policy agnosticism with DIP
- * only; this harness sweeps every built-in policy (exact LRU,
- * coarse-timestamp LRU, DIP, DRRIP, random) and reports the PriSM-H
- * gain over that policy's own unmanaged baseline. The point is not
- * which policy is best, but that the two-step replacement layers on
- * all of them.
+ * Shim binary for figure "ablation_repl" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Ablation: PriSM-H over each replacement policy (quad)",
-           "PriSM improves every baseline it is layered on (the paper "
-           "shows DIP; this sweeps all policies)");
-
-    Table t({"replacement", "PriSM-H antt / baseline antt"});
-    for (ReplKind kind :
-         {ReplKind::LRU, ReplKind::TimestampLRU, ReplKind::DIP,
-          ReplKind::RRIP, ReplKind::Random}) {
-        MachineConfig m = machine(4);
-        m.repl = kind;
-        Runner runner(m);
-        std::vector<RunResult> base, ph;
-        for (const auto &w : suite(4)) {
-            base.push_back(runner.run(w, SchemeKind::Baseline));
-            ph.push_back(runner.run(w, SchemeKind::PrismH));
-        }
-        t.addRow({replKindName(kind),
-                  Table::num(geomeanNormAntt(ph, base))});
-    }
-    printBanner(std::cout,
-                "ANTT normalised to the same policy unmanaged");
-    t.print(std::cout);
-    std::cout << "\nvalues < 1 on every row reproduce the paper's "
-                 "composability claim.\n";
-    return 0;
-}
+PRISM_FIGURE_MAIN("ablation_repl")

@@ -1,54 +1,10 @@
 /**
  * @file
- * Figure 1(a): scalability of existing schemes with core count.
- *
- * Paper series: ANTT of UCP and PIPP normalised to LRU at 4/8/16/32
- * cores (gains shrink with core count; PIPP goes above 1.0 at 32
- * cores), and absolute fairness of the way-partitioning fairness
- * scheme [9] at 4/8/16 cores (falls as cores grow).
+ * Shim binary for figure "fig01a_scalability" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Figure 1(a): motivation — scalability of UCP/PIPP/FairWP",
-           "UCP & PIPP gains over LRU shrink with core count; "
-           "way-partitioned fairness degrades from 4 to 16 cores");
-
-    Table perf({"cores", "UCP antt/LRU", "PIPP antt/LRU"});
-    for (unsigned cores : {4u, 8u, 16u, 32u}) {
-        Runner runner(machine(cores));
-        std::vector<RunResult> lru, ucp, pipp;
-        for (const auto &w : suite(cores)) {
-            lru.push_back(runner.run(w, SchemeKind::Baseline));
-            ucp.push_back(runner.run(w, SchemeKind::UCP));
-            pipp.push_back(runner.run(w, SchemeKind::PIPP));
-        }
-        perf.addRow({std::to_string(cores),
-                     Table::num(geomeanNormAntt(ucp, lru)),
-                     Table::num(geomeanNormAntt(pipp, lru))});
-    }
-    printBanner(std::cout, "ANTT normalised to LRU (lower is better)");
-    perf.print(std::cout);
-
-    Table fair({"cores", "FairWP fairness", "LRU fairness"});
-    for (unsigned cores : {4u, 8u, 16u}) {
-        Runner runner(machine(cores));
-        std::vector<double> f_wp, f_lru;
-        for (const auto &w : suite(cores)) {
-            f_lru.push_back(
-                runner.run(w, SchemeKind::Baseline).fairness());
-            f_wp.push_back(runner.run(w, SchemeKind::FairWP).fairness());
-        }
-        fair.addRow({std::to_string(cores), Table::num(geomean(f_wp)),
-                     Table::num(geomean(f_lru))});
-    }
-    printBanner(std::cout, "fairness (higher is better)");
-    fair.print(std::cout);
-    return 0;
-}
+PRISM_FIGURE_MAIN("fig01a_scalability")

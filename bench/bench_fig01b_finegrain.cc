@@ -1,47 +1,10 @@
 /**
  * @file
- * Figure 1(b): benefits of fine-grained partitioning.
- *
- * Paper series: IPC throughput of LRU and UCP on a 4MB cache at
- * 16/64/256-way associativity (quad- and eight-core workloads). UCP
- * gains more from the added (finer) allocation granularity than LRU
- * does from the extra associativity.
+ * Shim binary for figure "fig01b_finegrain" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Figure 1(b): fine-grained partitioning helps UCP",
-           "going 16 -> 64 -> 256 ways lifts UCP's throughput more "
-           "than LRU's");
-
-    Table t({"cores", "ways", "LRU thr", "UCP thr", "UCP gain"});
-    for (unsigned cores : {4u, 8u}) {
-        for (unsigned ways : {16u, 64u, 256u}) {
-            MachineConfig m = machine(cores);
-            m.llcBytes = 4ull << 20;
-            m.llcWays = ways;
-            Runner runner(m);
-            std::vector<double> thr_lru, thr_ucp;
-            for (const auto &w : suite(cores)) {
-                thr_lru.push_back(
-                    runner.run(w, SchemeKind::Baseline).ipcThroughput());
-                thr_ucp.push_back(
-                    runner.run(w, SchemeKind::UCP).ipcThroughput());
-            }
-            const double lru = mean(thr_lru);
-            const double ucp = mean(thr_ucp);
-            t.addRow({std::to_string(cores), std::to_string(ways),
-                      Table::num(lru), Table::num(ucp),
-                      Table::pct(ucp / lru - 1.0)});
-        }
-    }
-    printBanner(std::cout, "IPC throughput (higher is better)");
-    t.print(std::cout);
-    return 0;
-}
+PRISM_FIGURE_MAIN("fig01b_finegrain")

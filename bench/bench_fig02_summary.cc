@@ -1,61 +1,10 @@
 /**
  * @file
- * Figure 2: PriSM performance summary across core counts.
- *
- * Paper series: (i) ANTT of PriSM-H, UCP and PIPP normalised to LRU
- * at 4/8/16/32 cores — PriSM-H gains 17.9/16.5/18.7/12.7% over LRU
- * and matches or beats UCP/PIPP; (ii) fairness of PriSM-F vs LRU and
- * FairWP at 4/8/16 cores.
+ * Shim binary for figure "fig02_summary" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Figure 2: PriSM summary",
-           "PriSM-H beats LRU by 17.9/16.5/18.7/12.7% at 4/8/16/32 "
-           "cores; PriSM-F improves fairness at every core count");
-
-    Table perf({"cores", "PriSM-H/LRU", "UCP/LRU", "PIPP/LRU",
-                "PriSM-H gain"});
-    for (unsigned cores : {4u, 8u, 16u, 32u}) {
-        Runner runner(machine(cores));
-        std::vector<RunResult> lru, ph, ucp, pipp;
-        for (const auto &w : suite(cores)) {
-            lru.push_back(runner.run(w, SchemeKind::Baseline));
-            ph.push_back(runner.run(w, SchemeKind::PrismH));
-            ucp.push_back(runner.run(w, SchemeKind::UCP));
-            pipp.push_back(runner.run(w, SchemeKind::PIPP));
-        }
-        const double ph_n = geomeanNormAntt(ph, lru);
-        perf.addRow({std::to_string(cores), Table::num(ph_n),
-                     Table::num(geomeanNormAntt(ucp, lru)),
-                     Table::num(geomeanNormAntt(pipp, lru)),
-                     Table::pct(1.0 - ph_n)});
-    }
-    printBanner(std::cout,
-                "hit-maximisation: ANTT / LRU (lower is better)");
-    perf.print(std::cout);
-
-    Table fair({"cores", "LRU", "FairWP", "PriSM-F"});
-    for (unsigned cores : {4u, 8u, 16u}) {
-        Runner runner(machine(cores));
-        std::vector<double> f_lru, f_wp, f_pf;
-        for (const auto &w : suite(cores)) {
-            f_lru.push_back(
-                runner.run(w, SchemeKind::Baseline).fairness());
-            f_wp.push_back(runner.run(w, SchemeKind::FairWP).fairness());
-            f_pf.push_back(runner.run(w, SchemeKind::PrismF).fairness());
-        }
-        fair.addRow({std::to_string(cores), Table::num(geomean(f_lru)),
-                     Table::num(geomean(f_wp)),
-                     Table::num(geomean(f_pf))});
-    }
-    printBanner(std::cout, "fairness (higher is better)");
-    fair.print(std::cout);
-    return 0;
-}
+PRISM_FIGURE_MAIN("fig02_summary")

@@ -1,45 +1,10 @@
 /**
  * @file
- * Figure 3(a): per-workload ANTT at quad core.
- *
- * Paper series: ANTT of PriSM-H, UCP and PIPP normalised to LRU for
- * Q1-Q21. Many workloads gain >20%; Q7 gains ~50%; UCP is slightly
- * ahead on Q3/Q9, PriSM on most others.
+ * Shim binary for figure "fig03a_quad" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Figure 3(a): quad-core per-workload ANTT",
-           "PriSM-H >= LRU nearly everywhere; Q7 ~ 1.5x; UCP edges "
-           "PriSM on Q3/Q9");
-
-    Runner runner(machine(4));
-    Table t({"workload", "mix", "PriSM-H/LRU", "UCP/LRU", "PIPP/LRU"});
-    std::vector<RunResult> lru, ph, ucp, pipp;
-    for (const auto &w : suite(4)) {
-        lru.push_back(runner.run(w, SchemeKind::Baseline));
-        ph.push_back(runner.run(w, SchemeKind::PrismH));
-        ucp.push_back(runner.run(w, SchemeKind::UCP));
-        pipp.push_back(runner.run(w, SchemeKind::PIPP));
-        std::string mix;
-        for (const auto &b : w.benchmarks)
-            mix += b.substr(b.find('.') + 1) + " ";
-        const double base = lru.back().antt();
-        t.addRow({w.name, mix, Table::num(ph.back().antt() / base),
-                  Table::num(ucp.back().antt() / base),
-                  Table::num(pipp.back().antt() / base)});
-    }
-    t.addRow({"geomean", "",
-              Table::num(geomeanNormAntt(ph, lru)),
-              Table::num(geomeanNormAntt(ucp, lru)),
-              Table::num(geomeanNormAntt(pipp, lru))});
-    printBanner(std::cout, "ANTT normalised to LRU (lower is better)");
-    t.print(std::cout);
-    return 0;
-}
+PRISM_FIGURE_MAIN("fig03a_quad")

@@ -1,42 +1,10 @@
 /**
  * @file
- * Figure 3(b): per-workload ANTT at 32 cores.
- *
- * Paper series: ANTT of PriSM-H, UCP and PIPP normalised to LRU for
- * T1-T14. PriSM-H beats UCP on every 32-core workload; PIPP is
- * frequently worse than LRU because too many cores insert near the
- * LRU position.
+ * Shim binary for figure "fig03b_32core" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Figure 3(b): 32-core per-workload ANTT",
-           "PriSM-H > UCP on all 32-core mixes; PIPP often worse "
-           "than LRU");
-
-    Runner runner(machine(32));
-    Table t({"workload", "PriSM-H/LRU", "UCP/LRU", "PIPP/LRU"});
-    std::vector<RunResult> lru, ph, ucp, pipp;
-    for (const auto &w : suite(32)) {
-        lru.push_back(runner.run(w, SchemeKind::Baseline));
-        ph.push_back(runner.run(w, SchemeKind::PrismH));
-        ucp.push_back(runner.run(w, SchemeKind::UCP));
-        pipp.push_back(runner.run(w, SchemeKind::PIPP));
-        const double base = lru.back().antt();
-        t.addRow({w.name, Table::num(ph.back().antt() / base),
-                  Table::num(ucp.back().antt() / base),
-                  Table::num(pipp.back().antt() / base)});
-    }
-    t.addRow({"geomean", Table::num(geomeanNormAntt(ph, lru)),
-              Table::num(geomeanNormAntt(ucp, lru)),
-              Table::num(geomeanNormAntt(pipp, lru))});
-    printBanner(std::cout, "ANTT normalised to LRU (lower is better)");
-    t.print(std::cout);
-    return 0;
-}
+PRISM_FIGURE_MAIN("fig03b_32core")

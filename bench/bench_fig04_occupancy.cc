@@ -1,37 +1,10 @@
 /**
  * @file
- * Figure 4: per-core cache occupancy under PriSM-H vs UCP (quad).
- *
- * Paper series: the occupancy fraction of each benchmark when it
- * finishes its instruction budget, for every quad workload, under
- * both schemes. The paper highlights Q1 (PriSM gives more to
- * 168.wupwise), Q4 (vpr/omnetpp grow at the expense of bwaves/lbm)
- * and Q7/Q11/Q12 (art/omnetpp gain).
+ * Shim binary for figure "fig04_occupancy" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Figure 4: occupancy at completion, PriSM-H vs UCP (quad)",
-           "allocations differ per scheme; PriSM feeds the "
-           "memory-intensive cache-friendly programs");
-
-    Runner runner(machine(4));
-    Table t({"workload", "benchmark", "PriSM-H occ", "UCP occ"});
-    for (const auto &w : suite(4)) {
-        const auto ph = runner.run(w, SchemeKind::PrismH);
-        const auto ucp = runner.run(w, SchemeKind::UCP);
-        for (std::size_t c = 0; c < w.benchmarks.size(); ++c)
-            t.addRow({c == 0 ? w.name : "", w.benchmarks[c],
-                      Table::num(ph.occupancyAtFinish[c], 2),
-                      Table::num(ucp.occupancyAtFinish[c], 2)});
-    }
-    printBanner(std::cout, "occupancy fraction at completion");
-    t.print(std::cout);
-    return 0;
-}
+PRISM_FIGURE_MAIN("fig04_occupancy")

@@ -1,40 +1,10 @@
 /**
  * @file
- * Figure 5: fine-grained vs way-rounded enforcement of the same
- * hit-maximisation allocation policy (16 cores).
- *
- * Paper series: ANTT (normalised to LRU) of PriSM-H and of the same
- * Algorithm-1 targets rounded to integral ways and enforced by
- * way-partitioning. PriSM outperforms the way-partitioned variant on
- * all sixteen-core workloads.
+ * Shim binary for figure "fig05_waypart" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Figure 5: PriSM-H vs way-partitioned Algorithm 1 (16c)",
-           "fine-grained PriSM enforcement beats way-rounding of the "
-           "same allocation policy on every workload");
-
-    Runner runner(machine(16));
-    Table t({"workload", "PriSM-H/LRU", "WP-HitMax/LRU"});
-    std::vector<RunResult> lru, ph, wp;
-    for (const auto &w : suite(16)) {
-        lru.push_back(runner.run(w, SchemeKind::Baseline));
-        ph.push_back(runner.run(w, SchemeKind::PrismH));
-        wp.push_back(runner.run(w, SchemeKind::WPHitMax));
-        const double base = lru.back().antt();
-        t.addRow({w.name, Table::num(ph.back().antt() / base),
-                  Table::num(wp.back().antt() / base)});
-    }
-    t.addRow({"geomean", Table::num(geomeanNormAntt(ph, lru)),
-              Table::num(geomeanNormAntt(wp, lru))});
-    printBanner(std::cout, "ANTT normalised to LRU (lower is better)");
-    t.print(std::cout);
-    return 0;
-}
+PRISM_FIGURE_MAIN("fig05_waypart")

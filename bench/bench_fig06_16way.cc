@@ -1,46 +1,10 @@
 /**
  * @file
- * Figure 6: PriSM-H on a 16-core machine with a 16-way LLC.
- *
- * Paper series: with cores == ways the smallest way-partition
- * allocation unit is a full way (512KB of the 8MB cache), so
- * way-partitioning degenerates to one way per core; PriSM still
- * partitions at block granularity and gains 14.8% (avg) over LRU.
+ * Shim binary for figure "fig06_16way" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Figure 6: 8MB 16-way LLC shared by 16 cores",
-           "PriSM-H beats LRU on every workload, ~14.8% on average; "
-           "way-partitioning is the trivial 1-way-per-core split");
-
-    MachineConfig m = machine(16);
-    m.llcWays = 16; // cores == ways
-    Runner runner(m);
-
-    Table t({"workload", "PriSM-H/LRU", "1-way-per-core/LRU"});
-    std::vector<RunResult> lru, ph, triv;
-    for (const auto &w : suite(16)) {
-        lru.push_back(runner.run(w, SchemeKind::Baseline));
-        ph.push_back(runner.run(w, SchemeKind::PrismH));
-        // The trivial way-partition: one way per core, never revised.
-        triv.push_back(runner.run(w, SchemeKind::StaticWP));
-        const double base = lru.back().antt();
-        t.addRow({w.name, Table::num(ph.back().antt() / base),
-                  Table::num(triv.back().antt() / base)});
-    }
-    t.addRow({"geomean", Table::num(geomeanNormAntt(ph, lru)),
-              Table::num(geomeanNormAntt(triv, lru))});
-    printBanner(std::cout, "ANTT normalised to LRU (lower is better)");
-    t.print(std::cout);
-    std::cout << "\nPriSM-H average gain over LRU: "
-              << Table::pct(1.0 - geomeanNormAntt(ph, lru))
-              << " (paper: 14.8%)\n";
-    return 0;
-}
+PRISM_FIGURE_MAIN("fig06_16way")

@@ -1,51 +1,10 @@
 /**
  * @file
- * Figure 7: PriSM vs Vantage at 4 and 16 cores.
- *
- * Paper series: ANTT of Vantage and PriSM, both driven by the same
- * extended-UCP (sub-way lookahead) allocation policy, normalised to
- * a timestamp-LRU baseline cache. PriSM wins most quad workloads
- * (all but Q12/Q17/Q19/Q20) and all 16-core workloads; on average
- * 7.8% (quad) and 11.8% (16-core).
+ * Shim binary for figure "fig07_vantage" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Figure 7: PriSM vs Vantage (same allocation policy)",
-           "PriSM beats Vantage by 7.8% (4 cores) / 11.8% (16 cores) "
-           "on average, normalised to timestamp-LRU");
-
-    for (unsigned cores : {4u, 16u}) {
-        MachineConfig m = machine(cores);
-        m.repl = ReplKind::TimestampLRU; // common baseline [16,17]
-        Runner runner(m);
-
-        Table t({"workload", "PriSM-LA/TS-LRU", "Vantage/TS-LRU"});
-        std::vector<RunResult> lru, pla, van;
-        for (const auto &w : suite(cores)) {
-            lru.push_back(runner.run(w, SchemeKind::Baseline));
-            pla.push_back(runner.run(w, SchemeKind::PrismLA));
-            van.push_back(runner.run(w, SchemeKind::Vantage));
-            const double base = lru.back().antt();
-            t.addRow({w.name, Table::num(pla.back().antt() / base),
-                      Table::num(van.back().antt() / base)});
-        }
-        const double g_p = geomeanNormAntt(pla, lru);
-        const double g_v = geomeanNormAntt(van, lru);
-        t.addRow({"geomean", Table::num(g_p), Table::num(g_v)});
-        printBanner(std::cout,
-                    std::to_string(cores) +
-                        " cores — ANTT normalised to TS-LRU");
-        t.print(std::cout);
-        std::cout << "PriSM advantage over Vantage: "
-                  << Table::pct(g_v / g_p - 1.0) << " (paper: "
-                  << (cores == 4 ? "7.8%" : "11.8%") << ")\n";
-    }
-    return 0;
-}
+PRISM_FIGURE_MAIN("fig07_vantage")

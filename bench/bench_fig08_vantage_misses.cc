@@ -1,50 +1,10 @@
 /**
  * @file
- * Figure 8: per-benchmark misses, PriSM normalised to Vantage (quad).
- *
- * Paper series: for each quad workload, the misses of each of the
- * four benchmarks under PriSM divided by its misses under Vantage.
- * PriSM reduces misses for at least three of the four benchmarks in
- * every quad workload, and for all four in 12 of 21.
+ * Shim binary for figure "fig08_vantage_misses" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Figure 8: per-benchmark misses, PriSM / Vantage (quad)",
-           "PriSM reduces misses for >= 3 of 4 benchmarks per "
-           "workload");
-
-    MachineConfig m = machine(4);
-    m.repl = ReplKind::TimestampLRU;
-    Runner runner(m);
-
-    Table t({"workload", "benchmark", "misses PriSM/Vantage"});
-    unsigned improved_3of4 = 0, total = 0;
-    for (const auto &w : suite(4)) {
-        const auto pla = runner.run(w, SchemeKind::PrismLA);
-        const auto van = runner.run(w, SchemeKind::Vantage);
-        unsigned better = 0;
-        for (std::size_t c = 0; c < w.benchmarks.size(); ++c) {
-            const double ratio =
-                static_cast<double>(pla.llcMisses[c]) /
-                std::max<std::uint64_t>(1, van.llcMisses[c]);
-            better += ratio <= 1.0;
-            t.addRow({c == 0 ? w.name : "", w.benchmarks[c],
-                      Table::num(ratio)});
-        }
-        improved_3of4 += better >= 3;
-        ++total;
-    }
-    printBanner(std::cout, "normalised misses (< 1 favours PriSM)");
-    t.print(std::cout);
-    std::cout << "\nworkloads where PriSM reduces misses for >=3 of 4 "
-                 "benchmarks: "
-              << improved_3of4 << "/" << total << "\n";
-    return 0;
-}
+PRISM_FIGURE_MAIN("fig08_vantage_misses")

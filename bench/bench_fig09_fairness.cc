@@ -1,49 +1,10 @@
 /**
  * @file
- * Figure 9: absolute fairness at 16 cores.
- *
- * Paper series: fairness of LRU, way-partitioned fairness [9] and
- * PriSM-F for each sixteen-core workload. PriSM-F improves fairness
- * on every workload (23.3% over FairWP on average) and also improves
- * performance (19% over LRU).
+ * Shim binary for figure "fig09_fairness" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Figure 9: fairness at 16 cores",
-           "PriSM-F > FairWP > LRU on every workload; +23.3% fairness "
-           "over FairWP with +19% performance over LRU");
-
-    Runner runner(machine(16));
-    Table t({"workload", "LRU", "FairWP", "PriSM-F"});
-    std::vector<double> f_lru, f_wp, f_pf;
-    std::vector<RunResult> lru, pf;
-    for (const auto &w : suite(16)) {
-        lru.push_back(runner.run(w, SchemeKind::Baseline));
-        const auto wp = runner.run(w, SchemeKind::FairWP);
-        pf.push_back(runner.run(w, SchemeKind::PrismF));
-        f_lru.push_back(lru.back().fairness());
-        f_wp.push_back(wp.fairness());
-        f_pf.push_back(pf.back().fairness());
-        t.addRow({w.name, Table::num(f_lru.back()),
-                  Table::num(f_wp.back()), Table::num(f_pf.back())});
-    }
-    t.addRow({"geomean", Table::num(geomean(f_lru)),
-              Table::num(geomean(f_wp)), Table::num(geomean(f_pf))});
-    printBanner(std::cout, "fairness (higher is better)");
-    t.print(std::cout);
-
-    std::cout << "\nPriSM-F fairness gain over FairWP: "
-              << Table::pct(geomean(f_pf) / geomean(f_wp) - 1.0)
-              << " (paper: 23.3%)\n"
-              << "PriSM-F performance (ANTT) vs LRU: "
-              << Table::pct(1.0 - geomeanNormAntt(pf, lru))
-              << " better (paper: 19%)\n";
-    return 0;
-}
+PRISM_FIGURE_MAIN("fig09_fairness")

@@ -1,50 +1,10 @@
 /**
  * @file
- * Figure 10: QoS — core 0 pinned to 80% of its stand-alone IPC.
- *
- * Paper series: the slowdown (IPC_shared / IPC_standalone) of core 0
- * under PriSM-Q for each 16-core workload, against the 0.8 target.
- * The paper hits the target in 38 of 41 QoS runs; cache-insensitive
- * programs sit above the target because 0.8 is below their maximum
- * possible slowdown.
+ * Shim binary for figure "fig10_qos" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Figure 10: PriSM-Q, core0 floor = 80% stand-alone IPC",
-           "core 0 lands at or above the 0.80 slowdown target in "
-           "nearly all workloads");
-
-    // The grow/shrink controller needs many intervals to settle (the
-    // paper's runs give it hundreds): use a faster control loop and a
-    // longer run than the other harnesses.
-    MachineConfig m = machine(16);
-    m.instrBudget *= 2;
-    m.intervalMisses = m.llcBytes / m.blockBytes / 8;
-    Runner runner(m);
-    Table t({"workload", "core0 benchmark", "core0 slowdown",
-             "target met"});
-    unsigned met = 0, total = 0;
-    for (const auto &w : suite(16)) {
-        const auto res = runner.run(w, SchemeKind::PrismQ);
-        const double slowdown = res.ipc[0] / res.ipcStandalone[0];
-        // 2% tolerance for the interval-granular controller.
-        const bool ok = slowdown >= 0.8 * 0.98;
-        met += ok;
-        ++total;
-        t.addRow({w.name, w.benchmarks[0], Table::num(slowdown),
-                  ok ? "yes" : "NO"});
-    }
-    printBanner(std::cout,
-                "IPC_shared / IPC_standalone of core 0 (target 0.80)");
-    t.print(std::cout);
-    std::cout << "\ntargets met: " << met << "/" << total
-              << " (paper: 38/41)\n";
-    return 0;
-}
+PRISM_FIGURE_MAIN("fig10_qos")

@@ -1,49 +1,10 @@
 /**
  * @file
- * Figure 11: mean and standard deviation of eviction probabilities
- * under PriSM-H for each benchmark of each quad workload.
- *
- * Paper series: per-benchmark mean eviction probability with an
- * error bar of one standard deviation; the standard deviations are
- * small (probabilities are stable across the 199-1175 recomputations
- * per run).
+ * Shim binary for figure "fig11_evprob" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Figure 11: eviction-probability stability (quad, PriSM-H)",
-           "E_i per benchmark is stable: stddev small relative to "
-           "mean; streamers carry high E, cache-friendly cores low E");
-
-    // The statistic needs many recomputations (the paper sees
-    // 199-1175 per run): lengthen the run and shorten the interval.
-    MachineConfig m = machine(4);
-    m.instrBudget *= 3;
-    m.intervalMisses = m.llcBytes / m.blockBytes / 4;
-    Runner runner(m);
-    Table t({"workload", "benchmark", "E mean", "E stddev",
-             "recomputes"});
-    RunningStat stddevs;
-    for (const auto &w : suite(4)) {
-        const auto res = runner.run(w, SchemeKind::PrismH);
-        for (std::size_t c = 0; c < w.benchmarks.size(); ++c) {
-            t.addRow({c == 0 ? w.name : "", w.benchmarks[c],
-                      Table::num(res.evProbMean[c]),
-                      Table::num(res.evProbStddev[c]),
-                      c == 0 ? std::to_string(res.recomputes) : ""});
-            stddevs.add(res.evProbStddev[c]);
-        }
-    }
-    printBanner(std::cout, "eviction probability per benchmark");
-    t.print(std::cout);
-    std::cout << "\nmean stddev across all benchmarks: "
-              << Table::num(stddevs.mean())
-              << " (small => stable probabilities, as in the paper)\n";
-    return 0;
-}
+PRISM_FIGURE_MAIN("fig11_evprob")

@@ -1,49 +1,10 @@
 /**
  * @file
- * Figure 12: K-bit probability representation vs floating point.
- *
- * Paper series: performance of PriSM-H when the eviction
- * probabilities are stored as 6/8/10/12-bit integers, normalised to
- * the floating-point version — all within noise of 1.0, so 6 bits
- * suffice in hardware.
+ * Shim binary for figure "fig12_bits" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Figure 12: K-bit eviction probabilities (quad, PriSM-H)",
-           "6/8/10/12-bit quantisation performs the same as floating "
-           "point");
-
-    Runner runner(machine(4));
-    const std::vector<unsigned> bit_widths{6, 8, 10, 12};
-
-    // Per-workload ANTT for float and each K.
-    std::vector<RunResult> base;
-    std::vector<std::vector<RunResult>> quantised(bit_widths.size());
-    for (const auto &w : suite(4)) {
-        base.push_back(runner.run(w, SchemeKind::PrismH));
-        for (std::size_t k = 0; k < bit_widths.size(); ++k) {
-            SchemeOptions opt;
-            opt.probBits = bit_widths[k];
-            quantised[k].push_back(
-                runner.run(w, SchemeKind::PrismH, opt));
-        }
-    }
-
-    Table t({"bits", "ANTT vs float (geomean)"});
-    for (std::size_t k = 0; k < bit_widths.size(); ++k)
-        t.addRow({std::to_string(bit_widths[k]),
-                  Table::num(geomeanNormAntt(quantised[k], base))});
-    printBanner(std::cout,
-                "PriSM-H with K-bit probabilities / PriSM-H float");
-    t.print(std::cout);
-    std::cout << "\nvalues ~1.0 reproduce the paper's conclusion that "
-                 "6 bits are enough.\n";
-    return 0;
-}
+PRISM_FIGURE_MAIN("fig12_bits")

@@ -1,41 +1,10 @@
 /**
  * @file
- * Figure 13: fraction of replacements where the selected core has no
- * block in the indexed set, vs interval length.
- *
- * Paper series: with quad-core PriSM-H, the victimless fraction
- * falls from 3.8% at W = 32K misses to 3.1% at 64K and 2.5% at 128K.
+ * Shim binary for figure "fig13_victimless" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Figure 13: victimless replacements vs interval length",
-           "fraction falls as W grows: 3.8% (32K) -> 3.1% (64K) -> "
-           "2.5% (128K) in the paper");
-
-    Table t({"W (misses)", "victimless fraction"});
-    for (std::uint64_t w_misses : {32768ull, 65536ull, 131072ull}) {
-        MachineConfig m = machine(4);
-        m.intervalMisses = w_misses;
-        // Longer intervals need a longer run to see several of them.
-        m.instrBudget *= 2;
-        Runner runner(m);
-        RunningStat frac;
-        for (const auto &w : suite(4)) {
-            const auto res = runner.run(w, SchemeKind::PrismH);
-            frac.add(res.victimlessFraction);
-        }
-        t.addRow({std::to_string(w_misses / 1024) + "K",
-                  Table::pct(frac.mean())});
-    }
-    printBanner(std::cout,
-                "replacements with no candidate of the selected core");
-    t.print(std::cout);
-    return 0;
-}
+PRISM_FIGURE_MAIN("fig13_victimless")

@@ -1,45 +1,10 @@
 /**
  * @file
- * Section 5.6, "Changing the Replacement Policy": PriSM over DIP.
- *
- * Paper series: with DIP [13] as the underlying replacement policy
- * (which lacks the stack property, so UCP cannot use it), quad-core
- * PriSM-H improves 8.9% over the DIP baseline; TA-DIP performs about
- * the same as DIP.
+ * Shim binary for figure "sec56_dip" — the sweep spec and report
+ * live in the figure registry (figures.hh); run with --help for the
+ * shared driver options or use tools/prism_bench directly.
  */
 
-#include "bench_common.hh"
+#include "figures.hh"
 
-using namespace prism;
-using namespace prism::bench;
-
-int
-main()
-{
-    header("Section 5.6: PriSM on a DIP-replacement cache (quad)",
-           "PriSM-H beats the DIP baseline by ~8.9%; TA-DIP ~= DIP");
-
-    MachineConfig m = machine(4);
-    m.repl = ReplKind::DIP;
-    Runner runner(m);
-
-    Table t({"workload", "PriSM-H/DIP", "TA-DIP/DIP"});
-    std::vector<RunResult> dip, ph, tadip;
-    for (const auto &w : suite(4)) {
-        dip.push_back(runner.run(w, SchemeKind::Baseline));
-        ph.push_back(runner.run(w, SchemeKind::PrismH));
-        tadip.push_back(runner.run(w, SchemeKind::TADIP));
-        const double base = dip.back().antt();
-        t.addRow({w.name, Table::num(ph.back().antt() / base),
-                  Table::num(tadip.back().antt() / base)});
-    }
-    const double g_ph = geomeanNormAntt(ph, dip);
-    const double g_ta = geomeanNormAntt(tadip, dip);
-    t.addRow({"geomean", Table::num(g_ph), Table::num(g_ta)});
-    printBanner(std::cout, "ANTT normalised to the DIP baseline");
-    t.print(std::cout);
-    std::cout << "\nPriSM-H gain over DIP: " << Table::pct(1.0 - g_ph)
-              << " (paper: 8.9%); TA-DIP vs DIP: "
-              << Table::pct(1.0 - g_ta) << " (paper: ~0%)\n";
-    return 0;
-}
+PRISM_FIGURE_MAIN("sec56_dip")

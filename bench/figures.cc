@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Figure registry core: lookup, execution, the shared shim main(),
+ * and the hidden regression fixture sweep.
+ */
+
+#include "figures_impl.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+namespace prism::bench
+{
+
+namespace
+{
+
+/**
+ * The hidden golden-regression fixture: a tiny fully pinned sweep
+ * (independent of the PRISM_BENCH_* knobs) whose JSON output is
+ * committed under tests/golden/ and compared field-for-field by
+ * tests/test_bench_golden.cc. Guards the runner/sweep refactor and
+ * every future PR against silent behavioural drift.
+ */
+Figure
+fixtureFigure()
+{
+    Figure f;
+    f.id = "fixture";
+    f.title = "golden regression fixture (not a paper figure)";
+    f.paper = "committed JSON under tests/golden/ must reproduce "
+              "field-for-field";
+    f.listed = false;
+
+    auto machine = []() {
+        MachineConfig m;
+        m.numCores = 2;
+        m.llcBytes = 256ull << 10;
+        m.llcWays = 8;
+        m.intervalMisses = 1024;
+        m.instrBudget = 60'000;
+        m.warmupInstr = 15'000;
+        return m;
+    };
+    auto mixes = []() {
+        return std::vector<Workload>{
+            {"GF", {"403.gcc", "186.crafty"}},
+            {"SS", {"179.art", "470.lbm"}},
+        };
+    };
+
+    f.spec = [machine, mixes]() {
+        SweepSpec spec;
+        spec.name = "fixture";
+        const MachineConfig m = machine();
+        SchemeOptions quantised;
+        quantised.probBits = 6;
+        for (const auto &w : mixes()) {
+            spec.add(m, w, SchemeKind::Baseline);
+            spec.add(m, w, SchemeKind::PrismH);
+            spec.add(m, w, SchemeKind::PrismH, quantised, "b6");
+            spec.add(m, w, SchemeKind::FairWP);
+            // One derived-seed replica exercises the seed axis.
+            spec.add(m, w, SchemeKind::PrismH, {}, "", 1);
+        }
+        return spec;
+    };
+
+    f.report = [mixes](const SweepResults &res, std::ostream &os) {
+        Table t({"workload", "scheme", "ANTT", "fairness"});
+        for (const auto &w : mixes()) {
+            for (const SchemeKind s :
+                 {SchemeKind::Baseline, SchemeKind::PrismH,
+                  SchemeKind::FairWP}) {
+                const RunResult &r =
+                    res.at(SweepSpec::makeId("", w.name, s));
+                t.addRow({w.name, r.scheme, Table::num(r.antt()),
+                          Table::num(r.fairness())});
+            }
+        }
+        t.print(os);
+    };
+
+    f.summary = [mixes](JsonWriter &w, const SweepResults &res) {
+        std::vector<double> antt;
+        for (const auto &wl : mixes())
+            antt.push_back(
+                res.at(SweepSpec::makeId("", wl.name,
+                                         SchemeKind::PrismH))
+                    .antt());
+        w.kv("prism_h_antt", std::span<const double>(antt));
+    };
+    return f;
+}
+
+} // namespace
+
+const std::vector<Figure> &
+figureRegistry()
+{
+    static const std::vector<Figure> registry = []() {
+        std::vector<Figure> figs;
+        registerMotivationFigures(figs);
+        registerEvaluationFigures(figs);
+        registerAnalysisFigures(figs);
+        figs.push_back(fixtureFigure());
+        return figs;
+    }();
+    return registry;
+}
+
+const Figure *
+findFigure(std::string_view id)
+{
+    for (const Figure &f : figureRegistry())
+        if (f.id == id)
+            return &f;
+    return nullptr;
+}
+
+int
+runFigure(const Figure &fig, const FigureRunOptions &options)
+{
+    std::ostream &os = std::cout;
+    os << "PriSM reproduction — " << fig.title << "\n"
+       << "paper: " << fig.paper << "\n"
+       << "scale: budgets x" << scaleFactor() << ", "
+       << (workloadCap() ? std::to_string(workloadCap())
+                         : std::string("all"))
+       << " workloads per suite\n";
+
+    const SweepSpec spec = fig.spec();
+    SweepRunner runner(options.threads);
+    const SweepOutcome outcome = runner.run(spec);
+    const SweepResults results(spec, outcome);
+
+    fig.report(results, os);
+
+    os << "\nsweep: " << spec.jobs.size() << " jobs, "
+       << outcome.standaloneSims << " stand-alone sims, "
+       << Table::num(outcome.wallSeconds, 2) << " s on "
+       << outcome.threads << " thread(s) ("
+       << Table::num(outcome.jobsPerSecond, 2) << " jobs/s)\n";
+
+    if (!options.writeJson)
+        return 0;
+
+    std::error_code ec; // best-effort; open failure is caught below
+    std::filesystem::create_directories(options.outDir, ec);
+    const std::string path =
+        options.outDir + "/BENCH_" + fig.id + ".json";
+    std::ofstream file(path);
+    if (!file) {
+        std::cerr << "prism_bench: cannot write " << path << "\n";
+        return 1;
+    }
+    SweepJsonOptions json_options;
+    json_options.includeTiming = options.includeTiming;
+    std::function<void(JsonWriter &)> summary;
+    if (fig.summary)
+        summary = [&fig, &results](JsonWriter &w) {
+            fig.summary(w, results);
+        };
+    writeSweepJson(file, spec, outcome, json_options, summary);
+    os << "wrote " << path << "\n";
+    return 0;
+}
+
+int
+figureMain(const char *figure_id, int argc, char **argv)
+{
+    const Figure *fig = findFigure(figure_id);
+    if (!fig) {
+        std::cerr << "unknown figure id '" << figure_id << "'\n";
+        return 1;
+    }
+
+    FigureRunOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: " << argv[0] << " [options]\n"
+                << "  --threads N    parallel sweep workers "
+                   "(default 1)\n"
+                << "  --out DIR      directory for BENCH_*.json "
+                   "(default .)\n"
+                << "  --no-json      tables only\n"
+                << "  --no-timing    omit wall-clock JSON fields\n"
+                << "\nPRISM_BENCH_SCALE and PRISM_BENCH_WORKLOADS "
+                   "scale the sweep.\n";
+            return 0;
+        } else if (arg == "--threads") {
+            options.threads =
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--out") {
+            options.outDir = value();
+        } else if (arg == "--no-json") {
+            options.writeJson = false;
+        } else if (arg == "--no-timing") {
+            options.includeTiming = false;
+        } else {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return 2;
+        }
+    }
+    return runFigure(*fig, options);
+}
+
+} // namespace prism::bench

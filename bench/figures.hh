@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Declarative figure registry for the paper-reproduction harnesses.
+ *
+ * Every figure/table of the evaluation is described once as a
+ * `Figure`: a declarative sweep spec (the (scheme × workload × seed ×
+ * config) grid to simulate), a report function that renders the
+ * human-readable tables from the finished sweep, and an optional
+ * summary emitter for the figure's headline series in the
+ * `BENCH_<id>.json` output.
+ *
+ * The unified `prism_bench` driver and the thin per-figure shim
+ * binaries (`bench_fig02_summary` etc., kept for muscle memory) both
+ * execute figures through runFigure(), which fans the sweep across a
+ * thread pool (`--threads`) and emits machine-readable JSON — the
+ * per-figure `main()` boilerplate this registry replaced lives on
+ * only as PRISM_FIGURE_MAIN one-liners.
+ */
+
+#ifndef PRISM_BENCH_FIGURES_HH
+#define PRISM_BENCH_FIGURES_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hh"
+#include "exec/sweep.hh"
+
+namespace prism::bench
+{
+
+/** One reproducible figure/table of the evaluation. */
+struct Figure
+{
+    std::string id;    ///< e.g. "fig02_summary"; names the JSON file
+    std::string title; ///< harness header line
+    std::string paper; ///< the paper's expectation for this figure
+
+    /** Hidden figures (test fixtures) are excluded from --all. */
+    bool listed = true;
+
+    /** Build the sweep grid (honours PRISM_BENCH_SCALE/WORKLOADS). */
+    std::function<SweepSpec()> spec;
+
+    /** Render the figure's tables from the finished sweep. */
+    std::function<void(const SweepResults &, std::ostream &)> report;
+
+    /** Emit the headline series into the JSON "summary" object. */
+    std::function<void(JsonWriter &, const SweepResults &)> summary;
+};
+
+/** All registered figures, in paper order. */
+const std::vector<Figure> &figureRegistry();
+
+/** Find a figure by id; null when unknown. */
+const Figure *findFigure(std::string_view id);
+
+/** Execution options shared by prism_bench and the shim binaries. */
+struct FigureRunOptions
+{
+    unsigned threads = 1;
+    std::string outDir = ".";
+    bool writeJson = true;
+    /** false = omit wall-clock fields (deterministic output). */
+    bool includeTiming = true;
+};
+
+/**
+ * Run @p fig: execute its sweep under the pool, print the tables,
+ * and (unless disabled) write `<outDir>/BENCH_<id>.json`.
+ *
+ * @return 0 on success, 1 when the JSON file cannot be written.
+ */
+int runFigure(const Figure &fig, const FigureRunOptions &options);
+
+/** Shared main() implementation for the per-figure shim binaries. */
+int figureMain(const char *figure_id, int argc, char **argv);
+
+} // namespace prism::bench
+
+/** Define a shim binary's main() running one registry figure. */
+#define PRISM_FIGURE_MAIN(figure_id)                                   \
+    int main(int argc, char **argv)                                    \
+    {                                                                  \
+        return prism::bench::figureMain(figure_id, argc, argv);        \
+    }
+
+#endif // PRISM_BENCH_FIGURES_HH

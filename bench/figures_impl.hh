@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Internal plumbing shared by the figure definition files.
+ */
+
+#ifndef PRISM_BENCH_FIGURES_IMPL_HH
+#define PRISM_BENCH_FIGURES_IMPL_HH
+
+#include <initializer_list>
+
+#include "bench_common.hh"
+#include "figures.hh"
+
+namespace prism::bench
+{
+
+// Figure definitions, grouped as in the paper; each appends its
+// figures (in paper order) to the registry under construction.
+void registerMotivationFigures(std::vector<Figure> &out);
+void registerEvaluationFigures(std::vector<Figure> &out);
+void registerAnalysisFigures(std::vector<Figure> &out);
+
+/** Add (workload × scheme) jobs for a whole suite under one config. */
+inline void
+addSuite(SweepSpec &spec, const MachineConfig &m,
+         const std::vector<Workload> &workloads,
+         std::initializer_list<SchemeKind> schemes,
+         const std::string &tag = "", const SchemeOptions &options = {})
+{
+    for (const auto &w : workloads)
+        for (const SchemeKind s : schemes)
+            spec.add(m, w, s, options, tag);
+}
+
+/** Collect one scheme's results across a suite, in suite order. */
+inline std::vector<RunResult>
+collectSuite(const SweepResults &results,
+             const std::vector<Workload> &workloads, SchemeKind scheme,
+             const std::string &tag = "")
+{
+    std::vector<RunResult> out;
+    out.reserve(workloads.size());
+    for (const auto &w : workloads)
+        out.push_back(
+            results.at(SweepSpec::makeId(tag, w.name, scheme)));
+    return out;
+}
+
+/** Fairness values of one scheme across a suite. */
+inline std::vector<double>
+collectFairness(const SweepResults &results,
+                const std::vector<Workload> &workloads, SchemeKind scheme,
+                const std::string &tag = "")
+{
+    std::vector<double> out;
+    out.reserve(workloads.size());
+    for (const auto &w : workloads)
+        out.push_back(
+            results.at(SweepSpec::makeId(tag, w.name, scheme))
+                .fairness());
+    return out;
+}
+
+/** "c4", "c16", … — the tag used for per-core-count grids. */
+inline std::string
+coresTag(unsigned cores)
+{
+    return "c" + std::to_string(cores);
+}
+
+} // namespace prism::bench
+
+#endif // PRISM_BENCH_FIGURES_IMPL_HH

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Motivation and headline figures: Fig. 1(a)/1(b) (why existing
+ * schemes fall short), Fig. 2 (PriSM summary across core counts),
+ * Fig. 3(a)/3(b) (per-workload ANTT at 4 and 32 cores).
+ */
+
+#include "figures_impl.hh"
+
+namespace prism::bench
+{
+
+namespace
+{
+
+Figure
+fig01a()
+{
+    Figure f;
+    f.id = "fig01a_scalability";
+    f.title = "Figure 1(a): motivation — scalability of UCP/PIPP/FairWP";
+    f.paper = "UCP & PIPP gains over LRU shrink with core count; "
+              "way-partitioned fairness degrades from 4 to 16 cores";
+
+    f.spec = []() {
+        SweepSpec spec;
+        spec.name = "fig01a_scalability";
+        for (const unsigned cores : {4u, 8u, 16u, 32u})
+            addSuite(spec, machine(cores), suite(cores),
+                     {SchemeKind::Baseline, SchemeKind::UCP,
+                      SchemeKind::PIPP},
+                     coresTag(cores));
+        for (const unsigned cores : {4u, 8u, 16u})
+            addSuite(spec, machine(cores), suite(cores),
+                     {SchemeKind::FairWP}, coresTag(cores));
+        return spec;
+    };
+
+    f.report = [](const SweepResults &res, std::ostream &os) {
+        Table perf({"cores", "UCP antt/LRU", "PIPP antt/LRU"});
+        for (const unsigned cores : {4u, 8u, 16u, 32u}) {
+            const auto ws = suite(cores);
+            const auto tag = coresTag(cores);
+            const auto lru =
+                collectSuite(res, ws, SchemeKind::Baseline, tag);
+            const auto ucp = collectSuite(res, ws, SchemeKind::UCP, tag);
+            const auto pipp =
+                collectSuite(res, ws, SchemeKind::PIPP, tag);
+            perf.addRow({std::to_string(cores),
+                         Table::num(geomeanNormAntt(ucp, lru)),
+                         Table::num(geomeanNormAntt(pipp, lru))});
+        }
+        printBanner(os, "ANTT normalised to LRU (lower is better)");
+        perf.print(os);
+
+        Table fair({"cores", "FairWP fairness", "LRU fairness"});
+        for (const unsigned cores : {4u, 8u, 16u}) {
+            const auto ws = suite(cores);
+            const auto tag = coresTag(cores);
+            fair.addRow(
+                {std::to_string(cores),
+                 Table::num(geomean(collectFairness(
+                     res, ws, SchemeKind::FairWP, tag))),
+                 Table::num(geomean(collectFairness(
+                     res, ws, SchemeKind::Baseline, tag)))});
+        }
+        printBanner(os, "fairness (higher is better)");
+        fair.print(os);
+    };
+
+    f.summary = [](JsonWriter &w, const SweepResults &res) {
+        w.key("antt_vs_lru");
+        w.beginArray();
+        for (const unsigned cores : {4u, 8u, 16u, 32u}) {
+            const auto ws = suite(cores);
+            const auto tag = coresTag(cores);
+            const auto lru =
+                collectSuite(res, ws, SchemeKind::Baseline, tag);
+            w.beginObject();
+            w.kv("cores", cores);
+            w.kv("ucp", geomeanNormAntt(
+                            collectSuite(res, ws, SchemeKind::UCP, tag),
+                            lru));
+            w.kv("pipp",
+                 geomeanNormAntt(
+                     collectSuite(res, ws, SchemeKind::PIPP, tag), lru));
+            w.endObject();
+        }
+        w.endArray();
+        w.key("fairness");
+        w.beginArray();
+        for (const unsigned cores : {4u, 8u, 16u}) {
+            const auto ws = suite(cores);
+            const auto tag = coresTag(cores);
+            w.beginObject();
+            w.kv("cores", cores);
+            w.kv("fair_wp", geomean(collectFairness(
+                                res, ws, SchemeKind::FairWP, tag)));
+            w.kv("lru", geomean(collectFairness(
+                            res, ws, SchemeKind::Baseline, tag)));
+            w.endObject();
+        }
+        w.endArray();
+    };
+    return f;
+}
+
+Figure
+fig01b()
+{
+    Figure f;
+    f.id = "fig01b_finegrain";
+    f.title = "Figure 1(b): fine-grained partitioning helps UCP";
+    f.paper = "going 16 -> 64 -> 256 ways lifts UCP's throughput more "
+              "than LRU's";
+
+    auto variants = []() {
+        std::vector<std::pair<unsigned, unsigned>> out;
+        for (const unsigned cores : {4u, 8u})
+            for (const unsigned ways : {16u, 64u, 256u})
+                out.emplace_back(cores, ways);
+        return out;
+    };
+    auto tag = [](unsigned cores, unsigned ways) {
+        return coresTag(cores) + "-w" + std::to_string(ways);
+    };
+
+    f.spec = [variants, tag]() {
+        SweepSpec spec;
+        spec.name = "fig01b_finegrain";
+        for (const auto &[cores, ways] : variants()) {
+            MachineConfig m = machine(cores);
+            m.llcBytes = 4ull << 20;
+            m.llcWays = ways;
+            addSuite(spec, m, suite(cores),
+                     {SchemeKind::Baseline, SchemeKind::UCP},
+                     tag(cores, ways));
+        }
+        return spec;
+    };
+
+    auto series = [variants, tag](const SweepResults &res) {
+        struct Row
+        {
+            unsigned cores, ways;
+            double lru, ucp;
+        };
+        std::vector<Row> rows;
+        for (const auto &[cores, ways] : variants()) {
+            const auto ws = suite(cores);
+            const auto t = tag(cores, ways);
+            std::vector<double> thr_lru, thr_ucp;
+            for (const auto &r :
+                 collectSuite(res, ws, SchemeKind::Baseline, t))
+                thr_lru.push_back(r.ipcThroughput());
+            for (const auto &r :
+                 collectSuite(res, ws, SchemeKind::UCP, t))
+                thr_ucp.push_back(r.ipcThroughput());
+            rows.push_back(
+                {cores, ways, mean(thr_lru), mean(thr_ucp)});
+        }
+        return rows;
+    };
+
+    f.report = [series](const SweepResults &res, std::ostream &os) {
+        Table t({"cores", "ways", "LRU thr", "UCP thr", "UCP gain"});
+        for (const auto &row : series(res))
+            t.addRow({std::to_string(row.cores),
+                      std::to_string(row.ways), Table::num(row.lru),
+                      Table::num(row.ucp),
+                      Table::pct(row.ucp / row.lru - 1.0)});
+        printBanner(os, "IPC throughput (higher is better)");
+        t.print(os);
+    };
+
+    f.summary = [series](JsonWriter &w, const SweepResults &res) {
+        w.key("throughput");
+        w.beginArray();
+        for (const auto &row : series(res)) {
+            w.beginObject();
+            w.kv("cores", row.cores);
+            w.kv("ways", row.ways);
+            w.kv("lru", row.lru);
+            w.kv("ucp", row.ucp);
+            w.endObject();
+        }
+        w.endArray();
+    };
+    return f;
+}
+
+Figure
+fig02()
+{
+    Figure f;
+    f.id = "fig02_summary";
+    f.title = "Figure 2: PriSM summary";
+    f.paper = "PriSM-H beats LRU by 17.9/16.5/18.7/12.7% at 4/8/16/32 "
+              "cores; PriSM-F improves fairness at every core count";
+
+    f.spec = []() {
+        SweepSpec spec;
+        spec.name = "fig02_summary";
+        for (const unsigned cores : {4u, 8u, 16u, 32u})
+            addSuite(spec, machine(cores), suite(cores),
+                     {SchemeKind::Baseline, SchemeKind::PrismH,
+                      SchemeKind::UCP, SchemeKind::PIPP},
+                     coresTag(cores));
+        for (const unsigned cores : {4u, 8u, 16u})
+            addSuite(spec, machine(cores), suite(cores),
+                     {SchemeKind::FairWP, SchemeKind::PrismF},
+                     coresTag(cores));
+        return spec;
+    };
+
+    f.report = [](const SweepResults &res, std::ostream &os) {
+        Table perf({"cores", "PriSM-H/LRU", "UCP/LRU", "PIPP/LRU",
+                    "PriSM-H gain"});
+        for (const unsigned cores : {4u, 8u, 16u, 32u}) {
+            const auto ws = suite(cores);
+            const auto tag = coresTag(cores);
+            const auto lru =
+                collectSuite(res, ws, SchemeKind::Baseline, tag);
+            const double ph_n = geomeanNormAntt(
+                collectSuite(res, ws, SchemeKind::PrismH, tag), lru);
+            perf.addRow(
+                {std::to_string(cores), Table::num(ph_n),
+                 Table::num(geomeanNormAntt(
+                     collectSuite(res, ws, SchemeKind::UCP, tag), lru)),
+                 Table::num(geomeanNormAntt(
+                     collectSuite(res, ws, SchemeKind::PIPP, tag),
+                     lru)),
+                 Table::pct(1.0 - ph_n)});
+        }
+        printBanner(os,
+                    "hit-maximisation: ANTT / LRU (lower is better)");
+        perf.print(os);
+
+        Table fair({"cores", "LRU", "FairWP", "PriSM-F"});
+        for (const unsigned cores : {4u, 8u, 16u}) {
+            const auto ws = suite(cores);
+            const auto tag = coresTag(cores);
+            fair.addRow(
+                {std::to_string(cores),
+                 Table::num(geomean(collectFairness(
+                     res, ws, SchemeKind::Baseline, tag))),
+                 Table::num(geomean(collectFairness(
+                     res, ws, SchemeKind::FairWP, tag))),
+                 Table::num(geomean(collectFairness(
+                     res, ws, SchemeKind::PrismF, tag)))});
+        }
+        printBanner(os, "fairness (higher is better)");
+        fair.print(os);
+    };
+
+    f.summary = [](JsonWriter &w, const SweepResults &res) {
+        w.key("perf");
+        w.beginArray();
+        for (const unsigned cores : {4u, 8u, 16u, 32u}) {
+            const auto ws = suite(cores);
+            const auto tag = coresTag(cores);
+            const auto lru =
+                collectSuite(res, ws, SchemeKind::Baseline, tag);
+            const double ph_n = geomeanNormAntt(
+                collectSuite(res, ws, SchemeKind::PrismH, tag), lru);
+            w.beginObject();
+            w.kv("cores", cores);
+            w.kv("prism_h_vs_lru", ph_n);
+            w.kv("ucp_vs_lru",
+                 geomeanNormAntt(
+                     collectSuite(res, ws, SchemeKind::UCP, tag), lru));
+            w.kv("pipp_vs_lru",
+                 geomeanNormAntt(
+                     collectSuite(res, ws, SchemeKind::PIPP, tag),
+                     lru));
+            w.kv("prism_h_gain", 1.0 - ph_n);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("fairness");
+        w.beginArray();
+        for (const unsigned cores : {4u, 8u, 16u}) {
+            const auto ws = suite(cores);
+            const auto tag = coresTag(cores);
+            w.beginObject();
+            w.kv("cores", cores);
+            w.kv("lru", geomean(collectFairness(
+                            res, ws, SchemeKind::Baseline, tag)));
+            w.kv("fair_wp", geomean(collectFairness(
+                                res, ws, SchemeKind::FairWP, tag)));
+            w.kv("prism_f", geomean(collectFairness(
+                                res, ws, SchemeKind::PrismF, tag)));
+            w.endObject();
+        }
+        w.endArray();
+    };
+    return f;
+}
+
+/** Shared shape of Fig. 3(a) and 3(b): per-workload ANTT tables. */
+Figure
+perWorkloadAntt(const std::string &id, const std::string &title,
+                const std::string &paper, unsigned cores,
+                bool show_mix)
+{
+    Figure f;
+    f.id = id;
+    f.title = title;
+    f.paper = paper;
+
+    f.spec = [id, cores]() {
+        SweepSpec spec;
+        spec.name = id;
+        addSuite(spec, machine(cores), suite(cores),
+                 {SchemeKind::Baseline, SchemeKind::PrismH,
+                  SchemeKind::UCP, SchemeKind::PIPP});
+        return spec;
+    };
+
+    f.report = [cores, show_mix](const SweepResults &res,
+                                 std::ostream &os) {
+        const auto ws = suite(cores);
+        const auto lru = collectSuite(res, ws, SchemeKind::Baseline);
+        const auto ph = collectSuite(res, ws, SchemeKind::PrismH);
+        const auto ucp = collectSuite(res, ws, SchemeKind::UCP);
+        const auto pipp = collectSuite(res, ws, SchemeKind::PIPP);
+
+        std::vector<std::string> headers{"workload", "PriSM-H/LRU",
+                                         "UCP/LRU", "PIPP/LRU"};
+        if (show_mix)
+            headers.insert(headers.begin() + 1, "mix");
+        Table t(headers);
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            const double base = lru[i].antt();
+            std::vector<std::string> row{
+                ws[i].name, Table::num(ph[i].antt() / base),
+                Table::num(ucp[i].antt() / base),
+                Table::num(pipp[i].antt() / base)};
+            if (show_mix) {
+                std::string mix;
+                for (const auto &b : ws[i].benchmarks)
+                    mix += b.substr(b.find('.') + 1) + " ";
+                row.insert(row.begin() + 1, mix);
+            }
+            t.addRow(row);
+        }
+        std::vector<std::string> tail{
+            "geomean", Table::num(geomeanNormAntt(ph, lru)),
+            Table::num(geomeanNormAntt(ucp, lru)),
+            Table::num(geomeanNormAntt(pipp, lru))};
+        if (show_mix)
+            tail.insert(tail.begin() + 1, "");
+        t.addRow(tail);
+        printBanner(os, "ANTT normalised to LRU (lower is better)");
+        t.print(os);
+    };
+
+    f.summary = [cores](JsonWriter &w, const SweepResults &res) {
+        const auto ws = suite(cores);
+        const auto lru = collectSuite(res, ws, SchemeKind::Baseline);
+        const auto ph = collectSuite(res, ws, SchemeKind::PrismH);
+        const auto ucp = collectSuite(res, ws, SchemeKind::UCP);
+        const auto pipp = collectSuite(res, ws, SchemeKind::PIPP);
+        w.key("per_workload");
+        w.beginArray();
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            const double base = lru[i].antt();
+            w.beginObject();
+            w.kv("workload", ws[i].name);
+            w.kv("prism_h_vs_lru", ph[i].antt() / base);
+            w.kv("ucp_vs_lru", ucp[i].antt() / base);
+            w.kv("pipp_vs_lru", pipp[i].antt() / base);
+            w.endObject();
+        }
+        w.endArray();
+        w.kv("geomean_prism_h", geomeanNormAntt(ph, lru));
+        w.kv("geomean_ucp", geomeanNormAntt(ucp, lru));
+        w.kv("geomean_pipp", geomeanNormAntt(pipp, lru));
+    };
+    return f;
+}
+
+} // namespace
+
+void
+registerMotivationFigures(std::vector<Figure> &out)
+{
+    out.push_back(fig01a());
+    out.push_back(fig01b());
+    out.push_back(fig02());
+    out.push_back(perWorkloadAntt(
+        "fig03a_quad", "Figure 3(a): quad-core per-workload ANTT",
+        "PriSM-H >= LRU nearly everywhere; Q7 ~ 1.5x; UCP edges "
+        "PriSM on Q3/Q9",
+        4, true));
+    out.push_back(perWorkloadAntt(
+        "fig03b_32core", "Figure 3(b): 32-core per-workload ANTT",
+        "PriSM-H > UCP on all 32-core mixes; PIPP often worse than "
+        "LRU",
+        32, false));
+}
+
+} // namespace prism::bench

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Thread-safe memoisation of expensive pure computations.
+ *
+ * The sweep engine runs many simulations concurrently, and several of
+ * them typically need the same stand-alone reference IPC. This memo
+ * guarantees each key is computed exactly once even when multiple
+ * threads ask for it at the same time: the first caller runs the
+ * computation while later callers block on a shared future. Because
+ * the computations are pure functions of their key, the memoised
+ * values — and therefore every consumer — are independent of thread
+ * count and scheduling order.
+ */
+
+#ifndef PRISM_COMMON_CONCURRENT_MEMO_HH
+#define PRISM_COMMON_CONCURRENT_MEMO_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace prism
+{
+
+/** String-keyed once-per-key concurrent memo. */
+template <typename Value>
+class ConcurrentMemo
+{
+  public:
+    /**
+     * Return the memoised value for @p key, computing it with
+     * @p compute on the first request. Concurrent requests for the
+     * same key block until the single computation finishes; requests
+     * for different keys run in parallel (the computation itself is
+     * not serialised under the map lock).
+     */
+    template <typename Fn>
+    Value
+    getOrCompute(const std::string &key, Fn &&compute)
+    {
+        std::packaged_task<Value()> task;
+        std::shared_future<Value> future;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = memo_.find(key);
+            if (it == memo_.end()) {
+                task = std::packaged_task<Value()>(
+                    std::forward<Fn>(compute));
+                future = task.get_future().share();
+                memo_.emplace(key, future);
+                ++computes_;
+            } else {
+                future = it->second;
+            }
+        }
+        // Run the computation outside the lock so unrelated keys
+        // make progress concurrently.
+        if (task.valid())
+            task();
+        return future.get();
+    }
+
+    /** Number of distinct keys computed (or in flight). */
+    std::uint64_t
+    computes() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return computes_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_future<Value>> memo_;
+    std::uint64_t computes_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_COMMON_CONCURRENT_MEMO_HH

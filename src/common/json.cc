@@ -1,0 +1,208 @@
+#include "common/json.hh"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/prism_assert.hh"
+
+namespace prism
+{
+
+void
+JsonWriter::separate()
+{
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (stack_.empty())
+        return;
+    if (!stack_.back().empty)
+        os_ << ',';
+    stack_.back().empty = false;
+    os_ << '\n';
+    indent();
+}
+
+void
+JsonWriter::indent()
+{
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << '{';
+    stack_.push_back({false, true});
+}
+
+void
+JsonWriter::endObject()
+{
+    panicIf(stack_.empty() || stack_.back().array,
+            "JsonWriter::endObject: not in an object");
+    const bool empty = stack_.back().empty;
+    stack_.pop_back();
+    if (!empty) {
+        os_ << '\n';
+        indent();
+    }
+    os_ << '}';
+    if (stack_.empty())
+        os_ << '\n';
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << '[';
+    stack_.push_back({true, true});
+}
+
+void
+JsonWriter::endArray()
+{
+    panicIf(stack_.empty() || !stack_.back().array,
+            "JsonWriter::endArray: not in an array");
+    const bool empty = stack_.back().empty;
+    stack_.pop_back();
+    if (!empty) {
+        os_ << '\n';
+        indent();
+    }
+    os_ << ']';
+}
+
+namespace
+{
+
+void
+writeEscaped(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+JsonWriter::key(std::string_view k)
+{
+    panicIf(stack_.empty() || stack_.back().array,
+            "JsonWriter::key: not in an object");
+    separate();
+    writeEscaped(os_, k);
+    os_ << ": ";
+    after_key_ = true;
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    separate();
+    writeEscaped(os_, v);
+}
+
+void
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+}
+
+std::string
+JsonWriter::formatDouble(double v)
+{
+    // JSON has no NaN/Inf; they indicate a degenerate run and are
+    // serialised as null so the file stays parseable.
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+void
+JsonWriter::value(double v)
+{
+    separate();
+    os_ << formatDouble(v);
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os_ << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    os_ << v;
+}
+
+void
+JsonWriter::kv(std::string_view k, std::span<const double> vs)
+{
+    key(k);
+    beginArray();
+    for (const double v : vs)
+        value(v);
+    endArray();
+}
+
+void
+JsonWriter::kv(std::string_view k, std::span<const std::uint64_t> vs)
+{
+    key(k);
+    beginArray();
+    for (const std::uint64_t v : vs)
+        value(v);
+    endArray();
+}
+
+void
+JsonWriter::kv(std::string_view k, std::span<const std::string> vs)
+{
+    key(k);
+    beginArray();
+    for (const std::string &v : vs)
+        value(v);
+    endArray();
+}
+
+} // namespace prism

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal deterministic JSON emitter.
+ *
+ * The bench trajectory (`BENCH_*.json`) and the sweep engine's
+ * machine-readable output are written through this class. Output is
+ * byte-deterministic for identical data: keys appear in call order,
+ * indentation is fixed, and doubles use the shortest round-trip
+ * representation (std::to_chars), so bit-identical results serialise
+ * to bit-identical files — the property the determinism test suite
+ * asserts across thread counts.
+ */
+
+#ifndef PRISM_COMMON_JSON_HH
+#define PRISM_COMMON_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prism
+{
+
+/** Streaming writer for pretty-printed, deterministic JSON. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; must be followed by a value/container. */
+    void key(std::string_view k);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(bool v);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+    /** key + scalar value in one call. */
+    template <typename T>
+        requires requires(JsonWriter &w, const T &v) { w.value(v); }
+    void
+    kv(std::string_view k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** key + array of doubles. */
+    void kv(std::string_view k, std::span<const double> vs);
+    /** key + array of unsigned integers. */
+    void kv(std::string_view k, std::span<const std::uint64_t> vs);
+    /** key + array of strings. */
+    void kv(std::string_view k, std::span<const std::string> vs);
+
+    /** Format a double exactly as value(double) would. */
+    static std::string formatDouble(double v);
+
+  private:
+    void separate();
+    void indent();
+
+    struct Level
+    {
+        bool array = false;
+        bool empty = true;
+    };
+
+    std::ostream &os_;
+    std::vector<Level> stack_;
+    bool after_key_ = false;
+};
+
+} // namespace prism
+
+#endif // PRISM_COMMON_JSON_HH

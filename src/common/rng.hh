@@ -13,6 +13,7 @@
 #define PRISM_COMMON_RNG_HH
 
 #include <cstdint>
+#include <string_view>
 
 #include "common/prism_assert.hh"
 
@@ -100,15 +101,22 @@ class Rng
         return Rng(next() ^ 0xA5A5A5A55A5A5A5AULL);
     }
 
+    /** The splitmix64 finaliser: a strong, stateless 64-bit mixer. */
+    static std::uint64_t
+    mix64(std::uint64_t z)
+    {
+        z += 0x9E3779B97F4A7C15ULL;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
   private:
     static std::uint64_t
     splitmix64(std::uint64_t &x)
     {
         x += 0x9E3779B97F4A7C15ULL;
-        std::uint64_t z = x;
-        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-        return z ^ (z >> 31);
+        return mix64(x - 0x9E3779B97F4A7C15ULL);
     }
 
     static std::uint64_t
@@ -119,6 +127,35 @@ class Rng
 
     std::uint64_t state_[4];
 };
+
+/**
+ * Derive an independent seed from @p base and an integer @p key.
+ *
+ * Used by the sweep engine to give every (scheme, workload, seed
+ * index, config) job its own deterministic RNG stream: the result
+ * depends only on the inputs, never on thread ids or execution
+ * order, so a sweep is bit-reproducible at any thread count.
+ */
+inline std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t key)
+{
+    return Rng::mix64(Rng::mix64(base ^ 0x6A09E667F3BCC909ULL) ^
+                      Rng::mix64(key));
+}
+
+/** Derive an independent seed from @p base and a string @p key. */
+inline std::uint64_t
+deriveSeed(std::uint64_t base, std::string_view key)
+{
+    // FNV-1a over the key bytes, then splitmix finalisation rounds
+    // against the base so nearby keys give uncorrelated streams.
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const char ch : key) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 0x100000001B3ULL;
+    }
+    return deriveSeed(base, h);
+}
 
 } // namespace prism
 

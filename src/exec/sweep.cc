@@ -1,0 +1,213 @@
+#include "exec/sweep.hh"
+
+#include <chrono>
+#include <memory>
+#include <ostream>
+
+#include "common/prism_assert.hh"
+#include "common/rng.hh"
+#include "exec/thread_pool.hh"
+
+namespace prism
+{
+
+std::string
+SweepSpec::makeId(const std::string &tag, const std::string &workload,
+                  SchemeKind scheme, std::uint32_t seed_index)
+{
+    std::string id;
+    if (!tag.empty())
+        id += tag + "/";
+    id += workload + "/" + schemeName(scheme);
+    if (seed_index > 0)
+        id += "#s" + std::to_string(seed_index);
+    return id;
+}
+
+std::size_t
+SweepSpec::add(const MachineConfig &config, const Workload &workload,
+               SchemeKind scheme, const SchemeOptions &options,
+               const std::string &tag, std::uint32_t seed_index)
+{
+    SweepJob job;
+    job.id = makeId(tag, workload.name, scheme, seed_index);
+    panicIf(!ids_.insert(job.id).second,
+            "SweepSpec::add: duplicate job id " + job.id);
+    job.config = config;
+    job.workload = workload;
+    job.scheme = scheme;
+    job.options = options;
+    job.seedIndex = seed_index;
+    panicIf(job.options.statsSink != nullptr,
+            "SweepSpec::add: statsSink is not supported in sweeps");
+    // The per-job RNG stream: derived from the job's seed-replica
+    // key, never from thread id or schedule order. Index 0 keeps
+    // the configured seed so sweep results match direct Runner use.
+    if (seed_index > 0)
+        job.config.seed = deriveSeed(
+            config.seed, "sweep-replica:" + std::to_string(seed_index));
+    jobs.push_back(std::move(job));
+    return jobs.size() - 1;
+}
+
+SweepOutcome
+SweepRunner::run(const SweepSpec &spec)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    SweepOutcome out;
+    out.results.resize(spec.jobs.size());
+
+    // The only mutable state shared between jobs: the once-per-key
+    // memo of stand-alone reference simulations.
+    auto memo = std::make_shared<StandaloneIpcMemo>();
+
+    {
+        ThreadPool pool(threads_);
+        out.threads = pool.threadCount();
+        for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+            const SweepJob &job = spec.jobs[i];
+            RunResult *slot = &out.results[i];
+            pool.submit([&job, slot, memo]() {
+                Runner runner(job.config, memo);
+                *slot = runner.run(job.workload, job.scheme,
+                                   job.options);
+            });
+        }
+        pool.wait();
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    out.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    out.jobsPerSecond =
+        out.wallSeconds > 0.0
+            ? static_cast<double>(spec.jobs.size()) / out.wallSeconds
+            : 0.0;
+    out.standaloneSims = memo->computes();
+    return out;
+}
+
+SweepResults::SweepResults(const SweepSpec &spec,
+                           const SweepOutcome &outcome)
+    : outcome_(&outcome)
+{
+    panicIf(spec.jobs.size() != outcome.results.size(),
+            "SweepResults: outcome does not match spec");
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i)
+        by_id_.emplace(spec.jobs[i].id, &outcome.results[i]);
+}
+
+const RunResult &
+SweepResults::at(const std::string &id) const
+{
+    const auto it = by_id_.find(id);
+    panicIf(it == by_id_.end(), "SweepResults::at: no job " + id);
+    return *it->second;
+}
+
+void
+writeRunResultFields(JsonWriter &w, const RunResult &r)
+{
+    w.kv("workload", r.workload);
+    w.kv("scheme", r.scheme);
+    w.kv("benchmarks", std::span<const std::string>(r.benchmarks));
+    w.kv("ipc", std::span<const double>(r.ipc));
+    w.kv("ipc_standalone", std::span<const double>(r.ipcStandalone));
+    w.kv("antt", r.antt());
+    w.kv("fairness", r.fairness());
+    w.kv("ipc_throughput", r.ipcThroughput());
+    w.kv("llc_misses", std::span<const std::uint64_t>(r.llcMisses));
+    w.kv("llc_hits", std::span<const std::uint64_t>(r.llcHits));
+    w.kv("occupancy_at_finish",
+         std::span<const double>(r.occupancyAtFinish));
+    w.kv("intervals", r.intervals);
+    w.kv("victimless_fraction", r.victimlessFraction);
+    w.kv("ev_prob_mean", std::span<const double>(r.evProbMean));
+    w.kv("ev_prob_stddev", std::span<const double>(r.evProbStddev));
+    w.kv("recomputes", r.recomputes);
+    w.kv("faults_injected", r.faultsInjected);
+    w.kv("degraded_intervals", r.degradedIntervals);
+    w.kv("invariant_violations", r.invariantViolations);
+    w.kv("ownership_repairs", r.ownershipRepairs);
+    w.kv("clamped_eq1_inputs", r.clampedEq1Inputs);
+    w.kv("dropped_recomputes", r.droppedRecomputes);
+}
+
+namespace
+{
+
+void
+writeJobConfig(JsonWriter &w, const SweepJob &job)
+{
+    const MachineConfig &m = job.config;
+    w.kv("cores", m.numCores);
+    w.kv("llc_bytes", m.llcBytes);
+    w.kv("llc_ways", m.llcWays);
+    w.kv("block_bytes", m.blockBytes);
+    w.kv("repl", replKindName(m.repl));
+    w.kv("interval_misses", m.intervalMisses);
+    w.kv("instr_budget", m.instrBudget);
+    w.kv("warmup_instr", m.warmupInstr);
+    w.kv("seed", m.seed);
+    w.kv("seed_index", job.seedIndex);
+    if (job.options.probBits)
+        w.kv("prob_bits", job.options.probBits);
+    if (job.scheme == SchemeKind::PrismQ)
+        w.kv("qos_target_frac", job.options.qosTargetFrac);
+}
+
+} // namespace
+
+void
+writeSweepJson(std::ostream &os, const SweepSpec &spec,
+               const SweepOutcome &outcome,
+               const SweepJsonOptions &options,
+               const std::function<void(JsonWriter &)> &summary)
+{
+    panicIf(spec.jobs.size() != outcome.results.size(),
+            "writeSweepJson: outcome does not match spec");
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "prism-bench-v1");
+    w.kv("sweep", spec.name);
+
+    if (summary) {
+        w.key("summary");
+        w.beginObject();
+        summary(w);
+        w.endObject();
+    }
+
+    w.key("jobs");
+    w.beginArray();
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+        const SweepJob &job = spec.jobs[i];
+        w.beginObject();
+        w.kv("id", job.id);
+        w.key("config");
+        w.beginObject();
+        writeJobConfig(w, job);
+        w.endObject();
+        w.key("result");
+        w.beginObject();
+        writeRunResultFields(w, outcome.results[i]);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+
+    if (options.includeTiming) {
+        w.key("timing");
+        w.beginObject();
+        w.kv("threads", outcome.threads);
+        w.kv("wall_seconds", outcome.wallSeconds);
+        w.kv("jobs_per_second", outcome.jobsPerSecond);
+        w.kv("standalone_sims", outcome.standaloneSims);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+} // namespace prism

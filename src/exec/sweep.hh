@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Parallel sweep execution: declarative (scheme × workload × seed ×
+ * config) job grids fanned across a fixed thread pool.
+ *
+ * Determinism contract: a sweep's results — and its JSON
+ * serialisation, timing fields aside — are bit-identical at every
+ * thread count. The ingredients:
+ *   - each job's RNG seed is derived from the job key (sweep seed
+ *     replica index), never from thread ids or execution order;
+ *   - each job writes only its own pre-allocated result slot;
+ *   - the stand-alone reference IPCs shared between jobs come from a
+ *     once-per-key concurrent memo of pure computations.
+ * `tests/test_sweep_determinism.cc` asserts the contract.
+ */
+
+#ifndef PRISM_EXEC_SWEEP_HH
+#define PRISM_EXEC_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/runner.hh"
+
+namespace prism
+{
+
+/** One simulation job of a sweep: a fully resolved run request. */
+struct SweepJob
+{
+    /** Unique id within the sweep; also the JSON lookup key. */
+    std::string id;
+    MachineConfig config;
+    Workload workload;
+    SchemeKind scheme;
+    SchemeOptions options;
+    /** Seed replica index this job was added with. */
+    std::uint32_t seedIndex = 0;
+};
+
+/** A declarative sweep: a named list of independent jobs. */
+struct SweepSpec
+{
+    std::string name;
+    std::vector<SweepJob> jobs;
+
+    /**
+     * Canonical job id: "[tag/]workload/scheme[#sK]". The id is the
+     * key reports use to look results up, so builders and reducers
+     * must construct it through this helper.
+     */
+    static std::string makeId(const std::string &tag,
+                              const std::string &workload,
+                              SchemeKind scheme,
+                              std::uint32_t seed_index = 0);
+
+    /**
+     * Append one job. @p tag distinguishes configuration variants of
+     * the same (workload, scheme) pair (e.g. "c4" vs "c8", or a bit
+     * width). For @p seed_index > 0 the machine seed is re-derived
+     * from (config.seed, seed_index), giving deterministic
+     * independent replicas; index 0 keeps the configured seed so a
+     * sweep job reproduces a direct Runner::run() bit for bit.
+     *
+     * Duplicate ids panic: they would make report lookups ambiguous.
+     *
+     * @return Index of the new job in jobs.
+     */
+    std::size_t add(const MachineConfig &config, const Workload &workload,
+                    SchemeKind scheme, const SchemeOptions &options = {},
+                    const std::string &tag = "",
+                    std::uint32_t seed_index = 0);
+
+  private:
+    std::set<std::string> ids_;
+};
+
+/** Everything a finished sweep produced. */
+struct SweepOutcome
+{
+    /** One result per spec job, in spec order. */
+    std::vector<RunResult> results;
+
+    // --- execution statistics (not part of the determinism contract)
+    unsigned threads = 1;
+    double wallSeconds = 0.0;
+    double jobsPerSecond = 0.0;
+    /** Distinct stand-alone reference simulations executed. */
+    std::uint64_t standaloneSims = 0;
+};
+
+/**
+ * Executes sweeps on a fixed thread pool.
+ *
+ * Jobs are independent by construction; the only state shared
+ * between them is the concurrent stand-alone-IPC memo.
+ */
+class SweepRunner
+{
+  public:
+    /** @param threads Worker threads; clamped to at least 1. */
+    explicit SweepRunner(unsigned threads = 1) : threads_(threads) {}
+
+    unsigned threads() const { return threads_; }
+
+    /** Run every job of @p spec; results in spec order. */
+    SweepOutcome run(const SweepSpec &spec);
+
+  private:
+    unsigned threads_;
+};
+
+/** Result lookup by job id for report/summary code. */
+class SweepResults
+{
+  public:
+    /** Both @p spec and @p outcome must outlive this view. */
+    SweepResults(const SweepSpec &spec, const SweepOutcome &outcome);
+
+    /** The result of job @p id; panics when absent. */
+    const RunResult &at(const std::string &id) const;
+
+    bool contains(const std::string &id) const
+    {
+        return by_id_.count(id) != 0;
+    }
+
+    const SweepOutcome &outcome() const { return *outcome_; }
+
+  private:
+    const SweepOutcome *outcome_;
+    std::map<std::string, const RunResult *> by_id_;
+};
+
+/** Options for writeSweepJson(). */
+struct SweepJsonOptions
+{
+    /**
+     * Include wall-clock / jobs-per-second fields. Disabled for
+     * golden files and determinism tests, where the output must be
+     * byte-identical across runs and thread counts.
+     */
+    bool includeTiming = true;
+};
+
+/** Serialise one RunResult as the current JSON object's fields. */
+void writeRunResultFields(JsonWriter &w, const RunResult &r);
+
+/**
+ * Serialise a finished sweep as the "prism-bench-v1" JSON document:
+ * sweep name, optional figure summary, the per-job results (with
+ * machine configuration), and — unless disabled — timing.
+ */
+void writeSweepJson(
+    std::ostream &os, const SweepSpec &spec, const SweepOutcome &outcome,
+    const SweepJsonOptions &options = {},
+    const std::function<void(JsonWriter &)> &summary = nullptr);
+
+} // namespace prism
+
+#endif // PRISM_EXEC_SWEEP_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fixed-size thread pool for the sweep engine.
+ *
+ * Deliberately work-stealing-free: a single FIFO queue feeds a fixed
+ * set of workers. Sweep jobs are coarse (whole simulations, tens of
+ * milliseconds to minutes), so queue contention is negligible and
+ * the simple design keeps execution order irrelevant to results —
+ * every job writes only its own pre-allocated result slot and draws
+ * randomness only from its own key-derived seed.
+ */
+
+#ifndef PRISM_EXEC_THREAD_POOL_HH
+#define PRISM_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prism
+{
+
+/** Fixed pool of worker threads draining one FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; clamped to at least 1. */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue @p job; runs on some worker thread. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable all_idle_;
+    std::size_t unfinished_ = 0; ///< queued + currently running
+    bool stopping_ = false;
+};
+
+} // namespace prism
+
+#endif // PRISM_EXEC_THREAD_POOL_HH

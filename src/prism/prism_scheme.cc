@@ -47,6 +47,18 @@ PrismScheme::sampleVictimCore()
     return num_cores_ - 1;
 }
 
+void
+PrismScheme::setEvictionProbs(std::span<const double> e)
+{
+    panicIf(e.size() != num_cores_,
+            "setEvictionProbs: distribution size != core count");
+    e_.assign(e.begin(), e.end());
+    if (params_.probBits > 0) {
+        const FixedPointCodec codec(params_.probBits);
+        e_ = codec.quantiseDistribution(e_);
+    }
+}
+
 int
 PrismScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
 {

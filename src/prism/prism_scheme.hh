@@ -20,7 +20,9 @@
 #define PRISM_PRISM_PRISM_SCHEME_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,6 +64,28 @@ class PrismScheme : public PartitionScheme
     void onIntervalEnd(const IntervalSnapshot &snap) override;
 
     // --- introspection ---
+    /**
+     * Core-Selection: draw a victim core id according to E (one
+     * inverse-CDF walk). Public so the statistical test suite can
+     * exercise the sampler directly against a known distribution
+     * (tests/test_core_selection_stats.cc).
+     */
+    CoreId sampleVictimCore();
+
+    /**
+     * Overwrite the eviction distribution, applying the configured
+     * K-bit quantisation exactly as a recompute would. Test hook for
+     * the Core-Selection statistics; @p e must have one entry per
+     * core and sum to ~1.
+     */
+    void setEvictionProbs(std::span<const double> e);
+
+    void
+    setEvictionProbs(std::initializer_list<double> e)
+    {
+        setEvictionProbs(std::span<const double>(e.begin(), e.size()));
+    }
+
     const std::vector<double> &evictionProbs() const { return e_; }
     const std::vector<double> &lastTargets() const { return targets_; }
     PrismAllocPolicy &policy() { return *policy_; }
@@ -127,9 +151,6 @@ class PrismScheme : public PartitionScheme
     bool fallbackActive() const { return fallback_; }
 
   private:
-    /** Draw a victim core id according to E. */
-    CoreId sampleVictimCore();
-
     /**
      * Clamp and renormalise e_ in place after an audit failure.
      * @return false when the distribution is unrecoverable (no

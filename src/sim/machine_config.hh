@@ -12,6 +12,7 @@
 #ifndef PRISM_SIM_MACHINE_CONFIG_HH
 #define PRISM_SIM_MACHINE_CONFIG_HH
 
+#include <charconv>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -147,6 +148,42 @@ struct MachineConfig
                 ") must be smaller than instrBudget (" +
                 std::to_string(instrBudget) + ")");
         return errors;
+    }
+
+    /**
+     * Compact textual fingerprint covering every field that can
+     * change a simulation outcome. Two configurations with equal
+     * fingerprints produce bit-identical runs, so the fingerprint
+     * keys the concurrent stand-alone-IPC memo shared across sweep
+     * jobs (see Runner / SweepRunner).
+     */
+    std::string
+    fingerprint() const
+    {
+        auto dbl = [](double v) {
+            char buf[32];
+            const auto res =
+                std::to_chars(buf, buf + sizeof(buf), v);
+            return std::string(buf, res.ptr);
+        };
+        std::string s;
+        s += "c" + std::to_string(numCores);
+        s += "/llc" + std::to_string(llcBytes);
+        s += "x" + std::to_string(llcWays);
+        s += "/b" + std::to_string(blockBytes);
+        s += "/r" + std::to_string(static_cast<int>(repl));
+        s += "/W" + std::to_string(intervalMisses);
+        s += "/sh" + std::to_string(shadowSampling);
+        s += "/l1-" + std::to_string(l1Bytes);
+        s += "x" + std::to_string(l1Ways);
+        s += "/t" + dbl(llcHitCycles);
+        s += "," + dbl(dramCycles);
+        s += "," + dbl(ctrlServiceCycles);
+        s += "/mc" + std::to_string(memControllers);
+        s += "/i" + std::to_string(instrBudget);
+        s += "+" + std::to_string(warmupInstr);
+        s += "/s" + std::to_string(seed);
+        return s;
     }
 
     /**

@@ -120,25 +120,27 @@ Runner::makeScheme(SchemeKind kind, const SchemeOptions &options,
 double
 Runner::standaloneIpc(const std::string &benchmark)
 {
-    auto it = standalone_cache_.find(benchmark);
-    if (it != standalone_cache_.end())
-        return it->second;
+    // The memo is keyed by the solo machine fingerprint so Runners
+    // with different configurations can share one memo without
+    // collisions, and concurrent requests compute each reference
+    // simulation exactly once.
+    return standalone_memo_->getOrCompute(
+        solo_fingerprint_ + "|" + benchmark, [&]() {
+            // Same machine, one core, whole LLC, unmanaged
+            // replacement. Keep the memory system of the shared
+            // machine so the stand-alone run sees identical DRAM
+            // latency (just no contention).
+            MachineConfig solo = config_;
+            solo.numCores = 1;
 
-    // Same machine, one core, whole LLC, unmanaged replacement.
-    MachineConfig solo = config_;
-    solo.numCores = 1;
-    // Keep the memory system of the shared machine so the stand-alone
-    // run sees identical DRAM latency (just no contention).
+            Workload w;
+            w.name = "solo:" + benchmark;
+            w.benchmarks = {benchmark};
 
-    Workload w;
-    w.name = "solo:" + benchmark;
-    w.benchmarks = {benchmark};
-
-    System system(solo, w, nullptr);
-    const SystemResult res = system.run();
-    const double ipc = res.cores[0].ipc();
-    standalone_cache_.emplace(benchmark, ipc);
-    return ipc;
+            System system(solo, w, nullptr);
+            const SystemResult res = system.run();
+            return res.cores[0].ipc();
+        });
 }
 
 RunResult

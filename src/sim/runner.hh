@@ -15,11 +15,11 @@
 #define PRISM_SIM_RUNNER_HH
 
 #include <iosfwd>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/concurrent_memo.hh"
 #include "sim/machine_config.hh"
 #include "sim/system.hh"
 #include "workload/suites.hh"
@@ -111,11 +111,41 @@ struct RunResult
     double ipcThroughput() const;
 };
 
-/** Runs workloads and memoises stand-alone reference IPCs. */
+/**
+ * Concurrent memo of stand-alone reference IPCs, keyed by (solo
+ * machine fingerprint, benchmark). One instance can be shared by
+ * many Runners — the sweep engine hands the same memo to every job
+ * so each reference simulation executes exactly once per sweep
+ * regardless of thread count.
+ */
+using StandaloneIpcMemo = ConcurrentMemo<double>;
+
+/**
+ * Runs workloads and memoises stand-alone reference IPCs.
+ *
+ * Thread-safety: run() and standaloneIpc() are safe to call from
+ * multiple threads concurrently (on the same Runner or on distinct
+ * Runners sharing a StandaloneIpcMemo), except that SchemeOptions
+ * with a non-null statsSink must not be used concurrently.
+ */
 class Runner
 {
   public:
-    explicit Runner(const MachineConfig &config) : config_(config) {}
+    /**
+     * @param config The evaluation machine.
+     * @param memo   Stand-alone-IPC memo to share; a private memo is
+     *               created when null.
+     */
+    explicit Runner(const MachineConfig &config,
+                    std::shared_ptr<StandaloneIpcMemo> memo = nullptr)
+        : config_(config),
+          standalone_memo_(memo ? std::move(memo)
+                                : std::make_shared<StandaloneIpcMemo>())
+    {
+        MachineConfig solo = config_;
+        solo.numCores = 1;
+        solo_fingerprint_ = solo.fingerprint();
+    }
 
     const MachineConfig &config() const { return config_; }
 
@@ -125,9 +155,17 @@ class Runner
 
     /**
      * Stand-alone IPC of @p benchmark on this machine (whole LLC,
-     * unmanaged); memoised across calls.
+     * unmanaged); memoised across calls and across every Runner
+     * sharing this memo.
      */
     double standaloneIpc(const std::string &benchmark);
+
+    /** The memo backing standaloneIpc(). */
+    const std::shared_ptr<StandaloneIpcMemo> &
+    standaloneMemo() const
+    {
+        return standalone_memo_;
+    }
 
   private:
     std::unique_ptr<PartitionScheme>
@@ -135,7 +173,8 @@ class Runner
                double qos_target_ipc) const;
 
     MachineConfig config_;
-    std::map<std::string, double> standalone_cache_;
+    std::string solo_fingerprint_;
+    std::shared_ptr<StandaloneIpcMemo> standalone_memo_;
 };
 
 } // namespace prism

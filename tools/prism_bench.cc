@@ -1,0 +1,114 @@
+/**
+ * @file
+ * prism_bench: unified driver for every figure-reproduction sweep.
+ *
+ * Replaces the per-figure main() boilerplate: figures are declarative
+ * sweep specs in the registry (bench/figures.hh), executed here across
+ * a thread pool with deterministic per-job seeding — the tables and
+ * the BENCH_<id>.json files are bit-identical at every --threads
+ * value (timing fields aside). See docs/BENCHMARKING.md.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "figures.hh"
+
+namespace
+{
+
+int
+usage(std::ostream &os, const char *argv0)
+{
+    os << "usage: " << argv0 << " [options] [figure-id ...]\n"
+       << "\n"
+       << "  --all          run every listed figure\n"
+       << "  --list         print the figure ids and exit\n"
+       << "  --threads N    parallel sweep workers (default 1)\n"
+       << "  --out DIR      directory for BENCH_*.json (default .)\n"
+       << "  --no-json      tables only\n"
+       << "  --no-timing    omit wall-clock JSON fields\n"
+       << "\n"
+       << "environment: PRISM_BENCH_SCALE multiplies instruction\n"
+       << "budgets; PRISM_BENCH_WORKLOADS caps workloads per suite\n"
+       << "(0 = all).\n";
+    return &os == &std::cerr ? 2 : 0;
+}
+
+void
+list(std::ostream &os)
+{
+    for (const auto &fig : prism::bench::figureRegistry())
+        if (fig.listed)
+            os << fig.id << "\n              " << fig.title << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace prism::bench;
+
+    FigureRunOptions options;
+    bool run_all = false;
+    std::vector<std::string> ids;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            return usage(std::cout, argv[0]);
+        } else if (arg == "--list") {
+            list(std::cout);
+            return 0;
+        } else if (arg == "--all") {
+            run_all = true;
+        } else if (arg == "--threads") {
+            options.threads =
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--out") {
+            options.outDir = value();
+        } else if (arg == "--no-json") {
+            options.writeJson = false;
+        } else if (arg == "--no-timing") {
+            options.includeTiming = false;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return usage(std::cerr, argv[0]);
+        } else {
+            ids.push_back(arg);
+        }
+    }
+
+    if (run_all) {
+        for (const auto &fig : figureRegistry())
+            if (fig.listed)
+                ids.push_back(fig.id);
+    }
+    if (ids.empty()) {
+        std::cerr << "no figures selected\n";
+        return usage(std::cerr, argv[0]);
+    }
+
+    int rc = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const Figure *fig = findFigure(ids[i]);
+        if (!fig) {
+            std::cerr << "unknown figure id '" << ids[i]
+                      << "' (see --list)\n";
+            return 2;
+        }
+        if (i > 0)
+            std::cout << "\n";
+        rc |= runFigure(*fig, options);
+    }
+    return rc;
+}
