@@ -11,6 +11,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "telemetry/trace_writer.hh"
+
 namespace prism::bench
 {
 
@@ -131,8 +133,28 @@ runFigure(const Figure &fig, const FigureRunOptions &options)
                          : std::string("all"))
        << " workloads per suite\n";
 
-    const SweepSpec spec = fig.spec();
+    SweepSpec spec = fig.spec();
+
+    const bool tracing =
+        !options.tracePath.empty() || !options.traceCsvPath.empty();
+    telemetry::MetricsRegistry metrics;
+    if (tracing) {
+        // Turn recording on for every job (passive observation: it
+        // perturbs no simulation state, so tables and BENCH JSON are
+        // unchanged). Jobs the figure already configured keep their
+        // capacity.
+        for (SweepJob &job : spec.jobs) {
+            if (!job.options.telemetry.enabled) {
+                job.options.telemetry.enabled = true;
+                job.options.telemetry.capacity = options.traceCapacity;
+            }
+            job.options.telemetry.metrics = &metrics;
+        }
+    }
+
     SweepRunner runner(options.threads);
+    if (tracing)
+        runner.setMetrics(&metrics);
     const SweepOutcome outcome = runner.run(spec);
     const SweepResults results(spec, outcome);
 
@@ -143,6 +165,35 @@ runFigure(const Figure &fig, const FigureRunOptions &options)
        << Table::num(outcome.wallSeconds, 2) << " s on "
        << outcome.threads << " thread(s) ("
        << Table::num(outcome.jobsPerSecond, 2) << " jobs/s)\n";
+
+    if (tracing) {
+        std::vector<telemetry::TraceJob> trace_jobs;
+        trace_jobs.reserve(spec.jobs.size());
+        for (std::size_t i = 0; i < spec.jobs.size(); ++i)
+            trace_jobs.push_back({spec.jobs[i].id,
+                                  outcome.results[i].recorder.get()});
+        const telemetry::TraceWriter writer; // wall time stays out
+        if (!options.tracePath.empty()) {
+            std::ofstream file(options.tracePath);
+            if (!file) {
+                std::cerr << "prism_bench: cannot write "
+                          << options.tracePath << "\n";
+                return 1;
+            }
+            writer.writeChromeTrace(file, trace_jobs, &metrics);
+            os << "wrote " << options.tracePath << "\n";
+        }
+        if (!options.traceCsvPath.empty()) {
+            std::ofstream file(options.traceCsvPath);
+            if (!file) {
+                std::cerr << "prism_bench: cannot write "
+                          << options.traceCsvPath << "\n";
+                return 1;
+            }
+            writer.writeCsv(file, trace_jobs);
+            os << "wrote " << options.traceCsvPath << "\n";
+        }
+    }
 
     if (!options.writeJson)
         return 0;
@@ -196,6 +247,13 @@ figureMain(const char *figure_id, int argc, char **argv)
                    "(default .)\n"
                 << "  --no-json      tables only\n"
                 << "  --no-timing    omit wall-clock JSON fields\n"
+                << "  --trace PATH   write the figure's interval time "
+                   "series as Chrome trace JSON\n"
+                << "  --trace-csv PATH\n"
+                << "                 the same series as flat CSV\n"
+                << "  --trace-capacity N\n"
+                << "                 intervals retained per job "
+                   "(default 4096)\n"
                 << "\nPRISM_BENCH_SCALE and PRISM_BENCH_WORKLOADS "
                    "scale the sweep.\n";
             return 0;
@@ -208,6 +266,17 @@ figureMain(const char *figure_id, int argc, char **argv)
             options.writeJson = false;
         } else if (arg == "--no-timing") {
             options.includeTiming = false;
+        } else if (arg == "--trace") {
+            options.tracePath = value();
+        } else if (arg == "--trace-csv") {
+            options.traceCsvPath = value();
+        } else if (arg == "--trace-capacity") {
+            const long n = std::atol(value().c_str());
+            if (n <= 0) {
+                std::cerr << "--trace-capacity must be at least 1\n";
+                return 2;
+            }
+            options.traceCapacity = static_cast<std::size_t>(n);
         } else {
             std::cerr << "unknown option '" << arg << "'\n";
             return 2;

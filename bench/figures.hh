@@ -66,6 +66,18 @@ struct FigureRunOptions
     bool writeJson = true;
     /** false = omit wall-clock fields (deterministic output). */
     bool includeTiming = true;
+
+    /**
+     * When set, every job records its interval time series and the
+     * combined Chrome trace is written here. Deterministic: the
+     * trace is byte-identical at any --threads value (jobs appear
+     * in spec order, and no wall-clock data is included).
+     */
+    std::string tracePath;
+    /** When set, the same series as flat CSV. */
+    std::string traceCsvPath;
+    /** Recorder capacity for jobs the figure did not configure. */
+    std::size_t traceCapacity = 4096;
 };
 
 /**

@@ -7,6 +7,7 @@
  */
 
 #include "figures_impl.hh"
+#include "telemetry/interval_recorder.hh"
 
 namespace prism::bench
 {
@@ -37,7 +38,14 @@ fig11()
     f.spec = [config]() {
         SweepSpec spec;
         spec.name = "fig11_evprob";
-        addSuite(spec, config(), suite(4), {SchemeKind::PrismH});
+        // The statistic is reconstructed from the recorded interval
+        // series, so the ring must hold every recompute (the run
+        // produces ~1.2k; 16k leaves headroom for PRISM_BENCH_SCALE).
+        SchemeOptions recorded;
+        recorded.telemetry.enabled = true;
+        recorded.telemetry.capacity = 16384;
+        addSuite(spec, config(), suite(4), {SchemeKind::PrismH}, "",
+                 recorded);
         return spec;
     };
 
@@ -47,13 +55,14 @@ fig11()
             const RunResult &r = res.at(
                 SweepSpec::makeId("", w.name, SchemeKind::PrismH));
             for (std::size_t c = 0; c < w.benchmarks.size(); ++c) {
+                const RunningStat st = telemetry::evProbStat(
+                    *r.recorder, static_cast<CoreId>(c));
                 if (t)
                     t->addRow(
                         {c == 0 ? w.name : "", w.benchmarks[c],
-                         Table::num(r.evProbMean[c]),
-                         Table::num(r.evProbStddev[c]),
+                         Table::num(st.mean()), Table::num(st.stddev()),
                          c == 0 ? std::to_string(r.recomputes) : ""});
-                stddevs.add(r.evProbStddev[c]);
+                stddevs.add(st.stddev());
             }
         }
         return stddevs.mean();

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "figures_impl.hh"
+#include "telemetry/interval_recorder.hh"
 
 namespace prism::bench
 {
@@ -27,12 +28,23 @@ fig04()
     f.spec = []() {
         SweepSpec spec;
         spec.name = "fig04_occupancy";
+        // The figure reads its statistic back from the telemetry
+        // recorder (CoreFinish events), so every job records.
+        SchemeOptions recorded;
+        recorded.telemetry.enabled = true;
         addSuite(spec, machine(4), suite(4),
-                 {SchemeKind::PrismH, SchemeKind::UCP});
+                 {SchemeKind::PrismH, SchemeKind::UCP}, "", recorded);
         return spec;
     };
 
     f.report = [](const SweepResults &res, std::ostream &os) {
+        // Each core's occupancy at completion is the value its
+        // CoreFinish instant event carries — the same double the
+        // runner reports as occupancyAtFinish.
+        const auto occ = [](const RunResult &r, std::size_t c) {
+            return telemetry::finishOccupancy(*r.recorder,
+                                              static_cast<CoreId>(c));
+        };
         Table t({"workload", "benchmark", "PriSM-H occ", "UCP occ"});
         for (const auto &w : suite(4)) {
             const RunResult &ph =
@@ -41,8 +53,8 @@ fig04()
                 res.at(SweepSpec::makeId("", w.name, SchemeKind::UCP));
             for (std::size_t c = 0; c < w.benchmarks.size(); ++c)
                 t.addRow({c == 0 ? w.name : "", w.benchmarks[c],
-                          Table::num(ph.occupancyAtFinish[c], 2),
-                          Table::num(ucp.occupancyAtFinish[c], 2)});
+                          Table::num(occ(ph, c), 2),
+                          Table::num(occ(ucp, c), 2)});
         }
         printBanner(os, "occupancy fraction at completion");
         t.print(os);

@@ -1,6 +1,7 @@
 #include "cache/shared_cache.hh"
 
 #include "common/prism_assert.hh"
+#include "telemetry/span.hh"
 
 namespace prism
 {
@@ -62,6 +63,7 @@ SharedCache::countInSet(std::uint32_t set_idx, CoreId core)
 AccessResult
 SharedCache::access(CoreId core, Addr addr, bool is_store)
 {
+    PRISM_SPAN(access_span_);
     panicIf(core >= config_.numCores, "SharedCache::access: bad core");
 
     const std::uint32_t set_idx = setIndex(addr);
@@ -189,6 +191,8 @@ SharedCache::endInterval()
         scheme_->onIntervalEnd(snap);
 
     ++intervals_;
+    if (interval_observer_)
+        interval_observer_(snap, intervals_);
     misses_this_interval_ = 0;
     interval_hits_.assign(config_.numCores, 0);
     interval_misses_.assign(config_.numCores, 0);

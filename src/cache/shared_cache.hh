@@ -29,6 +29,7 @@
 #include "cache/repl_policy.hh"
 #include "cache/shadow_tags.hh"
 #include "common/types.hh"
+#include "telemetry/metrics_registry.hh"
 
 namespace prism
 {
@@ -124,6 +125,27 @@ class SharedCache
             hook)
     {
         occupancy_fault_hook_ = std::move(hook);
+    }
+
+    /**
+     * Observer invoked at each interval boundary after the scheme's
+     * allocation policy ran, with the finished snapshot and the
+     * 1-based interval index — the telemetry seam (the System
+     * records the per-interval time series here).
+     */
+    void
+    setIntervalObserver(
+        std::function<void(const IntervalSnapshot &, std::uint64_t)>
+            observer)
+    {
+        interval_observer_ = std::move(observer);
+    }
+
+    /** Scoped-timer stats for access(); default = disabled. */
+    void
+    setAccessSpan(const telemetry::SpanStats &span)
+    {
+        access_span_ = span;
     }
 
     /**
@@ -244,6 +266,9 @@ class SharedCache
     std::uint64_t intervals_ = 0;
 
     std::function<void(IntervalSnapshot &)> timing_hook_;
+    std::function<void(const IntervalSnapshot &, std::uint64_t)>
+        interval_observer_;
+    telemetry::SpanStats access_span_{};
 
     // --- robustness (checked mode / fault injection) ---
     std::function<bool(std::vector<std::uint64_t> &, std::uint64_t,

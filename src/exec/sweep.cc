@@ -7,6 +7,7 @@
 #include "common/prism_assert.hh"
 #include "common/rng.hh"
 #include "exec/thread_pool.hh"
+#include "telemetry/span.hh"
 
 namespace prism
 {
@@ -40,6 +41,8 @@ SweepSpec::add(const MachineConfig &config, const Workload &workload,
     job.seedIndex = seed_index;
     panicIf(job.options.statsSink != nullptr,
             "SweepSpec::add: statsSink is not supported in sweeps");
+    panicIf(job.options.statsJsonSink != nullptr,
+            "SweepSpec::add: statsJsonSink is not supported in sweeps");
     // The per-job RNG stream: derived from the job's seed-replica
     // key, never from thread id or schedule order. Index 0 keeps
     // the configured seed so sweep results match direct Runner use.
@@ -62,13 +65,20 @@ SweepRunner::run(const SweepSpec &spec)
     // memo of stand-alone reference simulations.
     auto memo = std::make_shared<StandaloneIpcMemo>();
 
+    // Span stats resolve once up front (registry lock), then jobs
+    // only touch the atomic counters from worker threads.
+    telemetry::SpanStats job_span;
+    if (metrics_)
+        job_span = metrics_->span("sweep.job");
+
     {
         ThreadPool pool(threads_);
         out.threads = pool.threadCount();
         for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
             const SweepJob &job = spec.jobs[i];
             RunResult *slot = &out.results[i];
-            pool.submit([&job, slot, memo]() {
+            pool.submit([&job, slot, memo, job_span]() {
+                PRISM_SPAN(job_span);
                 Runner runner(job.config, memo);
                 *slot = runner.run(job.workload, job.scheme,
                                    job.options);

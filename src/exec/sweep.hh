@@ -109,11 +109,23 @@ class SweepRunner
 
     unsigned threads() const { return threads_; }
 
+    /**
+     * Attach a metrics registry (non-owning; null detaches): every
+     * job is then wrapped in a "sweep.job" span. The registry is
+     * updated concurrently from worker threads — this is the
+     * ThreadSanitizer target for MetricsRegistry.
+     */
+    void setMetrics(telemetry::MetricsRegistry *metrics)
+    {
+        metrics_ = metrics;
+    }
+
     /** Run every job of @p spec; results in spec order. */
     SweepOutcome run(const SweepSpec &spec);
 
   private:
     unsigned threads_;
+    telemetry::MetricsRegistry *metrics_ = nullptr;
 };
 
 /** Result lookup by job id for report/summary code. */

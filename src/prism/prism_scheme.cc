@@ -5,6 +5,7 @@
 #include "cache/shared_cache.hh"
 #include "common/prism_assert.hh"
 #include "prism/eq1.hh"
+#include "telemetry/span.hh"
 
 namespace prism
 {
@@ -106,8 +107,18 @@ PrismScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
 }
 
 void
+PrismScheme::emitEvent(telemetry::EventKind kind, double value,
+                       CoreId core)
+{
+    if (recorder_)
+        recorder_->addEvent(
+            telemetry::TelemetryEvent{kind, interval_idx_, core, value});
+}
+
+void
 PrismScheme::onIntervalEnd(const IntervalSnapshot &snap)
 {
+    PRISM_SPAN(recompute_span_);
     const std::uint64_t interval = ++interval_idx_;
     bool degraded = false;
 
@@ -116,6 +127,8 @@ PrismScheme::onIntervalEnd(const IntervalSnapshot &snap)
         // distribution for another interval.
         ++dropped_recomputes_;
         ++degraded_intervals_;
+        emitEvent(telemetry::EventKind::DroppedRecompute);
+        emitEvent(telemetry::EventKind::DegradedInterval);
         return;
     }
 
@@ -168,10 +181,16 @@ PrismScheme::onIntervalEnd(const IntervalSnapshot &snap)
         degraded = true;
         if (!repairDistribution())
             fallback_ = true;
+        emitEvent(telemetry::EventKind::DistributionRepair,
+                  fallback_ ? 0.0 : 1.0);
+        if (fallback_)
+            emitEvent(telemetry::EventKind::FallbackEntered);
     }
 
-    if (degraded)
+    if (degraded) {
         ++degraded_intervals_;
+        emitEvent(telemetry::EventKind::DegradedInterval);
+    }
 
     ++recomputes_;
     for (CoreId i = 0; i < num_cores_; ++i)

@@ -34,6 +34,8 @@
 #include "fault/invariant_auditor.hh"
 #include "prism/alloc_policy.hh"
 #include "prism/eq1.hh"
+#include "telemetry/interval_recorder.hh"
+#include "telemetry/metrics_registry.hh"
 
 namespace prism
 {
@@ -150,7 +152,31 @@ class PrismScheme : public PartitionScheme
      */
     bool fallbackActive() const { return fallback_; }
 
+    // --- telemetry ---
+
+    /**
+     * Attach an interval recorder (non-owning; null detaches): the
+     * scheme emits instant events for degraded intervals, dropped
+     * recomputes, distribution repairs and fallback entries, making
+     * fault-injection runs visually debuggable in the trace.
+     */
+    void setRecorder(telemetry::IntervalRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
+    /** Scoped-timer stats for onIntervalEnd(); default = disabled. */
+    void
+    setRecomputeSpan(const telemetry::SpanStats &span)
+    {
+        recompute_span_ = span;
+    }
+
   private:
+    /** Record an instant event when a recorder is attached. */
+    void emitEvent(telemetry::EventKind kind, double value = 0.0,
+                   CoreId core = invalidCore);
+
     /**
      * Clamp and renormalise e_ in place after an audit failure.
      * @return false when the distribution is unrecoverable (no
@@ -185,6 +211,10 @@ class PrismScheme : public PartitionScheme
     Eq1Stats eq1_stats_;
     std::vector<double> prev_c_; ///< last clean C_i (stale fault)
     std::vector<double> prev_m_; ///< last clean M_i (stale fault)
+
+    // --- telemetry ---
+    telemetry::IntervalRecorder *recorder_ = nullptr; ///< non-owning
+    telemetry::SpanStats recompute_span_{};
 };
 
 } // namespace prism

@@ -187,8 +187,24 @@ Runner::run(const Workload &workload, SchemeKind kind,
         prism_scheme->setFaultInjector(injector.get());
     }
 
+    std::shared_ptr<telemetry::IntervalRecorder> recorder;
+    if (options.telemetry.enabled)
+        recorder = std::make_shared<telemetry::IntervalRecorder>(
+            options.telemetry.capacity);
+
     System system(config_, workload, scheme.get());
     system.llc().setChecked(options.checked);
+    if (recorder) {
+        system.setRecorder(recorder.get());
+        if (prism_scheme)
+            prism_scheme->setRecorder(recorder.get());
+    }
+    if (options.telemetry.enabled && options.telemetry.metrics) {
+        telemetry::MetricsRegistry &m = *options.telemetry.metrics;
+        system.llc().setAccessSpan(m.span("llc.access"));
+        if (prism_scheme)
+            prism_scheme->setRecomputeSpan(m.span("prism.recompute"));
+    }
     if (injector) {
         FaultInjector *inj = injector.get();
         system.llc().setOccupancyFaultHook(
@@ -202,6 +218,9 @@ Runner::run(const Workload &workload, SchemeKind kind,
     const SystemResult res = system.run();
     if (options.statsSink)
         system.dumpStats(*options.statsSink);
+    if (options.statsJsonSink)
+        system.dumpStatsJson(*options.statsJsonSink);
+    out.recorder = recorder;
 
     out.intervals = res.intervals;
     for (CoreId c = 0; c < config_.numCores; ++c) {

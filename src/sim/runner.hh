@@ -22,6 +22,7 @@
 #include "common/concurrent_memo.hh"
 #include "sim/machine_config.hh"
 #include "sim/system.hh"
+#include "telemetry/interval_recorder.hh"
 #include "workload/suites.hh"
 
 namespace prism
@@ -60,6 +61,18 @@ struct SchemeOptions
 
     /** If non-null, System::dumpStats() is written here post-run. */
     std::ostream *statsSink = nullptr;
+
+    /** If non-null, System::dumpStatsJson() is written here post-run. */
+    std::ostream *statsJsonSink = nullptr;
+
+    /**
+     * Telemetry: when enabled, the run records the per-interval time
+     * series into a recorder returned on RunResult::recorder, and —
+     * when telemetry.metrics is set — aggregates scoped-timer spans
+     * there. Observation only: enabling it perturbs no simulation
+     * state, so results are identical with or without it.
+     */
+    telemetry::TelemetryConfig telemetry;
 
     /**
      * Fault-injection spec ("" = none); grammar in docs/TESTING.md.
@@ -105,6 +118,14 @@ struct RunResult
     std::uint64_t ownershipRepairs = 0;
     std::uint64_t clampedEq1Inputs = 0;
     std::uint64_t droppedRecomputes = 0;
+
+    /**
+     * The run's interval time series; null unless the run was made
+     * with SchemeOptions::telemetry.enabled. Shared ownership so
+     * results can be copied freely (the series itself is immutable
+     * once the run finished).
+     */
+    std::shared_ptr<const telemetry::IntervalRecorder> recorder;
 
     double antt() const;
     double fairness() const;

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "common/json.hh"
 #include "common/prism_assert.hh"
 #include "prism/prism_scheme.hh"
 #include "workload/trace_generator.hh"
@@ -120,6 +121,62 @@ System::resetStats()
 }
 
 void
+System::setRecorder(telemetry::IntervalRecorder *recorder)
+{
+    recorder_ = recorder;
+    if (!recorder_) {
+        llc_.setIntervalObserver(nullptr);
+        return;
+    }
+    llc_.setIntervalObserver(
+        [this](const IntervalSnapshot &snap, std::uint64_t interval) {
+            recordInterval(snap, interval);
+        });
+}
+
+void
+System::recordInterval(const IntervalSnapshot &snap,
+                       std::uint64_t interval)
+{
+    // Surface checked-mode occupancy repairs as instant events; the
+    // cache only counts them, so detect new ones by delta.
+    const std::uint64_t repairs = llc_.ownershipRepairs();
+    if (repairs > seen_ownership_repairs_) {
+        recorder_->addEvent(telemetry::TelemetryEvent{
+            telemetry::EventKind::OwnershipRepair, interval,
+            invalidCore,
+            static_cast<double>(repairs - seen_ownership_repairs_)});
+        seen_ownership_repairs_ = repairs;
+    }
+
+    telemetry::IntervalSample s;
+    s.interval = interval;
+    s.missesInInterval = snap.intervalMisses;
+    const std::uint32_t n = snap.numCores();
+    s.occupancy.resize(n);
+    s.missFrac.resize(n);
+    s.ipc.resize(n);
+    s.hits.resize(n);
+    s.misses.resize(n);
+    for (CoreId c = 0; c < n; ++c) {
+        const CoreIntervalStats &cs = snap.cores[c];
+        s.occupancy[c] = snap.occupancyFraction(c);
+        s.missFrac[c] = snap.missFraction(c);
+        s.ipc[c] = cs.cycles
+                       ? static_cast<double>(cs.instructions) /
+                             static_cast<double>(cs.cycles)
+                       : 0.0;
+        s.hits[c] = cs.sharedHits;
+        s.misses[c] = cs.sharedMisses;
+    }
+    if (const auto *p = dynamic_cast<const PrismScheme *>(scheme_)) {
+        s.target = p->lastTargets();
+        s.evProb = p->evictionProbs();
+    }
+    recorder_->record(std::move(s));
+}
+
+void
 System::fillTiming(IntervalSnapshot &snap)
 {
     for (CoreId i = 0; i < config_.numCores; ++i) {
@@ -197,6 +254,10 @@ System::run()
             r.llcHits = c.llc_hits;
             r.llcMisses = c.llc_misses;
             r.occupancyAtFinish = llc_.occupancyFraction(next);
+            if (recorder_)
+                recorder_->addEvent(telemetry::TelemetryEvent{
+                    telemetry::EventKind::CoreFinish,
+                    llc_.intervals(), next, r.occupancyAtFinish});
         }
     }
 
@@ -253,6 +314,72 @@ System::dumpStats(std::ostream &os) const
            << p << "l1_misses " << core.l1.misses() << "\n"
            << p << "occupancy_blocks " << llc_.occupancy(c) << "\n";
     }
+}
+
+void
+System::dumpStatsJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "prism-stats-v1");
+
+    w.key("system");
+    w.beginObject();
+    w.kv("cores", config_.numCores);
+    w.key("llc");
+    w.beginObject();
+    w.kv("size_bytes", config_.llcBytes);
+    w.kv("ways", config_.llcWays);
+    w.kv("interval_w", llc_.intervalLength());
+    w.kv("intervals", llc_.intervals());
+    w.kv("total_misses", llc_.totalMisses());
+    w.kv("writebacks", llc_.writebacks());
+    w.kv("checked", llc_.checked());
+    w.kv("invariant_violations", llc_.invariantViolations());
+    w.kv("ownership_repairs", llc_.ownershipRepairs());
+    w.endObject();
+    w.key("mem");
+    w.beginObject();
+    w.kv("controllers", config_.controllers());
+    w.kv("read_requests", mem_.requests());
+    w.kv("writebacks", mem_.writebacks());
+    w.kv("mean_queue_cycles", mem_.meanQueueCycles());
+    w.endObject();
+    w.endObject();
+
+    if (const auto *p = dynamic_cast<const PrismScheme *>(scheme_)) {
+        w.key("prism");
+        w.beginObject();
+        w.kv("recomputes", p->recomputes());
+        w.kv("degraded_intervals", p->degradedIntervals());
+        w.kv("invariant_violations", p->invariantViolations());
+        w.kv("dropped_recomputes", p->droppedRecomputes());
+        w.kv("clamped_eq1_inputs", p->clampedInputs());
+        if (p->faultInjector())
+            w.kv("faults_injected", p->faultInjector()->injected());
+        w.endObject();
+    }
+
+    w.key("cores");
+    w.beginArray();
+    for (CoreId c = 0; c < config_.numCores; ++c) {
+        const Core &core = cores_[c];
+        w.beginObject();
+        w.kv("benchmark", core.profile->name);
+        w.kv("instructions", core.instructions);
+        w.kv("cycles", static_cast<std::uint64_t>(core.cycle));
+        w.kv("llc_hits", core.llc_hits);
+        w.kv("llc_misses", core.llc_misses);
+        w.kv("llc_stall_cycles",
+             static_cast<std::uint64_t>(core.llc_stall));
+        w.kv("l1_hits", core.l1.hits());
+        w.kv("l1_misses", core.l1.misses());
+        w.kv("occupancy_blocks", llc_.occupancy(c));
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
 }
 
 } // namespace prism

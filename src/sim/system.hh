@@ -30,6 +30,7 @@
 #include "cache/shared_cache.hh"
 #include "sim/machine_config.hh"
 #include "sim/memory_system.hh"
+#include "telemetry/interval_recorder.hh"
 #include "workload/profiles.hh"
 #include "workload/suites.hh"
 
@@ -88,6 +89,21 @@ class System
      */
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * The same statistics as dumpStats() as a "prism-stats-v1" JSON
+     * document (the CLI's --stats-json flag). Deterministic: written
+     * through JsonWriter, structure mirrors the text counter tree.
+     */
+    void dumpStatsJson(std::ostream &os) const;
+
+    /**
+     * Attach an interval recorder (non-owning; null detaches): the
+     * system then captures one IntervalSample per allocation
+     * interval — per-core {C_i, T_i, E_i, M_i, hits, IPC} — and
+     * emits CoreFinish / OwnershipRepair instant events.
+     */
+    void setRecorder(telemetry::IntervalRecorder *recorder);
+
   private:
     struct Core
     {
@@ -118,11 +134,18 @@ class System
 
     void fillTiming(IntervalSnapshot &snap);
 
+    /** Interval-observer target: build and record one sample. */
+    void recordInterval(const IntervalSnapshot &snap,
+                        std::uint64_t interval);
+
     MachineConfig config_;
     SharedCache llc_;
     MemorySystem mem_;
     std::vector<Core> cores_;
     PartitionScheme *scheme_;
+
+    telemetry::IntervalRecorder *recorder_ = nullptr; ///< non-owning
+    std::uint64_t seen_ownership_repairs_ = 0;
 };
 
 } // namespace prism

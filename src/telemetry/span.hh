@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Scoped timers over MetricsRegistry counters.
+ *
+ * A span aggregates into two counters — "<name>.calls" and
+ * "<name>.wall_ns" — rather than recording one trace event per
+ * entry: the instrumented paths (SharedCache::access in particular)
+ * run millions of times per simulation, and per-event recording
+ * would both dwarf the simulation cost and make trace files
+ * non-deterministic. Call counts are deterministic; wall time is
+ * not, and is filtered from serialisation by default (see
+ * MetricsRegistry::isWallClock).
+ *
+ * Zero-cost-when-disabled: a default-constructed SpanStats has null
+ * counters, and the span then neither reads the clock nor touches
+ * memory — one predictable branch per scope.
+ */
+
+#ifndef PRISM_TELEMETRY_SPAN_HH
+#define PRISM_TELEMETRY_SPAN_HH
+
+#include <chrono>
+#include <cstdint>
+
+#include "telemetry/metrics_registry.hh"
+
+namespace prism::telemetry
+{
+
+/** RAII scope timer; see PRISM_SPAN. */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const SpanStats &stats) : stats_(stats)
+    {
+        if (stats_.calls)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedSpan()
+    {
+        if (!stats_.calls)
+            return;
+        const auto end = std::chrono::steady_clock::now();
+        stats_.calls->add(1);
+        stats_.wallNanos->add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                end - start_)
+                .count()));
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    SpanStats stats_;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+} // namespace prism::telemetry
+
+#define PRISM_SPAN_CONCAT2(a, b) a##b
+#define PRISM_SPAN_CONCAT(a, b) PRISM_SPAN_CONCAT2(a, b)
+
+/** Time the enclosing scope against @p stats (a SpanStats). */
+#define PRISM_SPAN(stats)                                              \
+    const ::prism::telemetry::ScopedSpan PRISM_SPAN_CONCAT(            \
+        prism_span_, __LINE__)(stats)
+
+#endif // PRISM_TELEMETRY_SPAN_HH

@@ -10,6 +10,8 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 namespace
@@ -36,6 +38,16 @@ run(const std::string &args)
         out.append(buf.data(), n);
     const int status = pclose(pipe);
     return {WEXITSTATUS(status), out};
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "missing " << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
 }
 
 } // namespace
@@ -89,6 +101,45 @@ TEST(Cli, StatsFlagDumpsCounters)
         "--instr 50000 --warmup 10000 --stats");
     EXPECT_EQ(code, 0);
     EXPECT_NE(out.find("system.llc.total_misses"), std::string::npos);
+}
+
+TEST(Cli, StatsJsonWritesSchemaFile)
+{
+    const std::string path = testing::TempDir() + "cli_stats.json";
+    const auto [code, out] = run(
+        "--mix 403.gcc,186.crafty --scheme PriSM-H "
+        "--instr 50000 --warmup 10000 --stats-json " + path);
+    EXPECT_EQ(code, 0);
+    const std::string json = slurp(path);
+    EXPECT_NE(json.find("\"prism-stats-v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"total_misses\""), std::string::npos);
+    EXPECT_NE(json.find("\"recomputes\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Cli, TraceFilesAreDeterministic)
+{
+    const std::string a = testing::TempDir() + "cli_trace_a.json";
+    const std::string b = testing::TempDir() + "cli_trace_b.json";
+    const std::string args =
+        "--mix 403.gcc,186.crafty --scheme PriSM-H "
+        "--instr 50000 --warmup 10000 --trace ";
+    EXPECT_EQ(run(args + a).first, 0);
+    EXPECT_EQ(run(args + b).first, 0);
+    const std::string trace = slurp(a);
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("prism-trace-v1"), std::string::npos);
+    EXPECT_EQ(trace, slurp(b)) << "--trace output is not stable";
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(Cli, TraceCapacityZeroFails)
+{
+    const auto [code, out] = run(
+        "--mix 403.gcc,186.crafty --instr 50000 --warmup 10000 "
+        "--trace-capacity 0");
+    EXPECT_EQ(code, 2);
 }
 
 TEST(Cli, UnknownSchemeFails)

@@ -29,6 +29,14 @@ usage(std::ostream &os, const char *argv0)
        << "  --out DIR      directory for BENCH_*.json (default .)\n"
        << "  --no-json      tables only\n"
        << "  --no-timing    omit wall-clock JSON fields\n"
+       << "  --trace PATH   record every job's interval time series\n"
+       << "                 and write one Chrome trace JSON (single\n"
+       << "                 figure only; byte-identical at any\n"
+       << "                 --threads value)\n"
+       << "  --trace-csv PATH\n"
+       << "                 the same series as flat CSV\n"
+       << "  --trace-capacity N\n"
+       << "                 intervals retained per job (default 4096)\n"
        << "\n"
        << "environment: PRISM_BENCH_SCALE multiplies instruction\n"
        << "budgets; PRISM_BENCH_WORKLOADS caps workloads per suite\n"
@@ -80,6 +88,17 @@ main(int argc, char **argv)
             options.writeJson = false;
         } else if (arg == "--no-timing") {
             options.includeTiming = false;
+        } else if (arg == "--trace") {
+            options.tracePath = value();
+        } else if (arg == "--trace-csv") {
+            options.traceCsvPath = value();
+        } else if (arg == "--trace-capacity") {
+            const long n = std::atol(value().c_str());
+            if (n <= 0) {
+                std::cerr << "--trace-capacity must be at least 1\n";
+                return 2;
+            }
+            options.traceCapacity = static_cast<std::size_t>(n);
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "unknown option '" << arg << "'\n";
             return usage(std::cerr, argv[0]);
@@ -96,6 +115,12 @@ main(int argc, char **argv)
     if (ids.empty()) {
         std::cerr << "no figures selected\n";
         return usage(std::cerr, argv[0]);
+    }
+    if (ids.size() > 1 && (!options.tracePath.empty() ||
+                           !options.traceCsvPath.empty())) {
+        std::cerr << "--trace/--trace-csv write one file: select a "
+                     "single figure\n";
+        return 2;
     }
 
     int rc = 0;

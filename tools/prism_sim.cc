@@ -21,12 +21,14 @@
 #include <charconv>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "common/table.hh"
 #include "fault/fault_injector.hh"
 #include "sim/runner.hh"
+#include "telemetry/trace_writer.hh"
 #include "workload/profiles.hh"
 
 using namespace prism;
@@ -52,6 +54,11 @@ struct Options
     bool checked = false;
     bool csv = false;
     bool stats = false;
+    std::string stats_json;
+    std::string trace;
+    std::string trace_csv;
+    std::uint64_t trace_capacity = 4096;
+    bool trace_wall = false;
 };
 
 void
@@ -82,6 +89,15 @@ usage(std::ostream &os)
         "                       or degrade instead of aborting\n"
         "  --csv                machine-readable output\n"
         "  --stats              dump raw simulator statistics\n"
+        "  --stats-json PATH    write the statistics as JSON\n"
+        "  --trace PATH         record the per-interval time series\n"
+        "                       and write it as Chrome trace JSON\n"
+        "                       (load in chrome://tracing / Perfetto)\n"
+        "  --trace-csv PATH     also/instead write the series as CSV\n"
+        "  --trace-capacity N   intervals retained (default 4096;\n"
+        "                       oldest dropped beyond that)\n"
+        "  --trace-wall         include wall-clock span aggregates in\n"
+        "                       the trace (breaks byte-determinism)\n"
         "  --list-benchmarks    print the profile library and exit\n"
         "  --list-workloads     print the suite mixes and exit\n";
 }
@@ -262,6 +278,18 @@ main(int argc, char **argv)
             opt.csv = true;
         } else if (arg == "--stats") {
             opt.stats = true;
+        } else if (arg == "--stats-json") {
+            opt.stats_json = value();
+        } else if (arg == "--trace") {
+            opt.trace = value();
+        } else if (arg == "--trace-csv") {
+            opt.trace_csv = value();
+        } else if (arg == "--trace-capacity") {
+            opt.trace_capacity = parseU64(arg, value());
+            if (opt.trace_capacity == 0)
+                cliError("--trace-capacity must be at least 1");
+        } else if (arg == "--trace-wall") {
+            opt.trace_wall = true;
         } else {
             cliError("unknown option '" + arg + "'");
         }
@@ -338,10 +366,54 @@ main(int argc, char **argv)
     std::ostringstream stats;
     if (opt.stats)
         scheme_opt.statsSink = &stats;
+    std::ofstream stats_json;
+    if (!opt.stats_json.empty()) {
+        stats_json.open(opt.stats_json);
+        if (!stats_json) {
+            std::cerr << "prism_sim: cannot write " << opt.stats_json
+                      << "\n";
+            return 1;
+        }
+        scheme_opt.statsJsonSink = &stats_json;
+    }
+
+    const bool tracing = !opt.trace.empty() || !opt.trace_csv.empty();
+    telemetry::MetricsRegistry metrics;
+    if (tracing) {
+        scheme_opt.telemetry.enabled = true;
+        scheme_opt.telemetry.capacity = opt.trace_capacity;
+        scheme_opt.telemetry.metrics = &metrics;
+    }
 
     Runner runner(machine);
     const RunResult res =
         runner.run(workload, scheme_kind, scheme_opt);
+
+    if (tracing) {
+        const telemetry::TraceJob job{
+            workload.name + "/" + res.scheme, res.recorder.get()};
+        telemetry::TraceOptions trace_opt;
+        trace_opt.includeWallTime = opt.trace_wall;
+        const telemetry::TraceWriter writer(trace_opt);
+        if (!opt.trace.empty()) {
+            std::ofstream file(opt.trace);
+            if (!file) {
+                std::cerr << "prism_sim: cannot write " << opt.trace
+                          << "\n";
+                return 1;
+            }
+            writer.writeChromeTrace(file, {&job, 1}, &metrics);
+        }
+        if (!opt.trace_csv.empty()) {
+            std::ofstream file(opt.trace_csv);
+            if (!file) {
+                std::cerr << "prism_sim: cannot write "
+                          << opt.trace_csv << "\n";
+                return 1;
+            }
+            writer.writeCsv(file, {&job, 1});
+        }
+    }
 
     Table t({"core", "benchmark", "IPC", "IPC alone", "slowdown",
              "LLC hits", "LLC misses", "occupancy"});
