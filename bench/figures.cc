@@ -11,6 +11,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "analysis/doctor.hh"
+#include "analysis/series.hh"
 #include "telemetry/trace_writer.hh"
 
 namespace prism::bench
@@ -97,6 +99,64 @@ fixtureFigure()
     return f;
 }
 
+/**
+ * Diagnose every finished job, print the verdicts and the sweep
+ * roll-up, and optionally write the prism-doctor-v1 document.
+ * Verdicts are derived from each job's recorder + result in spec
+ * order, so the output is byte-identical at any thread count.
+ *
+ * @return 1 when any job FAILs (or the JSON cannot be written).
+ */
+int
+doctorSweep(const SweepSpec &spec, const SweepOutcome &outcome,
+            const FigureRunOptions &options, std::ostream &os)
+{
+    using namespace prism::analysis;
+
+    const DoctorThresholds thresholds;
+    std::vector<Verdict> verdicts;
+    verdicts.reserve(spec.jobs.size());
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+        const SweepJob &job = spec.jobs[i];
+        const RunResult &r = outcome.results[i];
+        RunSeries s;
+        if (r.recorder)
+            s = seriesFromRecorder(*r.recorder, job.id);
+        else
+            s.name = job.id;
+        attachRunResult(s, r);
+        s.name = job.id; // attachRunResult does not touch the name
+        if (job.scheme == SchemeKind::PrismQ)
+            s.qosTargetFrac = job.options.qosTargetFrac;
+        verdicts.push_back(analyze(s, thresholds));
+    }
+
+    os << "\n";
+    for (const Verdict &v : verdicts)
+        printReport(os, v);
+    if (verdicts.size() > 1)
+        printReport(os, rollup(verdicts));
+
+    if (!options.doctorJsonPath.empty()) {
+        const std::filesystem::path parent =
+            std::filesystem::path(options.doctorJsonPath)
+                .parent_path();
+        if (!parent.empty()) {
+            std::error_code ec; // open failure is caught below
+            std::filesystem::create_directories(parent, ec);
+        }
+        std::ofstream file(options.doctorJsonPath);
+        if (!file) {
+            std::cerr << "prism_bench: cannot write "
+                      << options.doctorJsonPath << "\n";
+            return 1;
+        }
+        writeDoctorDocument(file, "sweep", verdicts, thresholds);
+        os << "wrote " << options.doctorJsonPath << "\n";
+    }
+    return worstOf(verdicts) == FindingStatus::Fail ? 1 : 0;
+}
+
 } // namespace
 
 const std::vector<Figure> &
@@ -138,7 +198,7 @@ runFigure(const Figure &fig, const FigureRunOptions &options)
     const bool tracing =
         !options.tracePath.empty() || !options.traceCsvPath.empty();
     telemetry::MetricsRegistry metrics;
-    if (tracing) {
+    if (tracing || options.doctor) {
         // Turn recording on for every job (passive observation: it
         // perturbs no simulation state, so tables and BENCH JSON are
         // unchanged). Jobs the figure already configured keep their
@@ -148,13 +208,23 @@ runFigure(const Figure &fig, const FigureRunOptions &options)
                 job.options.telemetry.enabled = true;
                 job.options.telemetry.capacity = options.traceCapacity;
             }
-            job.options.telemetry.metrics = &metrics;
+            if (tracing)
+                job.options.telemetry.metrics = &metrics;
         }
     }
 
     SweepRunner runner(options.threads);
     if (tracing)
         runner.setMetrics(&metrics);
+    if (options.progress)
+        runner.setJobObserver([](const SweepJob &job,
+                                 const RunResult &r,
+                                 const SweepRunner::JobProgress &p) {
+            std::cerr << "prism_bench: [" << p.done << "/" << p.total
+                      << "] " << job.id << " done (intervals "
+                      << r.intervals << ", degraded "
+                      << r.degradedIntervals << ")\n";
+        });
     const SweepOutcome outcome = runner.run(spec);
     const SweepResults results(spec, outcome);
 
@@ -193,10 +263,34 @@ runFigure(const Figure &fig, const FigureRunOptions &options)
             writer.writeCsv(file, trace_jobs);
             os << "wrote " << options.traceCsvPath << "\n";
         }
+
+        // The trace header records drop totals, but nobody reads a
+        // header they don't expect — surface truncation on the
+        // console too.
+        std::uint64_t dropped_samples = 0, dropped_events = 0;
+        for (const RunResult &r : outcome.results) {
+            if (r.recorder) {
+                dropped_samples += r.recorder->droppedSamples();
+                dropped_events += r.recorder->droppedEvents();
+            }
+        }
+        if (dropped_samples || dropped_events)
+            std::cerr << "prism_bench: trace truncated: "
+                      << dropped_samples << " samples and "
+                      << dropped_events
+                      << " events dropped across the sweep (ring "
+                         "capacity "
+                      << options.traceCapacity
+                      << "); raise --trace-capacity to keep the full "
+                         "series\n";
     }
 
+    int rc = 0;
+    if (options.doctor)
+        rc |= doctorSweep(spec, outcome, options, os);
+
     if (!options.writeJson)
-        return 0;
+        return rc;
 
     std::error_code ec; // best-effort; open failure is caught below
     std::filesystem::create_directories(options.outDir, ec);
@@ -216,7 +310,7 @@ runFigure(const Figure &fig, const FigureRunOptions &options)
         };
     writeSweepJson(file, spec, outcome, json_options, summary);
     os << "wrote " << path << "\n";
-    return 0;
+    return rc;
 }
 
 int
@@ -254,6 +348,13 @@ figureMain(const char *figure_id, int argc, char **argv)
                 << "  --trace-capacity N\n"
                 << "                 intervals retained per job "
                    "(default 4096)\n"
+                << "  --progress     per-job completion heartbeat on "
+                   "stderr\n"
+                << "  --doctor       diagnose every job after the "
+                   "sweep; exit 1 on FAIL\n"
+                << "  --doctor-json PATH\n"
+                << "                 write the prism-doctor-v1 "
+                   "verdicts (implies --doctor)\n"
                 << "\nPRISM_BENCH_SCALE and PRISM_BENCH_WORKLOADS "
                    "scale the sweep.\n";
             return 0;
@@ -277,6 +378,13 @@ figureMain(const char *figure_id, int argc, char **argv)
                 return 2;
             }
             options.traceCapacity = static_cast<std::size_t>(n);
+        } else if (arg == "--progress") {
+            options.progress = true;
+        } else if (arg == "--doctor") {
+            options.doctor = true;
+        } else if (arg == "--doctor-json") {
+            options.doctorJsonPath = value();
+            options.doctor = true;
         } else {
             std::cerr << "unknown option '" << arg << "'\n";
             return 2;

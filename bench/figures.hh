@@ -78,6 +78,24 @@ struct FigureRunOptions
     std::string traceCsvPath;
     /** Recorder capacity for jobs the figure did not configure. */
     std::size_t traceCapacity = 4096;
+
+    /**
+     * Per-job completion heartbeat on stderr ("[done/total] id ...").
+     * Off by default; completion-ordered and therefore outside the
+     * determinism contract (no wall-clock data either way).
+     */
+    bool progress = false;
+
+    /**
+     * Diagnose every job with the analysis engine after the sweep:
+     * telemetry recording is enabled on all jobs (passive), each
+     * verdict prints after the tables, and the run exits non-zero
+     * when any job FAILs. Verdicts derive from per-job series only,
+     * so they are byte-identical at any --threads value.
+     */
+    bool doctor = false;
+    /** When set (with doctor), write the prism-doctor-v1 file here. */
+    std::string doctorJsonPath;
 };
 
 /**

@@ -1,0 +1,233 @@
+#include "analysis/compare.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace prism::analysis
+{
+
+double
+CompareOptions::toleranceFor(const std::string &metric) const
+{
+    const auto it = metricTolerance.find(metric);
+    return it != metricTolerance.end() ? it->second : relTolerance;
+}
+
+namespace
+{
+
+/** Per-job diff accumulator with bounded finding output. */
+class Differ
+{
+  public:
+    Differ(const CompareOptions &opts, Verdict &verdict)
+        : opts_(opts), v_(verdict)
+    {
+    }
+
+    void diff(const std::string &path, const std::string &metric,
+              const JsonValue &a, const JsonValue &b);
+
+    std::size_t compared() const { return compared_; }
+    std::size_t mismatched() const { return mismatched_; }
+
+  private:
+    void mismatch(const std::string &path, const std::string &detail,
+                  double value, double threshold, bool has_value);
+
+    static constexpr std::size_t kMaxFindingsPerJob = 32;
+
+    const CompareOptions &opts_;
+    Verdict &v_;
+    std::size_t compared_ = 0;
+    std::size_t mismatched_ = 0;
+};
+
+void
+Differ::mismatch(const std::string &path, const std::string &detail,
+                 double value, double threshold, bool has_value)
+{
+    ++mismatched_;
+    if (mismatched_ > kMaxFindingsPerJob)
+        return; // summarised by compare.job below
+    Finding f;
+    f.check = "compare.metric";
+    f.status = FindingStatus::Fail;
+    f.detail = path + ": " + detail;
+    f.value = value;
+    f.threshold = threshold;
+    f.hasValue = has_value;
+    v_.findings.push_back(std::move(f));
+}
+
+void
+Differ::diff(const std::string &path, const std::string &metric,
+             const JsonValue &a, const JsonValue &b)
+{
+    if (a.kind() != b.kind()) {
+        mismatch(path, "value kind changed", 0.0, 0.0, false);
+        return;
+    }
+    switch (a.kind()) {
+      case JsonValue::Kind::Object:
+        for (const auto &[key, value] : a.members()) {
+            const JsonValue *other = b.find(key);
+            if (!other) {
+                mismatch(path + "." + key, "missing in candidate",
+                         0.0, 0.0, false);
+                continue;
+            }
+            diff(path + "." + key, key, value, *other);
+        }
+        for (const auto &[key, value] : b.members())
+            if (!a.find(key))
+                mismatch(path + "." + key, "not in baseline", 0.0,
+                         0.0, false);
+        return;
+      case JsonValue::Kind::Array: {
+        if (a.size() != b.size()) {
+            mismatch(path, "array length " +
+                               std::to_string(a.size()) + " vs " +
+                               std::to_string(b.size()),
+                     0.0, 0.0, false);
+            return;
+        }
+        for (std::size_t i = 0; i < a.size(); ++i)
+            diff(path + "[" + std::to_string(i) + "]", metric,
+                 a.elements()[i], b.elements()[i]);
+        return;
+      }
+      case JsonValue::Kind::Number: {
+        ++compared_;
+        // Identical source text (covers exact u64 counters).
+        if (a.rawNumber() == b.rawNumber())
+            return;
+        const double av = a.asDouble(), bv = b.asDouble();
+        const double tol = opts_.toleranceFor(metric);
+        const double scale =
+            std::max({std::abs(av), std::abs(bv), 1e-300});
+        const double rel = std::abs(av - bv) / scale;
+        if (rel > tol)
+            mismatch(path,
+                     JsonWriter::formatDouble(av) + " -> " +
+                         JsonWriter::formatDouble(bv) +
+                         " (rel diff " +
+                         JsonWriter::formatDouble(rel) + ")",
+                     rel, tol, true);
+        return;
+      }
+      case JsonValue::Kind::String:
+        ++compared_;
+        if (a.asString() != b.asString())
+            mismatch(path,
+                     "'" + a.asString() + "' -> '" + b.asString() +
+                         "'",
+                     0.0, 0.0, false);
+        return;
+      case JsonValue::Kind::Bool:
+        ++compared_;
+        if (a.asBool() != b.asBool())
+            mismatch(path, "boolean changed", 0.0, 0.0, false);
+        return;
+      case JsonValue::Kind::Null:
+        ++compared_;
+        return;
+    }
+}
+
+const JsonValue *
+findJob(const JsonValue &doc, const std::string &id)
+{
+    for (const JsonValue &job : doc.at("jobs").elements())
+        if (job.at("id").asString() == id)
+            return &job;
+    return nullptr;
+}
+
+} // namespace
+
+Verdict
+compareBenchDocs(const JsonValue &a, const JsonValue &b,
+                 const CompareOptions &opts)
+{
+    Verdict v;
+    v.run = "compare";
+
+    for (const auto *doc : {&a, &b}) {
+        if (doc->at("schema").asString() != "prism-bench-v1") {
+            Finding f;
+            f.check = "compare.schema";
+            f.status = FindingStatus::Fail;
+            f.detail = std::string(doc == &a ? "baseline"
+                                             : "candidate") +
+                       " is not a prism-bench-v1 document (schema '" +
+                       doc->at("schema").asString() + "')";
+            v.findings.push_back(std::move(f));
+        }
+    }
+    if (!v.findings.empty()) {
+        v.overall = FindingStatus::Fail;
+        return v;
+    }
+
+    std::size_t matched = 0, total_compared = 0;
+    for (const JsonValue &job : a.at("jobs").elements()) {
+        const std::string id = job.at("id").asString();
+        const JsonValue *other = findJob(b, id);
+        if (!other) {
+            Finding f;
+            f.check = "compare.missing_job";
+            f.status = FindingStatus::Fail;
+            f.detail = "job '" + id + "' absent from candidate";
+            v.findings.push_back(std::move(f));
+            continue;
+        }
+        ++matched;
+        Differ d(opts, v);
+        d.diff(id, "", job.at("result"), other->at("result"));
+        total_compared += d.compared();
+        if (d.mismatched()) {
+            Finding f;
+            f.check = "compare.job";
+            f.status = FindingStatus::Fail;
+            f.value = static_cast<double>(d.mismatched());
+            f.hasValue = true;
+            f.detail = "job '" + id + "': " +
+                       std::to_string(d.mismatched()) + " of " +
+                       std::to_string(d.compared()) +
+                       " metrics out of tolerance";
+            v.findings.push_back(std::move(f));
+        }
+    }
+    for (const JsonValue &job : b.at("jobs").elements()) {
+        const std::string id = job.at("id").asString();
+        if (!findJob(a, id)) {
+            Finding f;
+            f.check = "compare.extra_job";
+            f.status = FindingStatus::Fail;
+            f.detail = "job '" + id + "' not in baseline";
+            v.findings.push_back(std::move(f));
+        }
+    }
+
+    {
+        Finding f;
+        f.check = "compare.summary";
+        f.status = FindingStatus::Pass;
+        f.value = static_cast<double>(total_compared);
+        f.hasValue = true;
+        f.detail = std::to_string(matched) + " jobs matched, " +
+                   std::to_string(total_compared) +
+                   " metrics compared";
+        v.findings.push_back(std::move(f));
+    }
+
+    for (const Finding &f : v.findings)
+        if (f.status == FindingStatus::Fail)
+            v.overall = FindingStatus::Fail;
+    return v;
+}
+
+} // namespace prism::analysis

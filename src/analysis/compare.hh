@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Benchmark regression comparator: diff two `prism-bench-v1` files.
+ *
+ * The CI perf gate runs a fresh sweep and compares it metric-by-metric
+ * against a committed golden (`tests/golden/BENCH_fixture.json`).
+ * Numeric fields compare under a relative tolerance (default exact:
+ * the sweep engine is byte-deterministic); per-metric overrides let a
+ * gate accept small drift in timing-adjacent metrics while keeping
+ * counters exact. Missing or extra jobs, scheme mismatches, and
+ * out-of-tolerance metrics all surface as FAIL findings in a normal
+ * doctor Verdict.
+ */
+
+#ifndef PRISM_ANALYSIS_COMPARE_HH
+#define PRISM_ANALYSIS_COMPARE_HH
+
+#include <map>
+#include <string>
+
+#include "analysis/doctor.hh"
+#include "common/json.hh"
+
+namespace prism::analysis
+{
+
+/** Tolerances for compareBenchDocs. */
+struct CompareOptions
+{
+    /** Relative tolerance applied to every numeric metric. */
+    double relTolerance = 0.0;
+    /** Per-metric overrides, keyed by metric name (e.g. "ipc"). */
+    std::map<std::string, double> metricTolerance;
+
+    double toleranceFor(const std::string &metric) const;
+};
+
+/**
+ * Compare candidate @p b against baseline @p a. Both must be parsed
+ * `prism-bench-v1` documents. Jobs are matched by id.
+ */
+Verdict compareBenchDocs(const JsonValue &a, const JsonValue &b,
+                         const CompareOptions &opts = {});
+
+} // namespace prism::analysis
+
+#endif // PRISM_ANALYSIS_COMPARE_HH

@@ -1,0 +1,654 @@
+#include "analysis/doctor.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace prism::analysis
+{
+
+const char *
+findingStatusName(FindingStatus status)
+{
+    switch (status) {
+      case FindingStatus::Pass:
+        return "PASS";
+      case FindingStatus::Warn:
+        return "WARN";
+      case FindingStatus::Fail:
+        return "FAIL";
+      case FindingStatus::Skip:
+        return "SKIP";
+    }
+    return "?";
+}
+
+std::size_t
+Verdict::count(FindingStatus status) const
+{
+    std::size_t n = 0;
+    for (const Finding &f : findings)
+        if (f.status == status)
+            ++n;
+    return n;
+}
+
+namespace
+{
+
+/** Severity order for aggregation (Skip never dominates). */
+int
+severity(FindingStatus s)
+{
+    switch (s) {
+      case FindingStatus::Skip:
+      case FindingStatus::Pass:
+        return 0;
+      case FindingStatus::Warn:
+        return 1;
+      case FindingStatus::Fail:
+        return 2;
+    }
+    return 0;
+}
+
+FindingStatus
+worse(FindingStatus a, FindingStatus b)
+{
+    return severity(b) > severity(a) ? b : a;
+}
+
+std::string
+fmt(double v)
+{
+    return JsonWriter::formatDouble(v);
+}
+
+/** max_i |C_i − T_i| at sample @p t. */
+double
+maxTrackingError(const RunSeries &s, std::size_t t)
+{
+    double err = 0.0;
+    const std::size_t n = std::min(s.occupancy[t].size(),
+                                   s.target[t].size());
+    for (std::size_t c = 0; c < n; ++c)
+        err = std::max(err,
+                       std::abs(s.occupancy[t][c] - s.target[t][c]));
+    return err;
+}
+
+/** Mean of maxTrackingError over samples [lo, hi). */
+double
+meanError(const RunSeries &s, std::size_t lo, std::size_t hi)
+{
+    if (hi <= lo)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t t = lo; t < hi; ++t)
+        sum += maxTrackingError(s, t);
+    return sum / static_cast<double>(hi - lo);
+}
+
+class Checker
+{
+  public:
+    Checker(const RunSeries &s, const DoctorThresholds &t)
+        : s_(s), t_(t)
+    {
+        v_.run = s.name;
+    }
+
+    Verdict take();
+
+  private:
+    Finding &add(const std::string &check, FindingStatus status);
+    Finding &addValue(const std::string &check, FindingStatus status,
+                      double value, double threshold);
+    void skip(const std::string &check, const std::string &why);
+
+    void tracking();
+    void stability();
+    void invariants();
+    void attainment();
+    void robustness();
+    void telemetry();
+
+    /** Counter check: Pass at 0, @p level above 0. */
+    void counter(const std::string &check, std::uint64_t n,
+                 FindingStatus level, const std::string &what);
+
+    const RunSeries &s_;
+    const DoctorThresholds &t_;
+    Verdict v_;
+};
+
+Finding &
+Checker::add(const std::string &check, FindingStatus status)
+{
+    Finding f;
+    f.check = check;
+    f.status = status;
+    v_.findings.push_back(std::move(f));
+    return v_.findings.back();
+}
+
+Finding &
+Checker::addValue(const std::string &check, FindingStatus status,
+                  double value, double threshold)
+{
+    Finding &f = add(check, status);
+    f.value = value;
+    f.threshold = threshold;
+    f.hasValue = true;
+    return f;
+}
+
+void
+Checker::skip(const std::string &check, const std::string &why)
+{
+    add(check, FindingStatus::Skip).detail = why;
+}
+
+void
+Checker::tracking()
+{
+    if (!s_.hasSeries || !s_.prism || s_.occupancy.size() < 4) {
+        const std::string why =
+            !s_.hasSeries || !s_.prism
+                ? "no occupancy/target series (counters-only input)"
+                : "fewer than 4 recorded intervals";
+        skip("tracking.converge_interval", why);
+        skip("tracking.residual", why);
+        skip("tracking.decay", why);
+        return;
+    }
+
+    const std::size_t n = s_.occupancy.size();
+
+    // First interval where the tracking error stays within bound.
+    std::size_t converged = n;
+    for (std::size_t t = 0; t < n; ++t) {
+        if (maxTrackingError(s_, t) <= t_.convergedError) {
+            converged = t;
+            break;
+        }
+    }
+    if (converged < n) {
+        Finding &f = addValue(
+            "tracking.converge_interval", FindingStatus::Pass,
+            static_cast<double>(s_.interval[converged]),
+            t_.convergedError);
+        f.detail = "max|C-T| first within " + fmt(t_.convergedError) +
+                   " at interval " +
+                   std::to_string(s_.interval[converged]);
+    } else {
+        const FindingStatus st = n >= 8 ? FindingStatus::Fail
+                                        : FindingStatus::Warn;
+        Finding &f = addValue("tracking.converge_interval", st,
+                              maxTrackingError(s_, n - 1),
+                              t_.convergedError);
+        f.detail = "never converged: final max|C-T| " +
+                   fmt(maxTrackingError(s_, n - 1)) + " over " +
+                   std::to_string(n) + " intervals";
+    }
+
+    // Steady-state residual: mean error over the last quarter.
+    const std::size_t tail = std::max<std::size_t>(1, n / 4);
+    const double residual = meanError(s_, n - tail, n);
+    FindingStatus rst = FindingStatus::Pass;
+    double bound = t_.residualWarn;
+    if (residual > t_.residualFail) {
+        rst = FindingStatus::Fail;
+        bound = t_.residualFail;
+    } else if (residual > t_.residualWarn) {
+        rst = FindingStatus::Warn;
+    }
+    addValue("tracking.residual", rst, residual, bound).detail =
+        "mean max|C-T| over last " + std::to_string(tail) +
+        " intervals is " + fmt(residual);
+
+    // Decay: the last quartile's error should sit below the first's.
+    const std::size_t quart = std::max<std::size_t>(1, n / 4);
+    const double early = meanError(s_, 0, quart);
+    const double late = meanError(s_, n - quart, n);
+    if (early <= t_.convergedError) {
+        Finding &f = addValue("tracking.decay", FindingStatus::Pass,
+                              0.0, t_.decayWarnRatio);
+        f.detail = "already within tracking bound from the start";
+    } else {
+        const double ratio = late / early;
+        const FindingStatus st = ratio >= t_.decayWarnRatio
+                                     ? FindingStatus::Warn
+                                     : FindingStatus::Pass;
+        addValue("tracking.decay", st, ratio, t_.decayWarnRatio)
+            .detail = "late/early error ratio " + fmt(ratio) +
+                      " (early " + fmt(early) + ", late " + fmt(late) +
+                      ")";
+    }
+}
+
+void
+Checker::stability()
+{
+    if (!s_.hasSeries || !s_.prism || s_.evProb.size() < 4) {
+        const std::string why =
+            !s_.hasSeries || !s_.prism
+                ? "no eviction-probability series"
+                : "fewer than 4 recorded intervals";
+        skip("stability.osc_amplitude", why);
+        skip("stability.sign_flips", why);
+        skip("stability.entropy", why);
+        return;
+    }
+
+    const std::size_t n = s_.evProb.size();
+    const std::size_t lo = n / 2; // judge the settled half only
+    const std::size_t cores = s_.evProb[lo].size();
+
+    double amp_sum = 0.0;
+    std::uint64_t flips = 0, steps = 0;
+    for (std::size_t c = 0; c < cores; ++c) {
+        double mn = 1.0, mx = 0.0;
+        double prev_delta = 0.0;
+        for (std::size_t t = lo; t < n; ++t) {
+            const double e = c < s_.evProb[t].size()
+                                 ? s_.evProb[t][c]
+                                 : 0.0;
+            mn = std::min(mn, e);
+            mx = std::max(mx, e);
+            if (t > lo) {
+                const double prev = c < s_.evProb[t - 1].size()
+                                        ? s_.evProb[t - 1][c]
+                                        : 0.0;
+                const double delta = e - prev;
+                if (std::abs(delta) > t_.flipAmplitudeFloor) {
+                    ++steps;
+                    if (prev_delta != 0.0 &&
+                        std::signbit(delta) !=
+                            std::signbit(prev_delta))
+                        ++flips;
+                    prev_delta = delta;
+                }
+            }
+        }
+        amp_sum += mx - mn;
+    }
+    const double amplitude =
+        cores ? amp_sum / static_cast<double>(cores) : 0.0;
+    const FindingStatus ast = amplitude > t_.oscAmplitudeWarn
+                                  ? FindingStatus::Warn
+                                  : FindingStatus::Pass;
+    addValue("stability.osc_amplitude", ast, amplitude,
+             t_.oscAmplitudeWarn)
+        .detail = "mean peak-to-peak E_i swing " + fmt(amplitude) +
+                  " over the last " + std::to_string(n - lo) +
+                  " intervals";
+
+    const double flip_rate =
+        steps ? static_cast<double>(flips) /
+                    static_cast<double>(steps)
+              : 0.0;
+    const FindingStatus fst = flip_rate > t_.signFlipWarn
+                                  ? FindingStatus::Warn
+                                  : FindingStatus::Pass;
+    addValue("stability.sign_flips", fst, flip_rate, t_.signFlipWarn)
+        .detail = std::to_string(flips) + " direction changes in " +
+                  std::to_string(steps) + " significant E_i steps";
+
+    // Normalised entropy of the final distribution: 1 = uniform,
+    // 0 = all eviction pressure on one core. Informational.
+    double entropy = 0.0;
+    if (cores > 1) {
+        const std::vector<double> &last = s_.evProb[n - 1];
+        double sum = 0.0;
+        for (const double e : last)
+            sum += e;
+        if (sum > 0.0) {
+            for (const double e : last) {
+                const double p = e / sum;
+                if (p > 0.0)
+                    entropy -= p * std::log2(p);
+            }
+            entropy /= std::log2(static_cast<double>(cores));
+        }
+    }
+    addValue("stability.entropy", FindingStatus::Pass, entropy, 0.0)
+        .detail = "normalised entropy of the final E distribution";
+}
+
+void
+Checker::invariants()
+{
+    if (!s_.hasSeries || !s_.prism) {
+        const std::string why =
+            "no eviction-probability series (counters-only input)";
+        skip("invariants.sum_e", why);
+        skip("invariants.sum_c", why);
+    } else {
+        double max_e_err = 0.0;
+        for (const std::vector<double> &row : s_.evProb) {
+            double sum = 0.0;
+            for (const double e : row)
+                sum += e;
+            max_e_err = std::max(max_e_err, std::abs(sum - 1.0));
+        }
+        FindingStatus est = FindingStatus::Pass;
+        double bound = t_.sumEWarn;
+        if (max_e_err > t_.sumEFail) {
+            est = FindingStatus::Fail;
+            bound = t_.sumEFail;
+        } else if (max_e_err > t_.sumEWarn) {
+            est = FindingStatus::Warn;
+        }
+        addValue("invariants.sum_e", est, max_e_err, bound).detail =
+            "max |sum(E_i) - 1| across " +
+            std::to_string(s_.evProb.size()) + " intervals";
+
+        double max_c_over = 0.0;
+        for (const std::vector<double> &row : s_.occupancy) {
+            double sum = 0.0;
+            for (const double c : row)
+                sum += c;
+            max_c_over = std::max(max_c_over, sum - 1.0);
+        }
+        max_c_over = std::max(max_c_over, 0.0);
+        const FindingStatus cst = max_c_over > t_.sumCOverflow
+                                      ? FindingStatus::Fail
+                                      : FindingStatus::Pass;
+        addValue("invariants.sum_c", cst, max_c_over, t_.sumCOverflow)
+            .detail = "max overflow of sum(C_i) above capacity";
+    }
+
+    if (!s_.hasCounters || s_.intervals == 0) {
+        skip("invariants.renorm_rate", "no interval counters");
+        return;
+    }
+    const double rate = static_cast<double>(s_.distributionRepairs) /
+                        static_cast<double>(s_.intervals);
+    const FindingStatus rst = rate > t_.renormRateWarn
+                                  ? FindingStatus::Warn
+                                  : FindingStatus::Pass;
+    addValue("invariants.renorm_rate", rst, rate, t_.renormRateWarn)
+        .detail = std::to_string(s_.distributionRepairs) +
+                  " distribution repairs in " +
+                  std::to_string(s_.intervals) + " intervals";
+}
+
+void
+Checker::attainment()
+{
+    if (s_.scheme == "PriSM-Q" && s_.hasPerf &&
+        s_.qosTargetFrac > 0.0 && !s_.ipc.empty() &&
+        s_.ipcStandalone[0] > 0.0) {
+        const double attained = s_.ipc[0] / s_.ipcStandalone[0];
+        const double floor = s_.qosTargetFrac - t_.qosSlack;
+        const FindingStatus st = attained < floor
+                                     ? FindingStatus::Fail
+                                     : FindingStatus::Pass;
+        addValue("qos.attainment", st, attained, floor).detail =
+            "core 0 reached " + fmt(attained) +
+            " of stand-alone IPC (target " + fmt(s_.qosTargetFrac) +
+            ")";
+    } else {
+        skip("qos.attainment",
+             s_.scheme == "PriSM-Q"
+                 ? "no performance data for the QoS check"
+                 : "not a QoS (PriSM-Q) run");
+    }
+
+    if (s_.scheme == "PriSM-F" && s_.hasPerf &&
+        s_.ipc.size() == s_.ipcStandalone.size() &&
+        !s_.ipc.empty()) {
+        double mn = 0.0, mx = 0.0;
+        bool first = true;
+        for (std::size_t c = 0; c < s_.ipc.size(); ++c) {
+            if (s_.ipcStandalone[c] <= 0.0)
+                continue;
+            const double progress = s_.ipc[c] / s_.ipcStandalone[c];
+            mn = first ? progress : std::min(mn, progress);
+            mx = first ? progress : std::max(mx, progress);
+            first = false;
+        }
+        const double balance = mx > 0.0 ? mn / mx : 0.0;
+        const FindingStatus st = balance < t_.fairnessWarn
+                                     ? FindingStatus::Warn
+                                     : FindingStatus::Pass;
+        addValue("fairness.attainment", st, balance, t_.fairnessWarn)
+            .detail = "min/max normalised progress ratio " +
+                      fmt(balance);
+    } else {
+        skip("fairness.attainment",
+             s_.scheme == "PriSM-F"
+                 ? "no performance data for the fairness check"
+                 : "not a fairness (PriSM-F) run");
+    }
+}
+
+void
+Checker::counter(const std::string &check, std::uint64_t n,
+                 FindingStatus level, const std::string &what)
+{
+    const FindingStatus st = n ? level : FindingStatus::Pass;
+    addValue(check, st, static_cast<double>(n), 0.0).detail =
+        std::to_string(n) + " " + what;
+}
+
+void
+Checker::robustness()
+{
+    if (!s_.hasCounters) {
+        for (const char *check :
+             {"robustness.fallbacks", "robustness.degraded",
+              "robustness.dropped_recomputes",
+              "robustness.ownership_repairs",
+              "robustness.clamped_inputs",
+              "robustness.invariant_violations"})
+            skip(check, "no robustness counters in this input");
+        return;
+    }
+
+    counter("robustness.fallbacks", s_.fallbackEntries,
+            FindingStatus::Fail,
+            "entries into the degraded fallback partitioner");
+
+    if (s_.intervals == 0) {
+        counter("robustness.degraded", s_.degradedIntervals,
+                FindingStatus::Warn, "degraded intervals");
+    } else {
+        const double frac =
+            static_cast<double>(s_.degradedIntervals) /
+            static_cast<double>(s_.intervals);
+        FindingStatus st = FindingStatus::Pass;
+        double bound = t_.degradedWarnFrac;
+        if (frac > t_.degradedFailFrac) {
+            st = FindingStatus::Fail;
+            bound = t_.degradedFailFrac;
+        } else if (frac > t_.degradedWarnFrac) {
+            st = FindingStatus::Warn;
+        }
+        addValue("robustness.degraded", st, frac, bound).detail =
+            std::to_string(s_.degradedIntervals) + " of " +
+            std::to_string(s_.intervals) + " intervals degraded";
+    }
+
+    counter("robustness.dropped_recomputes", s_.droppedRecomputes,
+            FindingStatus::Warn, "recomputes dropped");
+    counter("robustness.ownership_repairs", s_.ownershipRepairs,
+            FindingStatus::Warn, "ownership repairs");
+    counter("robustness.clamped_inputs", s_.clampedEq1Inputs,
+            FindingStatus::Warn, "Equation 1 inputs clamped");
+    counter("robustness.invariant_violations",
+            s_.invariantViolations, FindingStatus::Fail,
+            "invariant violations detected");
+}
+
+void
+Checker::telemetry()
+{
+    counter("telemetry.drops", s_.droppedSamples + s_.droppedEvents,
+            FindingStatus::Warn,
+            "telemetry ring drops (samples + events)");
+}
+
+Verdict
+Checker::take()
+{
+    tracking();
+    stability();
+    invariants();
+    attainment();
+    robustness();
+    telemetry();
+    for (const Finding &f : v_.findings)
+        v_.overall = worse(v_.overall, f.status);
+    return std::move(v_);
+}
+
+} // namespace
+
+Verdict
+analyze(const RunSeries &s, const DoctorThresholds &t)
+{
+    return Checker(s, t).take();
+}
+
+FindingStatus
+worstOf(const std::vector<Verdict> &jobs)
+{
+    FindingStatus w = FindingStatus::Pass;
+    for (const Verdict &v : jobs)
+        w = worse(w, v.overall);
+    return w;
+}
+
+Verdict
+rollup(const std::vector<Verdict> &jobs)
+{
+    Verdict v;
+    v.run = "sweep";
+    v.overall = worstOf(jobs);
+    for (const FindingStatus st :
+         {FindingStatus::Pass, FindingStatus::Warn,
+          FindingStatus::Fail}) {
+        Finding f;
+        f.check = std::string("sweep.jobs_") +
+                  findingStatusName(st);
+        // The roll-up counts jobs; its findings never escalate the
+        // overall verdict beyond what the jobs already did.
+        f.status = FindingStatus::Pass;
+        std::size_t n = 0;
+        for (const Verdict &j : jobs)
+            if (j.overall == st)
+                ++n;
+        f.value = static_cast<double>(n);
+        f.hasValue = true;
+        f.detail = std::to_string(n) + " of " +
+                   std::to_string(jobs.size()) + " jobs " +
+                   findingStatusName(st);
+        v.findings.push_back(std::move(f));
+    }
+    return v;
+}
+
+void
+writeVerdictJson(JsonWriter &w, const Verdict &v)
+{
+    w.beginObject();
+    w.kv("run", v.run);
+    w.kv("overall", findingStatusName(v.overall));
+    w.key("findings");
+    w.beginArray();
+    for (const Finding &f : v.findings) {
+        w.beginObject();
+        w.kv("check", f.check);
+        w.kv("status", findingStatusName(f.status));
+        if (f.hasValue) {
+            w.kv("value", f.value);
+            w.kv("threshold", f.threshold);
+        }
+        w.kv("detail", f.detail);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeDoctorDocument(std::ostream &os, std::string_view source,
+                    const std::vector<Verdict> &jobs,
+                    const DoctorThresholds &t)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "prism-doctor-v1");
+    w.kv("source", source);
+    w.kv("verdict", findingStatusName(worstOf(jobs)));
+    w.key("jobs");
+    w.beginArray();
+    for (const Verdict &v : jobs)
+        writeVerdictJson(w, v);
+    w.endArray();
+    w.key("summary");
+    w.beginObject();
+    w.kv("jobs", static_cast<std::uint64_t>(jobs.size()));
+    for (const FindingStatus st :
+         {FindingStatus::Pass, FindingStatus::Warn,
+          FindingStatus::Fail}) {
+        std::uint64_t n = 0;
+        for (const Verdict &v : jobs)
+            if (v.overall == st)
+                ++n;
+        std::string key = findingStatusName(st);
+        std::transform(key.begin(), key.end(), key.begin(),
+                       [](unsigned char c) {
+                           return static_cast<char>(
+                               std::tolower(c));
+                       });
+        w.kv(key, n);
+    }
+    w.endObject();
+    w.key("thresholds");
+    w.beginObject();
+    w.kv("converged_error", t.convergedError);
+    w.kv("residual_warn", t.residualWarn);
+    w.kv("residual_fail", t.residualFail);
+    w.kv("decay_warn_ratio", t.decayWarnRatio);
+    w.kv("osc_amplitude_warn", t.oscAmplitudeWarn);
+    w.kv("sign_flip_warn", t.signFlipWarn);
+    w.kv("flip_amplitude_floor", t.flipAmplitudeFloor);
+    w.kv("sum_e_warn", t.sumEWarn);
+    w.kv("sum_e_fail", t.sumEFail);
+    w.kv("sum_c_overflow", t.sumCOverflow);
+    w.kv("renorm_rate_warn", t.renormRateWarn);
+    w.kv("degraded_warn_frac", t.degradedWarnFrac);
+    w.kv("degraded_fail_frac", t.degradedFailFrac);
+    w.kv("qos_slack", t.qosSlack);
+    w.kv("fairness_warn", t.fairnessWarn);
+    w.endObject();
+    w.endObject();
+    os << '\n';
+}
+
+void
+printReport(std::ostream &os, const Verdict &v)
+{
+    os << "=== prism_doctor: " << v.run << " ===\n";
+    for (const Finding &f : v.findings) {
+        os << "  [" << findingStatusName(f.status) << "] " << f.check;
+        if (f.hasValue) {
+            os << " = " << JsonWriter::formatDouble(f.value);
+            if (f.status != FindingStatus::Pass ||
+                f.threshold != 0.0)
+                os << " (bound "
+                   << JsonWriter::formatDouble(f.threshold) << ")";
+        }
+        if (!f.detail.empty())
+            os << " -- " << f.detail;
+        os << '\n';
+    }
+    os << "  overall: " << findingStatusName(v.overall) << '\n';
+}
+
+} // namespace prism::analysis

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Control-loop diagnostics: per-run health verdicts over a RunSeries.
+ *
+ * PriSM's correctness is temporal — Equation 1 must drive occupancy
+ * C_i towards the targets T_i, the eviction distribution E_i must
+ * settle instead of oscillating, and the invariants Σ C_i ≤ 1 and
+ * Σ E_i = 1 must hold every interval. analyze() turns a RunSeries
+ * into explicit PASS/WARN/FAIL/SKIP findings for each of those
+ * properties plus the robustness counters from the fault layer, and
+ * the result serialises as the deterministic `prism-doctor-v1`
+ * document (docs/OBSERVABILITY.md) — byte-identical for the same run
+ * at any sweep thread count.
+ */
+
+#ifndef PRISM_ANALYSIS_DOCTOR_HH
+#define PRISM_ANALYSIS_DOCTOR_HH
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/series.hh"
+#include "common/json.hh"
+
+namespace prism::analysis
+{
+
+/** Outcome of one check. */
+enum class FindingStatus
+{
+    Pass,
+    Warn,
+    Fail,
+    Skip, ///< the input lacks the data this check needs
+};
+
+const char *findingStatusName(FindingStatus status);
+
+/** One check's result. */
+struct Finding
+{
+    std::string check; ///< stable id, e.g. "tracking.residual"
+    FindingStatus status = FindingStatus::Pass;
+    double value = 0.0;     ///< measured quantity (when hasValue)
+    double threshold = 0.0; ///< bound that decided the status
+    bool hasValue = false;
+    std::string detail; ///< one human-readable sentence
+};
+
+/** All findings for one run plus the aggregated verdict. */
+struct Verdict
+{
+    std::string run;
+    FindingStatus overall = FindingStatus::Pass;
+    std::vector<Finding> findings;
+
+    std::size_t count(FindingStatus status) const;
+};
+
+/**
+ * Decision bounds for analyze(). Defaults are calibrated on the
+ * paper's evaluation machine (docs/OBSERVABILITY.md lists them).
+ */
+struct DoctorThresholds
+{
+    /** max_i |C_i − T_i| at or below this counts as converged. */
+    double convergedError = 0.10;
+    /** Steady-state residual (mean of last quarter) bounds. */
+    double residualWarn = 0.15;
+    double residualFail = 0.30;
+    /** Late/early error ratio at or above this is "not decaying". */
+    double decayWarnRatio = 1.0;
+
+    /** Mean peak-to-peak E_i swing over the last half. */
+    double oscAmplitudeWarn = 0.30;
+    /** ΔE_i sign-flip rate over the last half. */
+    double signFlipWarn = 0.6;
+    /** Steps smaller than this do not count as oscillation. */
+    double flipAmplitudeFloor = 0.01;
+
+    /** |Σ E_i − 1| bounds (per recorded interval). */
+    double sumEWarn = 1e-6;
+    double sumEFail = 1e-3;
+    /** Σ C_i may exceed 1 by at most this. */
+    double sumCOverflow = 1e-6;
+    /** Distribution repairs per interval worth warning about. */
+    double renormRateWarn = 0.1;
+
+    /** Degraded-interval fraction bounds. */
+    double degradedWarnFrac = 0.0; // any degraded interval warns
+    double degradedFailFrac = 0.5;
+
+    /** Slack under the QoS IPC floor before failing. */
+    double qosSlack = 0.02;
+    /** Fairness (min/max normalised progress) warning floor. */
+    double fairnessWarn = 0.35;
+};
+
+/** Run every applicable check on @p s. */
+Verdict analyze(const RunSeries &s, const DoctorThresholds &t = {});
+
+/** Sweep roll-up: per-status job counts plus the worst overall. */
+Verdict rollup(const std::vector<Verdict> &jobs);
+
+/** Serialise one verdict as a JSON object (no surrounding doc). */
+void writeVerdictJson(JsonWriter &w, const Verdict &v);
+
+/**
+ * Write the full `prism-doctor-v1` document: schema, @p source
+ * ("run" | "stats" | "trace" | "bench" | "sweep" | "compare"), the
+ * job verdicts, the roll-up and the thresholds used.
+ */
+void writeDoctorDocument(std::ostream &os, std::string_view source,
+                         const std::vector<Verdict> &jobs,
+                         const DoctorThresholds &t);
+
+/** Human-readable health report for one verdict. */
+void printReport(std::ostream &os, const Verdict &v);
+
+/** Worst overall across @p jobs (Pass when empty). */
+FindingStatus worstOf(const std::vector<Verdict> &jobs);
+
+} // namespace prism::analysis
+
+#endif // PRISM_ANALYSIS_DOCTOR_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * RunSpec: parse a prism_sim-style argument string into a runnable
+ * simulation description.
+ *
+ * `prism_doctor --run "--workload Q7 --scheme PriSM-H"` executes one
+ * fresh simulation and diagnoses it in-process. The flag vocabulary
+ * deliberately mirrors prism_sim's run-shaping subset (--cores,
+ * --workload, --mix, --scheme, --repl, --instr, --warmup, --interval,
+ * --seed, --bits, --qos-frac, --faults, --checked) so a run command
+ * can be copied between the two tools verbatim; output flags are not
+ * accepted here.
+ */
+
+#ifndef PRISM_ANALYSIS_RUN_SPEC_HH
+#define PRISM_ANALYSIS_RUN_SPEC_HH
+
+#include <string_view>
+
+#include "common/status.hh"
+#include "sim/runner.hh"
+
+namespace prism::analysis
+{
+
+/** A fully-resolved single-run request. */
+struct RunSpec
+{
+    MachineConfig machine;
+    Workload workload;
+    SchemeKind scheme = SchemeKind::PrismH;
+    SchemeOptions options;
+};
+
+/**
+ * Parse @p text (whitespace-separated flags) into @p out. The machine
+ * is the paper configuration for the resolved core count with
+ * prism_sim's default run lengths (1.5M instructions, 500k warm-up).
+ */
+Status parseRunSpec(std::string_view text, RunSpec &out);
+
+} // namespace prism::analysis
+
+#endif // PRISM_ANALYSIS_RUN_SPEC_HH

@@ -1,0 +1,322 @@
+#include "analysis/series.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace prism::analysis
+{
+
+namespace
+{
+
+/** Sum a counter over instant events of @p kind. */
+std::uint64_t
+countEvents(const telemetry::IntervalRecorder &rec,
+            telemetry::EventKind kind)
+{
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < rec.eventCount(); ++i)
+        if (rec.event(i).kind == kind)
+            ++n;
+    return n;
+}
+
+} // namespace
+
+RunSeries
+seriesFromRecorder(const telemetry::IntervalRecorder &rec,
+                   const std::string &name)
+{
+    RunSeries s;
+    s.name = name;
+    s.hasSeries = rec.size() > 0;
+    for (std::size_t i = 0; i < rec.size(); ++i) {
+        const telemetry::IntervalSample &sample = rec.sample(i);
+        s.interval.push_back(sample.interval);
+        s.occupancy.push_back(sample.occupancy);
+        if (!sample.target.empty()) {
+            s.prism = true;
+            s.target.push_back(sample.target);
+            s.evProb.push_back(sample.evProb);
+        }
+        s.cores = std::max<std::uint32_t>(
+            s.cores,
+            static_cast<std::uint32_t>(sample.occupancy.size()));
+    }
+    s.droppedSamples = rec.droppedSamples();
+    s.droppedEvents = rec.droppedEvents();
+
+    // Event-derived counters; superseded by attachRunResult when a
+    // RunResult is available (events can be ring-dropped).
+    s.hasCounters = true;
+    s.degradedIntervals =
+        countEvents(rec, telemetry::EventKind::DegradedInterval);
+    s.droppedRecomputes =
+        countEvents(rec, telemetry::EventKind::DroppedRecompute);
+    s.distributionRepairs =
+        countEvents(rec, telemetry::EventKind::DistributionRepair);
+    s.fallbackEntries =
+        countEvents(rec, telemetry::EventKind::FallbackEntered);
+    s.ownershipRepairs =
+        countEvents(rec, telemetry::EventKind::OwnershipRepair);
+    if (!s.interval.empty())
+        s.intervals = s.interval.back();
+    return s;
+}
+
+void
+attachRunResult(RunSeries &s, const RunResult &r)
+{
+    s.scheme = r.scheme;
+    s.cores = static_cast<std::uint32_t>(r.ipc.size());
+    s.hasCounters = true;
+    s.intervals = r.intervals;
+    s.recomputes = r.recomputes;
+    s.degradedIntervals = r.degradedIntervals;
+    s.droppedRecomputes = r.droppedRecomputes;
+    s.fallbackEntries = r.fallbackEntries;
+    s.invariantViolations = r.invariantViolations;
+    s.ownershipRepairs = r.ownershipRepairs;
+    s.faultsInjected = r.faultsInjected;
+    s.clampedEq1Inputs = r.clampedEq1Inputs;
+    s.hasPerf = !r.ipc.empty();
+    s.ipc = r.ipc;
+    s.ipcStandalone = r.ipcStandalone;
+}
+
+std::string
+canonicalSchemeName(const std::string &name)
+{
+    if (name == "PriSM-HitMax")
+        return "PriSM-H";
+    if (name == "PriSM-QoS")
+        return "PriSM-Q";
+    if (name == "PriSM-Fair")
+        return "PriSM-F";
+    return name;
+}
+
+Status
+seriesFromStatsJson(const JsonValue &doc, RunSeries &out)
+{
+    if (doc.at("schema").asString() != "prism-stats-v1")
+        return Status::error(
+            "not a prism-stats-v1 document (schema '" +
+            doc.at("schema").asString() + "')");
+
+    out = RunSeries();
+    out.name = doc.at("workload").asString();
+    out.scheme = canonicalSchemeName(doc.at("scheme").asString());
+    if (out.name.empty())
+        out.name = "stats";
+    else if (!out.scheme.empty())
+        out.name += "/" + out.scheme;
+
+    const JsonValue &system = doc.at("system");
+    out.cores = static_cast<std::uint32_t>(
+        system.at("cores").asU64());
+    out.hasCounters = true;
+    out.intervals = system.at("llc").at("intervals").asU64();
+    out.invariantViolations =
+        system.at("llc").at("invariant_violations").asU64();
+    out.ownershipRepairs =
+        system.at("llc").at("ownership_repairs").asU64();
+
+    if (const JsonValue *prism = doc.find("prism")) {
+        out.recomputes = prism->at("recomputes").asU64();
+        out.degradedIntervals =
+            prism->at("degraded_intervals").asU64();
+        out.droppedRecomputes =
+            prism->at("dropped_recomputes").asU64();
+        out.clampedEq1Inputs =
+            prism->at("clamped_eq1_inputs").asU64();
+        out.fallbackEntries = prism->at("fallback_entries").asU64();
+        out.invariantViolations +=
+            prism->at("invariant_violations").asU64();
+        out.faultsInjected = prism->at("faults_injected").asU64();
+    }
+    if (const JsonValue *telemetry = doc.find("telemetry")) {
+        out.droppedSamples =
+            telemetry->at("dropped_samples").asU64();
+        out.droppedEvents = telemetry->at("dropped_events").asU64();
+    }
+    return Status();
+}
+
+namespace
+{
+
+/** Per-interval row while reassembling a trace process. */
+struct TraceRow
+{
+    std::vector<double> occupancy;
+    std::vector<double> target;
+    std::vector<double> evProb;
+};
+
+std::vector<double>
+coreArgs(const JsonValue &args)
+{
+    std::vector<double> out(args.members().size(), 0.0);
+    for (const auto &[key, value] : args.members()) {
+        if (key.size() < 2 || key[0] != 'c' ||
+            key.find_first_not_of("0123456789", 1) !=
+                std::string::npos)
+            continue;
+        const std::size_t idx =
+            static_cast<std::size_t>(std::stoul(key.substr(1)));
+        if (idx >= out.size())
+            out.resize(idx + 1, 0.0);
+        out[idx] = value.asDouble();
+    }
+    return out;
+}
+
+} // namespace
+
+Status
+seriesFromTraceJson(const JsonValue &doc, std::vector<RunSeries> &out)
+{
+    const JsonValue &other = doc.at("otherData");
+    if (other.at("schema").asString() != "prism-trace-v1")
+        return Status::error(
+            "not a prism-trace-v1 document (otherData.schema '" +
+            other.at("schema").asString() + "')");
+
+    const JsonValue &events = doc.at("traceEvents");
+    if (!events.isArray())
+        return Status::error("traceEvents missing or not an array");
+
+    std::map<std::uint64_t, std::string> names;
+    std::map<std::uint64_t, std::map<std::uint64_t, TraceRow>> rows;
+    std::map<std::uint64_t, RunSeries> counters;
+
+    for (const JsonValue &ev : events.elements()) {
+        const std::uint64_t pid = ev.at("pid").asU64();
+        const std::string &name = ev.at("name").asString();
+        const std::string &ph = ev.at("ph").asString();
+        if (ph == "M") {
+            if (name == "process_name")
+                names[pid] = ev.at("args").at("name").asString();
+            continue;
+        }
+        if (ph == "C") {
+            const std::uint64_t interval = ev.at("ts").asU64() / 1000;
+            TraceRow &row = rows[pid][interval];
+            if (name == "occupancy")
+                row.occupancy = coreArgs(ev.at("args"));
+            else if (name == "target")
+                row.target = coreArgs(ev.at("args"));
+            else if (name == "ev_prob")
+                row.evProb = coreArgs(ev.at("args"));
+            continue;
+        }
+        if (ph == "i") {
+            RunSeries &c = counters[pid];
+            if (name == "degraded_interval")
+                ++c.degradedIntervals;
+            else if (name == "dropped_recompute")
+                ++c.droppedRecomputes;
+            else if (name == "distribution_repair")
+                ++c.distributionRepairs;
+            else if (name == "fallback_entered")
+                ++c.fallbackEntries;
+            else if (name == "ownership_repair")
+                ++c.ownershipRepairs;
+        }
+    }
+
+    out.clear();
+    for (const auto &[pid, by_interval] : rows) {
+        RunSeries s = counters.count(pid) ? counters[pid]
+                                          : RunSeries();
+        const auto name_it = names.find(pid);
+        s.name = name_it != names.end()
+                     ? name_it->second
+                     : "pid" + std::to_string(pid);
+        // "workload/scheme" process names carry the scheme.
+        if (const auto slash = s.name.rfind('/');
+            slash != std::string::npos)
+            s.scheme =
+                canonicalSchemeName(s.name.substr(slash + 1));
+        s.hasSeries = true;
+        s.hasCounters = true;
+        for (const auto &[interval, row] : by_interval) {
+            s.interval.push_back(interval);
+            s.occupancy.push_back(row.occupancy);
+            s.cores = std::max<std::uint32_t>(
+                s.cores,
+                static_cast<std::uint32_t>(row.occupancy.size()));
+            if (!row.target.empty()) {
+                s.prism = true;
+                s.target.push_back(row.target);
+                s.evProb.push_back(row.evProb);
+            }
+        }
+        if (!s.interval.empty())
+            s.intervals = s.interval.back();
+        out.push_back(std::move(s));
+    }
+    if (out.empty())
+        return Status::error("trace contains no counter samples");
+
+    // Drop totals are summed over jobs at export time; pin them to
+    // the first job so a truncated trace still raises a finding.
+    out.front().droppedSamples = other.at("dropped_samples").asU64();
+    out.front().droppedEvents = other.at("dropped_events").asU64();
+    return Status();
+}
+
+namespace
+{
+
+std::vector<double>
+doubleArray(const JsonValue &v)
+{
+    std::vector<double> out;
+    for (const JsonValue &e : v.elements())
+        out.push_back(e.asDouble());
+    return out;
+}
+
+} // namespace
+
+Status
+seriesFromBenchJob(const JsonValue &job, RunSeries &out)
+{
+    const JsonValue &result = job.at("result");
+    if (!result.isObject())
+        return Status::error("bench job has no result object");
+
+    out = RunSeries();
+    out.name = job.at("id").asString();
+    out.scheme = result.at("scheme").asString();
+    out.cores = static_cast<std::uint32_t>(
+        job.at("config").at("cores").asU64());
+
+    out.hasCounters = true;
+    out.intervals = result.at("intervals").asU64();
+    out.recomputes = result.at("recomputes").asU64();
+    out.degradedIntervals =
+        result.at("degraded_intervals").asU64();
+    out.droppedRecomputes =
+        result.at("dropped_recomputes").asU64();
+    out.fallbackEntries = result.at("fallback_entries").asU64();
+    out.invariantViolations =
+        result.at("invariant_violations").asU64();
+    out.ownershipRepairs = result.at("ownership_repairs").asU64();
+    out.faultsInjected = result.at("faults_injected").asU64();
+    out.clampedEq1Inputs =
+        result.at("clamped_eq1_inputs").asU64();
+
+    out.ipc = doubleArray(result.at("ipc"));
+    out.ipcStandalone = doubleArray(result.at("ipc_standalone"));
+    out.hasPerf = !out.ipc.empty() &&
+                  out.ipc.size() == out.ipcStandalone.size();
+    if (const JsonValue *qos =
+            job.at("config").find("qos_target_frac"))
+        out.qosTargetFrac = qos->asDouble();
+    return Status();
+}
+
+} // namespace prism::analysis

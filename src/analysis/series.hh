@@ -1,0 +1,105 @@
+/**
+ * @file
+ * RunSeries: the diagnostics engine's normalised view of one run.
+ *
+ * The doctor consumes runs from four places — a live IntervalRecorder
+ * (in-process, `prism_bench --doctor` / `prism_doctor --run`), a
+ * `prism-stats-v1` document (counters only), a `prism-trace-v1`
+ * Chrome trace (series + events reconstructed offline), and one job
+ * of a `prism-bench-v1` sweep file (counters + performance). Each
+ * source fills what it has and flags the rest absent, so the
+ * analysis layer can emit explicit SKIP findings instead of
+ * guessing.
+ */
+
+#ifndef PRISM_ANALYSIS_SERIES_HH
+#define PRISM_ANALYSIS_SERIES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/status.hh"
+#include "sim/runner.hh"
+#include "telemetry/interval_recorder.hh"
+
+namespace prism::analysis
+{
+
+/** Everything the doctor can know about one run. */
+struct RunSeries
+{
+    std::string name;   ///< e.g. "Q7/PriSM-H" or the job id
+    std::string scheme; ///< scheme name; "" when unknown
+    std::uint32_t cores = 0;
+
+    // --- per-interval series (parallel arrays, oldest first) -------
+    bool hasSeries = false;
+    bool prism = false; ///< target/evProb series are populated
+    std::vector<std::uint64_t> interval;        ///< 1-based indices
+    std::vector<std::vector<double>> occupancy; ///< [t][core] C_i
+    std::vector<std::vector<double>> target;    ///< [t][core] T_i
+    std::vector<std::vector<double>> evProb;    ///< [t][core] E_i
+
+    // --- robustness / control-loop counters -------------------------
+    bool hasCounters = false;
+    std::uint64_t intervals = 0;
+    std::uint64_t recomputes = 0;
+    std::uint64_t degradedIntervals = 0;
+    std::uint64_t droppedRecomputes = 0;
+    std::uint64_t distributionRepairs = 0;
+    std::uint64_t fallbackEntries = 0;
+    std::uint64_t invariantViolations = 0;
+    std::uint64_t ownershipRepairs = 0;
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t clampedEq1Inputs = 0;
+
+    // --- telemetry ring totals --------------------------------------
+    std::uint64_t droppedSamples = 0;
+    std::uint64_t droppedEvents = 0;
+
+    // --- performance context (QoS / fairness attainment) ------------
+    bool hasPerf = false;
+    std::vector<double> ipc;
+    std::vector<double> ipcStandalone;
+    /** PriSM-Q IPC floor fraction; 0 = not a QoS run. */
+    double qosTargetFrac = 0.0;
+};
+
+/** Build the series view of a recorded run (samples + events). */
+RunSeries seriesFromRecorder(const telemetry::IntervalRecorder &rec,
+                             const std::string &name);
+
+/**
+ * Merge a RunResult's counters and performance data into @p s —
+ * the in-process complement of seriesFromRecorder.
+ */
+void attachRunResult(RunSeries &s, const RunResult &r);
+
+/**
+ * Map a scheme name to its canonical CLI spelling. The stats dump
+ * carries the scheme object's internal name ("PriSM-HitMax",
+ * "PriSM-QoS", "PriSM-Fair"); the doctor keys its scheme-specific
+ * checks off the short names ("PriSM-H", "PriSM-Q", "PriSM-F").
+ * Unknown names pass through unchanged.
+ */
+std::string canonicalSchemeName(const std::string &name);
+
+/** Read one run from a parsed `prism-stats-v1` document. */
+Status seriesFromStatsJson(const JsonValue &doc, RunSeries &out);
+
+/**
+ * Reconstruct one series per trace process from a parsed
+ * `prism-trace-v1` document. Document-level drop totals are
+ * attributed to the first job (they are summed over jobs at export).
+ */
+Status seriesFromTraceJson(const JsonValue &doc,
+                           std::vector<RunSeries> &out);
+
+/** Read one job object of a parsed `prism-bench-v1` document. */
+Status seriesFromBenchJob(const JsonValue &job, RunSeries &out);
+
+} // namespace prism::analysis
+
+#endif // PRISM_ANALYSIS_SERIES_HH

@@ -1,5 +1,6 @@
 #include "common/json.hh"
 
+#include <cctype>
 #include <charconv>
 #include <cmath>
 
@@ -203,6 +204,318 @@ JsonWriter::kv(std::string_view k, std::span<const std::string> vs)
     for (const std::string &v : vs)
         value(v);
     endArray();
+}
+
+// --- parsing -------------------------------------------------------
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (kind_ != Kind::Number)
+        return 0;
+    std::uint64_t v = 0;
+    const char *begin = string_.data();
+    const char *end = begin + string_.size();
+    const auto res = std::from_chars(begin, end, v);
+    if (res.ec != std::errc() || res.ptr != end)
+        return 0; // negative, fractional or exponent form
+    return v;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+namespace
+{
+const JsonValue kNullValue;
+} // namespace
+
+const JsonValue &
+JsonValue::at(std::string_view key) const
+{
+    const JsonValue *v = find(key);
+    return v ? *v : kNullValue;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t i) const
+{
+    if (kind_ != Kind::Array || i >= elems_.size())
+        return kNullValue;
+    return elems_[i];
+}
+
+/** Recursive-descent parser over the document text. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    Status
+    parse(JsonValue &out)
+    {
+        const Status st = parseValue(out, 0);
+        if (!st.ok())
+            return st;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return Status();
+    }
+
+  private:
+    static constexpr std::size_t kMaxDepth = 96;
+
+    Status
+    fail(const std::string &msg) const
+    {
+        std::size_t line = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i)
+            if (text_[i] == '\n')
+                ++line;
+        return Status::error("JSON parse error at line " +
+                             std::to_string(line) + ": " + msg);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    Status
+    parseValue(JsonValue &out, std::size_t depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.kind_ = JsonValue::Kind::String;
+            return parseString(out.string_);
+          case 't':
+            if (!consumeWord("true"))
+                return fail("invalid literal");
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = true;
+            return Status();
+          case 'f':
+            if (!consumeWord("false"))
+                return fail("invalid literal");
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = false;
+            return Status();
+          case 'n':
+            if (!consumeWord("null"))
+                return fail("invalid literal");
+            out.kind_ = JsonValue::Kind::Null;
+            return Status();
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    Status
+    parseObject(JsonValue &out, std::size_t depth)
+    {
+        ++pos_; // '{'
+        out.kind_ = JsonValue::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return Status();
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (const Status st = parseString(key); !st.ok())
+                return st;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            JsonValue value;
+            if (const Status st = parseValue(value, depth + 1);
+                !st.ok())
+                return st;
+            out.members_.emplace_back(std::move(key),
+                                      std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return Status();
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    Status
+    parseArray(JsonValue &out, std::size_t depth)
+    {
+        ++pos_; // '['
+        out.kind_ = JsonValue::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return Status();
+        while (true) {
+            JsonValue value;
+            if (const Status st = parseValue(value, depth + 1);
+                !st.ok())
+                return st;
+            out.elems_.push_back(std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return Status();
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    Status
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return Status();
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':  out += '"';  break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/';  break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("invalid \\u escape digit");
+                }
+                // Encode the BMP code point as UTF-8 (surrogate
+                // pairs are not combined; the writer never emits
+                // them).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("invalid escape sequence");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    Status
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        // JSON forbids leading zeros: 0 must stand alone or start
+        // "0." / "0e".
+        if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
+            return fail("leading zero in number");
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("invalid value");
+        const std::string_view raw = text_.substr(start, pos_ - start);
+        double v = 0.0;
+        const auto res =
+            std::from_chars(raw.data(), raw.data() + raw.size(), v);
+        if (res.ec != std::errc() ||
+            res.ptr != raw.data() + raw.size())
+            return fail("malformed number '" + std::string(raw) + "'");
+        out.kind_ = JsonValue::Kind::Number;
+        out.number_ = v;
+        out.string_.assign(raw);
+        return Status();
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+Status
+parseJson(std::string_view text, JsonValue &out)
+{
+    out = JsonValue();
+    return JsonParser(text).parse(out);
 }
 
 } // namespace prism

@@ -1,14 +1,20 @@
 /**
  * @file
- * Minimal deterministic JSON emitter.
+ * Minimal deterministic JSON emitter and strict JSON parser.
  *
  * The bench trajectory (`BENCH_*.json`) and the sweep engine's
- * machine-readable output are written through this class. Output is
+ * machine-readable output are written through JsonWriter. Output is
  * byte-deterministic for identical data: keys appear in call order,
  * indentation is fixed, and doubles use the shortest round-trip
  * representation (std::to_chars), so bit-identical results serialise
  * to bit-identical files — the property the determinism test suite
  * asserts across thread counts.
+ *
+ * parseJson()/JsonValue close the loop for consumers: the analysis
+ * subsystem reads `prism-stats-v1`, `prism-trace-v1` and
+ * `prism-bench-v1` documents back through it. Numbers keep their raw
+ * text beside the double so 64-bit integers (seeds, counters) survive
+ * a round trip without precision loss.
  */
 
 #ifndef PRISM_COMMON_JSON_HH
@@ -19,7 +25,10 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "common/status.hh"
 
 namespace prism
 {
@@ -81,6 +90,84 @@ class JsonWriter
     std::vector<Level> stack_;
     bool after_key_ = false;
 };
+
+/**
+ * One parsed JSON value: a tree of objects, arrays and scalars.
+ *
+ * Accessors are total: asking an object for a missing key or a scalar
+ * of the wrong kind returns null/zero/empty instead of throwing, so
+ * schema-reading code can chain lookups and validate once at the end.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+
+    /** Scalar reads; 0/false/"" when the kind does not match. */
+    bool asBool() const { return kind_ == Kind::Bool && bool_; }
+    double asDouble() const
+    {
+        return kind_ == Kind::Number ? number_ : 0.0;
+    }
+    /** Exact unsigned read from the raw text; 0 on mismatch. */
+    std::uint64_t asU64() const;
+    const std::string &asString() const { return string_; }
+    /** The number's raw source text (exact round trip). */
+    const std::string &rawNumber() const { return string_; }
+
+    // --- containers ------------------------------------------------
+    /** Array elements (empty for non-arrays). */
+    const std::vector<JsonValue> &elements() const { return elems_; }
+    /** Object members in document order (empty for non-objects). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+    std::size_t size() const
+    {
+        return kind_ == Kind::Object ? members_.size() : elems_.size();
+    }
+
+    /** Member @p key of an object; null when absent / not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /**
+     * Nested lookup: find("a")->find("b") without the null checks.
+     * Returns a static Null value when any step is missing, so
+     * `doc.at("system").at("llc").at("intervals").asU64()` is safe.
+     */
+    const JsonValue &at(std::string_view key) const;
+    /** Array element @p i, or the static Null value out of range. */
+    const JsonValue &at(std::size_t i) const;
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_; ///< string value, or a number's raw text
+    std::vector<JsonValue> elems_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse @p text as one JSON document into @p out.
+ *
+ * Strict: trailing garbage, unterminated containers, bad escapes and
+ * malformed numbers are errors carrying the offending line number.
+ * Accepts everything JsonWriter emits (including bare `null` for
+ * non-finite doubles).
+ */
+Status parseJson(std::string_view text, JsonValue &out);
 
 } // namespace prism
 

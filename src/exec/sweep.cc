@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <ostream>
 
 #include "common/prism_assert.hh"
@@ -71,17 +72,31 @@ SweepRunner::run(const SweepSpec &spec)
     if (metrics_)
         job_span = metrics_->span("sweep.job");
 
+    // Observer state: completion counter and the mutex serialising
+    // callbacks (results themselves stay lock-free, one slot per job).
+    std::mutex observer_mutex;
+    std::size_t done = 0;
+
     {
         ThreadPool pool(threads_);
         out.threads = pool.threadCount();
         for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
             const SweepJob &job = spec.jobs[i];
             RunResult *slot = &out.results[i];
-            pool.submit([&job, slot, memo, job_span]() {
+            pool.submit([this, &spec, &job, slot, memo, job_span,
+                         &observer_mutex, &done, i]() {
                 PRISM_SPAN(job_span);
                 Runner runner(job.config, memo);
                 *slot = runner.run(job.workload, job.scheme,
                                    job.options);
+                if (observer_) {
+                    std::lock_guard<std::mutex> lock(observer_mutex);
+                    JobProgress p;
+                    p.index = i;
+                    p.done = ++done;
+                    p.total = spec.jobs.size();
+                    observer_(job, *slot, p);
+                }
             });
         }
         pool.wait();
@@ -142,6 +157,7 @@ writeRunResultFields(JsonWriter &w, const RunResult &r)
     w.kv("ownership_repairs", r.ownershipRepairs);
     w.kv("clamped_eq1_inputs", r.clampedEq1Inputs);
     w.kv("dropped_recomputes", r.droppedRecomputes);
+    w.kv("fallback_entries", r.fallbackEntries);
 }
 
 namespace

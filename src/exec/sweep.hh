@@ -120,12 +120,36 @@ class SweepRunner
         metrics_ = metrics;
     }
 
+    /** Completion context handed to the job observer. */
+    struct JobProgress
+    {
+        std::size_t index = 0; ///< job's position in spec order
+        std::size_t done = 0;  ///< jobs finished so far (this one incl.)
+        std::size_t total = 0; ///< jobs in the sweep
+    };
+
+    using JobObserver = std::function<void(
+        const SweepJob &, const RunResult &, const JobProgress &)>;
+
+    /**
+     * Install a callback invoked once per completed job (null
+     * detaches). Calls are serialised under an internal mutex, so the
+     * observer needs no locking of its own, but they arrive in
+     * completion order — a consumer that needs spec order must index
+     * by JobProgress::index. The observer must not mutate the result.
+     */
+    void setJobObserver(JobObserver observer)
+    {
+        observer_ = std::move(observer);
+    }
+
     /** Run every job of @p spec; results in spec order. */
     SweepOutcome run(const SweepSpec &spec);
 
   private:
     unsigned threads_;
     telemetry::MetricsRegistry *metrics_ = nullptr;
+    JobObserver observer_;
 };
 
 /** Result lookup by job id for report/summary code. */

@@ -183,8 +183,10 @@ PrismScheme::onIntervalEnd(const IntervalSnapshot &snap)
             fallback_ = true;
         emitEvent(telemetry::EventKind::DistributionRepair,
                   fallback_ ? 0.0 : 1.0);
-        if (fallback_)
+        if (fallback_) {
+            ++fallback_entries_;
             emitEvent(telemetry::EventKind::FallbackEntered);
+        }
     }
 
     if (degraded) {

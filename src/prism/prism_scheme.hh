@@ -140,6 +140,9 @@ class PrismScheme : public PartitionScheme
     /** Recompute events lost to injected faults. */
     std::uint64_t droppedRecomputes() const { return dropped_recomputes_; }
 
+    /** Intervals that started with fallback mode engaged. */
+    std::uint64_t fallbackEntries() const { return fallback_entries_; }
+
     /** Equation 1 inputs clamped for being NaN/Inf/out-of-range. */
     std::uint64_t clampedInputs() const
     {
@@ -208,6 +211,7 @@ class PrismScheme : public PartitionScheme
     std::uint64_t interval_idx_ = 0;
     std::uint64_t degraded_intervals_ = 0;
     std::uint64_t dropped_recomputes_ = 0;
+    std::uint64_t fallback_entries_ = 0;
     Eq1Stats eq1_stats_;
     std::vector<double> prev_c_; ///< last clean C_i (stale fault)
     std::vector<double> prev_m_; ///< last clean M_i (stale fault)

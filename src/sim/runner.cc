@@ -49,6 +49,41 @@ schemeName(SchemeKind kind)
     return "?";
 }
 
+bool
+schemeFromName(std::string_view name, SchemeKind &kind)
+{
+    for (const SchemeKind k :
+         {SchemeKind::Baseline, SchemeKind::UCP, SchemeKind::PIPP,
+          SchemeKind::TADIP, SchemeKind::FairWP, SchemeKind::Vantage,
+          SchemeKind::PrismH, SchemeKind::PrismF, SchemeKind::PrismQ,
+          SchemeKind::PrismLA, SchemeKind::WPHitMax,
+          SchemeKind::StaticWP}) {
+        if (name == schemeName(k)) {
+            kind = k;
+            return true;
+        }
+    }
+    if (name == "LRU") {
+        kind = SchemeKind::Baseline;
+        return true;
+    }
+    return false;
+}
+
+bool
+replFromName(std::string_view name, ReplKind &kind)
+{
+    for (const ReplKind k :
+         {ReplKind::LRU, ReplKind::TimestampLRU, ReplKind::DIP,
+          ReplKind::RRIP, ReplKind::Random}) {
+        if (name == replKindName(k)) {
+            kind = k;
+            return true;
+        }
+    }
+    return false;
+}
+
 double
 RunResult::antt() const
 {
@@ -242,6 +277,7 @@ Runner::run(const Workload &workload, SchemeKind kind,
         out.invariantViolations += prism_scheme->invariantViolations();
         out.clampedEq1Inputs = prism_scheme->clampedInputs();
         out.droppedRecomputes = prism_scheme->droppedRecomputes();
+        out.fallbackEntries = prism_scheme->fallbackEntries();
         for (CoreId c = 0; c < config_.numCores; ++c) {
             out.evProbMean.push_back(prism_scheme->probStat(c).mean());
             out.evProbStddev.push_back(

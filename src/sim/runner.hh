@@ -17,6 +17,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/concurrent_memo.hh"
@@ -46,6 +47,15 @@ enum class SchemeKind
 };
 
 const char *schemeName(SchemeKind kind);
+
+/**
+ * Parse a scheme name as printed by schemeName() ("LRU" is accepted
+ * as an alias for Baseline). @return true and set @p kind on success.
+ */
+bool schemeFromName(std::string_view name, SchemeKind &kind);
+
+/** Parse a replacement-policy name as printed by replKindName(). */
+bool replFromName(std::string_view name, ReplKind &kind);
 
 /** Extra knobs some schemes take. */
 struct SchemeOptions
@@ -118,6 +128,8 @@ struct RunResult
     std::uint64_t ownershipRepairs = 0;
     std::uint64_t clampedEq1Inputs = 0;
     std::uint64_t droppedRecomputes = 0;
+    /** Intervals served by the repl policy (E unrecoverable). */
+    std::uint64_t fallbackEntries = 0;
 
     /**
      * The run's interval time series; null unless the run was made

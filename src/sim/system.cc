@@ -25,7 +25,8 @@ const BenchmarkProfile traceProfile{
 
 System::System(const MachineConfig &config, const Workload &workload,
                PartitionScheme *scheme)
-    : config_(config), llc_(config.llcConfig()),
+    : config_(config), workload_name_(workload.name),
+      llc_(config.llcConfig()),
       mem_(config.controllers(), config.ctrlServiceCycles,
            config.dramCycles),
       scheme_(scheme)
@@ -322,6 +323,9 @@ System::dumpStatsJson(std::ostream &os) const
     JsonWriter w(os);
     w.beginObject();
     w.kv("schema", "prism-stats-v1");
+    w.kv("workload", workload_name_);
+    w.kv("scheme",
+         scheme_ ? scheme_->name() : std::string("Baseline"));
 
     w.key("system");
     w.beginObject();
@@ -355,8 +359,23 @@ System::dumpStatsJson(std::ostream &os) const
         w.kv("invariant_violations", p->invariantViolations());
         w.kv("dropped_recomputes", p->droppedRecomputes());
         w.kv("clamped_eq1_inputs", p->clampedInputs());
+        w.kv("fallback_entries", p->fallbackEntries());
         if (p->faultInjector())
             w.kv("faults_injected", p->faultInjector()->injected());
+        w.endObject();
+    }
+
+    // Ring totals let offline consumers (prism_doctor) tell a
+    // truncated recording from a quiet one without the trace file.
+    if (recorder_) {
+        w.key("telemetry");
+        w.beginObject();
+        w.kv("capacity",
+             static_cast<std::uint64_t>(recorder_->capacity()));
+        w.kv("samples_recorded", recorder_->recorded());
+        w.kv("dropped_samples", recorder_->droppedSamples());
+        w.kv("events_seen", recorder_->eventsSeen());
+        w.kv("dropped_events", recorder_->droppedEvents());
         w.endObject();
     }
 

@@ -139,6 +139,7 @@ class System
                         std::uint64_t interval);
 
     MachineConfig config_;
+    std::string workload_name_;
     SharedCache llc_;
     MemorySystem mem_;
     std::vector<Core> cores_;

@@ -128,5 +128,19 @@ forCoreCount(unsigned cores)
     }
 }
 
+bool
+find(const std::string &name, Workload &out)
+{
+    for (const unsigned cores : {4u, 8u, 16u, 32u}) {
+        for (const Workload &w : forCoreCount(cores)) {
+            if (w.name == name) {
+                out = w;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
 } // namespace suites
 } // namespace prism

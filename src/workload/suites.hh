@@ -47,6 +47,13 @@ std::vector<Workload> thirtyTwoCore();
 /** Suite for @p cores in {4, 8, 16, 32}; fatal() otherwise. */
 std::vector<Workload> forCoreCount(unsigned cores);
 
+/**
+ * Look @p name up across all four suites (Q*, E*, S*, T*).
+ * @return true and fill @p out when found; the core count is
+ *         out.benchmarks.size().
+ */
+bool find(const std::string &name, Workload &out);
+
 } // namespace suites
 
 } // namespace prism

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * JSON parser unit tests: scalar kinds, containers, escapes, number
+ * fidelity, error reporting, and the writer→parser round trip the
+ * analysis subsystem depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+
+using namespace prism;
+
+namespace
+{
+
+JsonValue
+parseOk(const std::string &text)
+{
+    JsonValue v;
+    const Status st = parseJson(text, v);
+    EXPECT_TRUE(st.ok()) << st.message();
+    return v;
+}
+
+Status
+parseErr(const std::string &text)
+{
+    JsonValue v;
+    const Status st = parseJson(text, v);
+    EXPECT_FALSE(st.ok()) << "parsed unexpectedly: " << text;
+    return st;
+}
+
+} // namespace
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").asBool());
+    EXPECT_FALSE(parseOk("false").asBool());
+    EXPECT_DOUBLE_EQ(parseOk("-2.5e3").asDouble(), -2500.0);
+    EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, NumbersKeepRawTextForExactU64)
+{
+    // Doubles cannot hold every 64-bit seed; the raw text can.
+    const std::uint64_t big = 0xDEADBEEFCAFEF00DULL;
+    const JsonValue v = parseOk(std::to_string(big));
+    EXPECT_EQ(v.asU64(), big);
+    EXPECT_EQ(v.rawNumber(), std::to_string(big));
+}
+
+TEST(JsonParse, ObjectsAndArrays)
+{
+    const JsonValue v = parseOk(
+        R"({"a": [1, 2, 3], "b": {"c": true}, "d": "x"})");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_EQ(v.at("a").size(), 3u);
+    EXPECT_EQ(v.at("a").at(1).asU64(), 2u);
+    EXPECT_TRUE(v.at("b").at("c").asBool());
+    EXPECT_EQ(v.at("d").asString(), "x");
+}
+
+TEST(JsonParse, TotalAccessorsOnMissingPaths)
+{
+    const JsonValue v = parseOk(R"({"a": 1})");
+    // Chained lookups through absent keys land on the static Null.
+    EXPECT_TRUE(v.at("missing").at("deeper").at(7).isNull());
+    EXPECT_EQ(v.at("missing").asU64(), 0u);
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_NE(v.find("a"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    const JsonValue v =
+        parseOk("\"a\\\"b\\\\c\\/d\\ne\\tf\\u0041\\u00e9\"");
+    EXPECT_EQ(v.asString(), "a\"b\\c/d\ne\tfA\xc3\xa9");
+}
+
+TEST(JsonParse, Errors)
+{
+    parseErr("");
+    parseErr("{");
+    parseErr("[1, 2");
+    parseErr("{\"a\": }");
+    parseErr("1 2");            // trailing garbage
+    parseErr("\"unterminated");
+    parseErr("{'a': 1}");       // single quotes are not JSON
+    parseErr("[01]");           // leading zero
+    parseErr("nul");
+
+    // Errors carry the offending line.
+    const Status st = parseErr("{\n  \"a\": 1,\n  oops\n}");
+    EXPECT_NE(st.message().find("line 3"), std::string::npos)
+        << st.message();
+}
+
+TEST(JsonParse, DepthLimitIsAnErrorNotACrash)
+{
+    std::string deep;
+    for (int i = 0; i < 200; ++i)
+        deep += "[";
+    parseErr(deep);
+}
+
+TEST(JsonParse, RoundTripThroughJsonWriter)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("schema", "test-v1");
+        w.kv("pi", 3.141592653589793);
+        w.kv("seed", std::uint64_t{0x5EED0001ULL});
+        w.kv("flag", true);
+        w.key("nested");
+        w.beginArray();
+        w.value(1.5);
+        w.value("two");
+        w.endArray();
+        w.endObject();
+    }
+    const JsonValue v = parseOk(os.str());
+    EXPECT_EQ(v.at("schema").asString(), "test-v1");
+    EXPECT_DOUBLE_EQ(v.at("pi").asDouble(), 3.141592653589793);
+    EXPECT_EQ(v.at("seed").asU64(), 0x5EED0001ULL);
+    EXPECT_TRUE(v.at("flag").asBool());
+    EXPECT_EQ(v.at("nested").at(0).asDouble(), 1.5);
+    EXPECT_EQ(v.at("nested").at(1).asString(), "two");
+
+    // Non-finite doubles serialise as null and parse back as null.
+    std::ostringstream os2;
+    {
+        JsonWriter w(os2);
+        w.beginObject();
+        w.kv("nan", std::nan(""));
+        w.endObject();
+    }
+    EXPECT_TRUE(parseOk(os2.str()).at("nan").isNull());
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * prism-stats-v1 round trip: a real run's JSON statistics dump must
+ * parse back through src/common/json and carry the robustness
+ * counters and telemetry ring totals the doctor consumes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/doctor.hh"
+#include "analysis/series.hh"
+#include "common/json.hh"
+#include "sim/runner.hh"
+
+using namespace prism;
+using namespace prism::analysis;
+
+namespace
+{
+
+MachineConfig
+smallMachine()
+{
+    MachineConfig m;
+    m.numCores = 2;
+    m.llcBytes = 256ull << 10;
+    m.llcWays = 8;
+    m.intervalMisses = 512;
+    m.instrBudget = 40'000;
+    m.warmupInstr = 10'000;
+    return m;
+}
+
+Workload
+mix()
+{
+    return {"GF", {"403.gcc", "186.crafty"}};
+}
+
+std::string
+statsJsonOf(const SchemeOptions &base_options)
+{
+    std::ostringstream os;
+    SchemeOptions options = base_options;
+    options.statsJsonSink = &os;
+    Runner runner(smallMachine());
+    runner.run(mix(), SchemeKind::PrismH, options);
+    return os.str();
+}
+
+} // namespace
+
+TEST(StatsJson, RoundTripsThroughParser)
+{
+    const std::string text = statsJsonOf({});
+    JsonValue doc;
+    const Status st = parseJson(text, doc);
+    ASSERT_TRUE(st.ok()) << st.message();
+
+    EXPECT_EQ(doc.at("schema").asString(), "prism-stats-v1");
+    EXPECT_EQ(doc.at("workload").asString(), "GF");
+    // The dump carries the scheme object's internal name; the series
+    // layer canonicalises it to the CLI spelling (PriSM-H).
+    EXPECT_EQ(doc.at("scheme").asString(), "PriSM-HitMax");
+    EXPECT_EQ(doc.at("system").at("cores").asU64(), 2u);
+    EXPECT_GT(doc.at("system").at("llc").at("intervals").asU64(), 0u);
+
+    // The robustness counters added for the doctor.
+    const JsonValue &prism = doc.at("prism");
+    ASSERT_TRUE(prism.isObject());
+    EXPECT_TRUE(prism.find("fallback_entries") != nullptr);
+    EXPECT_TRUE(prism.find("degraded_intervals") != nullptr);
+    EXPECT_TRUE(prism.find("dropped_recomputes") != nullptr);
+    EXPECT_TRUE(prism.find("clamped_eq1_inputs") != nullptr);
+    EXPECT_GT(prism.at("recomputes").asU64(), 0u);
+}
+
+TEST(StatsJson, SeriesFromStatsCarriesCounters)
+{
+    const std::string text = statsJsonOf({});
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(text, doc).ok());
+
+    RunSeries s;
+    const Status st = seriesFromStatsJson(doc, s);
+    ASSERT_TRUE(st.ok()) << st.message();
+    EXPECT_EQ(s.name, "GF/PriSM-H");
+    EXPECT_EQ(s.scheme, "PriSM-H");
+    EXPECT_EQ(s.cores, 2u);
+    EXPECT_TRUE(s.hasCounters);
+    EXPECT_GT(s.intervals, 0u);
+    EXPECT_GT(s.recomputes, 0u);
+    EXPECT_FALSE(s.hasSeries); // stats carry counters only
+
+    // A counters-only verdict: series checks skip, nothing fails.
+    const Verdict v = analyze(s);
+    EXPECT_NE(v.overall, FindingStatus::Fail);
+}
+
+TEST(StatsJson, TelemetrySectionAppearsWithRecorder)
+{
+    // Without telemetry there is no section …
+    {
+        JsonValue doc;
+        ASSERT_TRUE(parseJson(statsJsonOf({}), doc).ok());
+        EXPECT_EQ(doc.find("telemetry"), nullptr);
+    }
+    // … with a recorder attached the ring totals are reported.
+    SchemeOptions options;
+    options.telemetry.enabled = true;
+    options.telemetry.capacity = 4; // force drops
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(statsJsonOf(options), doc).ok());
+    const JsonValue &t = doc.at("telemetry");
+    ASSERT_TRUE(t.isObject());
+    EXPECT_EQ(t.at("capacity").asU64(), 4u);
+    EXPECT_GT(t.at("samples_recorded").asU64(), 0u);
+
+    RunSeries s;
+    ASSERT_TRUE(seriesFromStatsJson(doc, s).ok());
+    EXPECT_EQ(s.droppedSamples, t.at("dropped_samples").asU64());
+}
+
+TEST(StatsJson, FaultRunReportsNonZeroRobustness)
+{
+    SchemeOptions options;
+    options.checked = true;
+    options.faultSpec = "nan@2,occ@3";
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(statsJsonOf(options), doc).ok());
+
+    RunSeries s;
+    ASSERT_TRUE(seriesFromStatsJson(doc, s).ok());
+    EXPECT_GT(s.faultsInjected, 0u);
+    EXPECT_GT(s.degradedIntervals + s.invariantViolations +
+                  s.clampedEq1Inputs,
+              0u);
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# CI gate: configure, build, run the test suite, then hold the bench
+# fixture against the committed golden through the prism_doctor
+# regression comparator. Exit 0 means the tree is healthy AND the
+# fixture sweep's metrics sit within tolerance of the golden.
+#
+# Usage: tools/ci_gate.sh [build-dir]
+#
+# Environment:
+#   CMAKE_ARGS   extra arguments for the configure step
+#   CTEST_ARGS   extra arguments for ctest (e.g. "-L quick")
+#   TOLERANCE    relative tolerance for the bench compare (default 0:
+#                the fixture is deterministic, bytes must agree)
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+tolerance=${TOLERANCE:-0}
+
+echo "== configure =="
+# shellcheck disable=SC2086 # CMAKE_ARGS is intentionally word-split
+cmake -B "$build" -S "$repo" ${CMAKE_ARGS:-}
+
+echo "== build =="
+cmake --build "$build" -j
+
+echo "== test =="
+# shellcheck disable=SC2086
+(cd "$build" && ctest --output-on-failure ${CTEST_ARGS:-})
+
+echo "== bench regression gate =="
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+"$build/tools/prism_bench" fixture --no-timing --out "$out" \
+    >/dev/null
+"$build/tools/prism_doctor" \
+    --compare "$repo/tests/golden/BENCH_fixture.json" \
+    "$out/BENCH_fixture.json" --tolerance "$tolerance"
+
+echo "== gate passed =="

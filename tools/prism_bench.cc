@@ -37,6 +37,16 @@ usage(std::ostream &os, const char *argv0)
        << "                 the same series as flat CSV\n"
        << "  --trace-capacity N\n"
        << "                 intervals retained per job (default 4096)\n"
+       << "  --progress     per-job completion heartbeat on stderr\n"
+       << "                 (job key, done/total, intervals, degraded\n"
+       << "                 count; completion-ordered, no wall-clock)\n"
+       << "  --doctor       run the control-loop diagnostics on every\n"
+       << "                 job after the sweep and print one verdict\n"
+       << "                 per job plus a roll-up; exit 1 on FAIL\n"
+       << "  --doctor-json PATH\n"
+       << "                 write the verdicts as a prism-doctor-v1\n"
+       << "                 document (implies --doctor; single figure\n"
+       << "                 only; byte-identical at any --threads)\n"
        << "\n"
        << "environment: PRISM_BENCH_SCALE multiplies instruction\n"
        << "budgets; PRISM_BENCH_WORKLOADS caps workloads per suite\n"
@@ -99,6 +109,13 @@ main(int argc, char **argv)
                 return 2;
             }
             options.traceCapacity = static_cast<std::size_t>(n);
+        } else if (arg == "--progress") {
+            options.progress = true;
+        } else if (arg == "--doctor") {
+            options.doctor = true;
+        } else if (arg == "--doctor-json") {
+            options.doctorJsonPath = value();
+            options.doctor = true;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "unknown option '" << arg << "'\n";
             return usage(std::cerr, argv[0]);
@@ -120,6 +137,11 @@ main(int argc, char **argv)
                            !options.traceCsvPath.empty())) {
         std::cerr << "--trace/--trace-csv write one file: select a "
                      "single figure\n";
+        return 2;
+    }
+    if (ids.size() > 1 && !options.doctorJsonPath.empty()) {
+        std::cerr << "--doctor-json writes one file: select a single "
+                     "figure\n";
         return 2;
     }
 

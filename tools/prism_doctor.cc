@@ -1,0 +1,322 @@
+/**
+ * @file
+ * prism_doctor — control-loop diagnostics for PriSM runs.
+ *
+ * Consumes a recorded run (a `prism-stats-v1` statistics dump, a
+ * `prism-trace-v1` Chrome trace, or a `prism-bench-v1` sweep file —
+ * the schema is auto-detected), or executes one fresh simulation
+ * in-process (`--run "<prism_sim flags>"`), and prints a health
+ * report: occupancy-tracking convergence, eviction-distribution
+ * stability, invariant drift, QoS/fairness attainment and the
+ * robustness counters. With `--json` the same findings are written as
+ * a deterministic `prism-doctor-v1` document.
+ *
+ * `--compare A.json B.json` switches to regression mode: two
+ * `prism-bench-v1` files are diffed metric-by-metric under relative
+ * tolerances — the CI perf gate (tools/ci_gate.sh) runs the fixture
+ * sweep and compares it against tests/golden/BENCH_fixture.json.
+ *
+ * Examples:
+ *   prism_doctor stats.json
+ *   prism_doctor --trace trace.json
+ *   prism_doctor --run "--workload Q7 --scheme PriSM-H"
+ *   prism_doctor --compare golden.json fresh.json --tolerance ipc=1e-6
+ *
+ * Exit codes: 0 overall PASS or WARN, 1 overall FAIL, 2 usage or
+ * input error.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/compare.hh"
+#include "analysis/doctor.hh"
+#include "analysis/run_spec.hh"
+#include "analysis/series.hh"
+
+using namespace prism;
+using namespace prism::analysis;
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os <<
+        "usage: prism_doctor [FILE] [options]\n"
+        "       prism_doctor --compare BASELINE CANDIDATE [options]\n"
+        "  FILE                 prism-stats-v1, prism-trace-v1 or\n"
+        "                       prism-bench-v1 JSON (auto-detected)\n"
+        "  --stats FILE         force prism-stats-v1 input\n"
+        "  --trace FILE         force prism-trace-v1 input\n"
+        "  --bench FILE         force prism-bench-v1 input\n"
+        "  --run \"FLAGS\"        simulate one run in-process and\n"
+        "                       diagnose it (prism_sim run flags:\n"
+        "                       --workload/--mix/--scheme/--repl/\n"
+        "                       --instr/--warmup/--interval/--seed/\n"
+        "                       --bits/--qos-frac/--faults/--checked)\n"
+        "  --compare A B        diff two prism-bench-v1 files\n"
+        "  --tolerance X        global relative tolerance for\n"
+        "                       --compare (default 0 = exact)\n"
+        "  --tolerance N=X      per-metric override (repeatable),\n"
+        "                       e.g. --tolerance ipc=1e-6\n"
+        "  --json PATH          write the prism-doctor-v1 verdict\n"
+        "                       document ('-' for stdout)\n"
+        "  --quiet              suppress the human-readable report\n";
+}
+
+[[noreturn]] void
+cliError(const std::string &msg)
+{
+    std::cerr << "prism_doctor: " << msg << "\n\n";
+    usage(std::cerr);
+    std::exit(2);
+}
+
+/** Read and parse @p path; exits with code 2 on failure. */
+JsonValue
+loadJson(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "prism_doctor: cannot read " << path << "\n";
+        std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    JsonValue doc;
+    if (const Status st = parseJson(buf.str(), doc); !st.ok()) {
+        std::cerr << "prism_doctor: " << path << ": " << st.message()
+                  << "\n";
+        std::exit(2);
+    }
+    return doc;
+}
+
+enum class InputKind
+{
+    Auto,
+    Stats,
+    Trace,
+    Bench,
+};
+
+struct Options
+{
+    std::string file;
+    InputKind kind = InputKind::Auto;
+    std::string run;
+    std::string compare_a, compare_b;
+    bool compare = false;
+    CompareOptions compare_opts;
+    std::string json_path;
+    bool quiet = false;
+};
+
+InputKind
+detectKind(const JsonValue &doc, const std::string &path)
+{
+    const std::string &schema = doc.at("schema").asString();
+    if (schema == "prism-stats-v1")
+        return InputKind::Stats;
+    if (schema == "prism-bench-v1")
+        return InputKind::Bench;
+    if (doc.at("otherData").at("schema").asString() ==
+        "prism-trace-v1")
+        return InputKind::Trace;
+    std::cerr << "prism_doctor: " << path
+              << ": unrecognised document (expected prism-stats-v1, "
+                 "prism-trace-v1 or prism-bench-v1)\n";
+    std::exit(2);
+}
+
+/** Simulate the --run spec and build its series view. */
+RunSeries
+runAndRecord(const std::string &spec_text)
+{
+    RunSpec spec;
+    if (const Status st = parseRunSpec(spec_text, spec); !st.ok())
+        cliError("--run: " + st.message());
+
+    spec.options.telemetry.enabled = true;
+    spec.options.telemetry.capacity = 4096;
+
+    Runner runner(spec.machine);
+    const RunResult res =
+        runner.run(spec.workload, spec.scheme, spec.options);
+
+    RunSeries s = seriesFromRecorder(
+        *res.recorder, spec.workload.name + "/" + res.scheme);
+    attachRunResult(s, res);
+    s.qosTargetFrac = spec.scheme == SchemeKind::PrismQ
+                          ? spec.options.qosTargetFrac
+                          : 0.0;
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                cliError("missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--stats") {
+            opt.file = value();
+            opt.kind = InputKind::Stats;
+        } else if (arg == "--trace") {
+            opt.file = value();
+            opt.kind = InputKind::Trace;
+        } else if (arg == "--bench") {
+            opt.file = value();
+            opt.kind = InputKind::Bench;
+        } else if (arg == "--run") {
+            opt.run = value();
+        } else if (arg == "--compare") {
+            opt.compare = true;
+        } else if (arg == "--tolerance") {
+            const std::string v = value();
+            const std::size_t eq = v.find('=');
+            const std::string num =
+                eq == std::string::npos ? v : v.substr(eq + 1);
+            char *end = nullptr;
+            const double tol = std::strtod(num.c_str(), &end);
+            if (num.empty() || end != num.c_str() + num.size() ||
+                tol < 0.0)
+                cliError("invalid tolerance '" + v + "'");
+            if (eq == std::string::npos)
+                opt.compare_opts.relTolerance = tol;
+            else
+                opt.compare_opts.metricTolerance[v.substr(0, eq)] =
+                    tol;
+        } else if (arg == "--json") {
+            opt.json_path = value();
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            cliError("unknown option '" + arg + "'");
+        } else {
+            positional.push_back(arg);
+        }
+    }
+
+    std::string source;
+    std::vector<Verdict> jobs;
+    const DoctorThresholds thresholds;
+
+    if (opt.compare) {
+        if (positional.size() != 2)
+            cliError("--compare needs exactly two files");
+        if (!opt.run.empty() || !opt.file.empty())
+            cliError("--compare cannot combine with other inputs");
+        const JsonValue a = loadJson(positional[0]);
+        const JsonValue b = loadJson(positional[1]);
+        source = "compare";
+        jobs.push_back(compareBenchDocs(a, b, opt.compare_opts));
+    } else if (!opt.run.empty()) {
+        if (!opt.file.empty() || !positional.empty())
+            cliError("--run cannot combine with file inputs");
+        source = "run";
+        jobs.push_back(analyze(runAndRecord(opt.run), thresholds));
+    } else {
+        if (opt.file.empty()) {
+            if (positional.size() != 1) {
+                if (positional.empty())
+                    cliError("no input given");
+                cliError("more than one input file given");
+            }
+            opt.file = positional[0];
+        } else if (!positional.empty()) {
+            cliError("more than one input file given");
+        }
+
+        const JsonValue doc = loadJson(opt.file);
+        InputKind kind = opt.kind;
+        if (kind == InputKind::Auto)
+            kind = detectKind(doc, opt.file);
+
+        Status st;
+        switch (kind) {
+          case InputKind::Stats: {
+            source = "stats";
+            RunSeries s;
+            st = seriesFromStatsJson(doc, s);
+            if (st.ok())
+                jobs.push_back(analyze(s, thresholds));
+            break;
+          }
+          case InputKind::Trace: {
+            source = "trace";
+            std::vector<RunSeries> runs;
+            st = seriesFromTraceJson(doc, runs);
+            for (const RunSeries &s : runs)
+                jobs.push_back(analyze(s, thresholds));
+            break;
+          }
+          case InputKind::Bench: {
+            source = "bench";
+            if (doc.at("schema").asString() != "prism-bench-v1") {
+                st = Status::error(
+                    "not a prism-bench-v1 document");
+                break;
+            }
+            for (const JsonValue &job :
+                 doc.at("jobs").elements()) {
+                RunSeries s;
+                st = seriesFromBenchJob(job, s);
+                if (!st.ok())
+                    break;
+                jobs.push_back(analyze(s, thresholds));
+            }
+            break;
+          }
+          case InputKind::Auto:
+            break;
+        }
+        if (!st.ok()) {
+            std::cerr << "prism_doctor: " << opt.file << ": "
+                      << st.message() << "\n";
+            return 2;
+        }
+    }
+
+    if (!opt.quiet) {
+        for (const Verdict &v : jobs)
+            printReport(std::cout, v);
+        if (jobs.size() > 1) {
+            const Verdict sweep = rollup(jobs);
+            printReport(std::cout, sweep);
+        }
+    }
+
+    if (!opt.json_path.empty()) {
+        if (opt.json_path == "-") {
+            writeDoctorDocument(std::cout, source, jobs, thresholds);
+        } else {
+            std::ofstream out(opt.json_path);
+            if (!out) {
+                std::cerr << "prism_doctor: cannot write "
+                          << opt.json_path << "\n";
+                return 2;
+            }
+            writeDoctorDocument(out, source, jobs, thresholds);
+        }
+    }
+
+    return worstOf(jobs) == FindingStatus::Fail ? 1 : 0;
+}

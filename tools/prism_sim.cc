@@ -145,30 +145,19 @@ parseDouble(const std::string &flag, const std::string &text)
 SchemeKind
 parseScheme(const std::string &name)
 {
-    for (SchemeKind kind :
-         {SchemeKind::Baseline, SchemeKind::UCP, SchemeKind::PIPP,
-          SchemeKind::TADIP, SchemeKind::FairWP, SchemeKind::Vantage,
-          SchemeKind::PrismH, SchemeKind::PrismF, SchemeKind::PrismQ,
-          SchemeKind::PrismLA, SchemeKind::WPHitMax,
-          SchemeKind::StaticWP}) {
-        if (name == schemeName(kind))
-            return kind;
-    }
-    if (name == "LRU")
-        return SchemeKind::Baseline;
-    cliError("unknown scheme '" + name + "'");
+    SchemeKind kind;
+    if (!schemeFromName(name, kind))
+        cliError("unknown scheme '" + name + "'");
+    return kind;
 }
 
 ReplKind
 parseRepl(const std::string &name)
 {
-    for (ReplKind kind : {ReplKind::LRU, ReplKind::TimestampLRU,
-                          ReplKind::DIP, ReplKind::RRIP,
-                          ReplKind::Random}) {
-        if (name == replKindName(kind))
-            return kind;
-    }
-    cliError("unknown replacement policy '" + name + "'");
+    ReplKind kind;
+    if (!replFromName(name, kind))
+        cliError("unknown replacement policy '" + name + "'");
+    return kind;
 }
 
 std::vector<std::string>
@@ -321,18 +310,9 @@ main(int argc, char **argv)
                      std::to_string(opt.cores));
         opt.cores = static_cast<unsigned>(workload.benchmarks.size());
     } else if (!opt.workload.empty()) {
-        bool found = false;
-        for (unsigned cores : {4u, 8u, 16u, 32u}) {
-            for (const auto &w : suites::forCoreCount(cores)) {
-                if (w.name == opt.workload) {
-                    workload = w;
-                    opt.cores = cores;
-                    found = true;
-                }
-            }
-        }
-        if (!found)
+        if (!suites::find(opt.workload, workload))
             cliError("unknown workload '" + opt.workload + "'");
+        opt.cores = static_cast<unsigned>(workload.benchmarks.size());
     } else {
         if (opt.cores != 4 && opt.cores != 8 && opt.cores != 16 &&
             opt.cores != 32)
@@ -413,6 +393,18 @@ main(int argc, char **argv)
             }
             writer.writeCsv(file, {&job, 1});
         }
+        // The trace header records drop totals, but nobody reads a
+        // header they don't expect — surface truncation on the
+        // console too.
+        const telemetry::IntervalRecorder &rec = *res.recorder;
+        if (rec.droppedSamples() || rec.droppedEvents())
+            std::cerr << "prism_sim: trace truncated: "
+                      << rec.droppedSamples() << " samples and "
+                      << rec.droppedEvents()
+                      << " events dropped (ring capacity "
+                      << rec.capacity()
+                      << "); raise --trace-capacity to keep the full "
+                         "series\n";
     }
 
     Table t({"core", "benchmark", "IPC", "IPC alone", "slowdown",
