@@ -6,13 +6,18 @@
 
 #include "figures_impl.hh"
 
+#include <atomic>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "analysis/doctor.hh"
 #include "analysis/series.hh"
+#include "common/atomic_file.hh"
+#include "exec/checkpoint.hh"
 #include "telemetry/trace_writer.hh"
 
 namespace prism::bench
@@ -105,13 +110,24 @@ fixtureFigure()
  * Verdicts are derived from each job's recorder + result in spec
  * order, so the output is byte-identical at any thread count.
  *
- * @return 1 when any job FAILs (or the JSON cannot be written).
+ * Quarantined/skipped jobs have no series to analyse; they get a
+ * hand-built exec verdict instead (FAIL / WARN). When the sweep's
+ * execution itself was noteworthy (retries, quarantines, torn
+ * writes, a discarded checkpoint), an "exec" verdict over
+ * @p exec_series is appended — clean runs keep emitting the exact
+ * legacy document.
+ *
+ * @return 1 when any verdict FAILs (or the JSON cannot be written).
  */
 int
 doctorSweep(const SweepSpec &spec, const SweepOutcome &outcome,
-            const FigureRunOptions &options, std::ostream &os)
+            const FigureRunOptions &options,
+            const analysis::ExecSeries &exec_series, std::ostream &os)
 {
     using namespace prism::analysis;
+
+    const bool has_reports =
+        outcome.reports.size() == spec.jobs.size();
 
     const DoctorThresholds thresholds;
     std::vector<Verdict> verdicts;
@@ -119,6 +135,36 @@ doctorSweep(const SweepSpec &spec, const SweepOutcome &outcome,
     for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
         const SweepJob &job = spec.jobs[i];
         const RunResult &r = outcome.results[i];
+
+        if (has_reports && !outcome.reports[i].succeeded()) {
+            // No result to analyse — report the execution failure.
+            const JobReport &report = outcome.reports[i];
+            Verdict v;
+            v.run = job.id;
+            Finding f;
+            if (report.state == JobState::Quarantined) {
+                f.check = "exec.job_quarantined";
+                f.status = FindingStatus::Fail;
+                f.detail = "quarantined after " +
+                           std::to_string(report.attempts) +
+                           " attempts";
+                if (!report.failures.empty())
+                    f.detail +=
+                        " (last: " + report.failures.back().message +
+                        ")";
+            } else {
+                f.check = "exec.job_skipped";
+                f.status = FindingStatus::Warn;
+                f.detail = "not executed (shutdown requested)";
+            }
+            f.value = static_cast<double>(report.attempts);
+            f.hasValue = true;
+            v.findings.push_back(std::move(f));
+            v.overall = v.findings.back().status;
+            verdicts.push_back(std::move(v));
+            continue;
+        }
+
         RunSeries s;
         if (r.recorder)
             s = seriesFromRecorder(*r.recorder, job.id);
@@ -131,6 +177,14 @@ doctorSweep(const SweepSpec &spec, const SweepOutcome &outcome,
         verdicts.push_back(analyze(s, thresholds));
     }
 
+    const bool exec_noteworthy =
+        exec_series.supervised &&
+        ((has_reports && outcome.noteworthy()) ||
+         exec_series.tornWrites > 0 ||
+         exec_series.checkpointCorrupt > 0);
+    if (exec_noteworthy)
+        verdicts.push_back(analyzeExec(exec_series));
+
     os << "\n";
     for (const Verdict &v : verdicts)
         printReport(os, v);
@@ -142,16 +196,20 @@ doctorSweep(const SweepSpec &spec, const SweepOutcome &outcome,
             std::filesystem::path(options.doctorJsonPath)
                 .parent_path();
         if (!parent.empty()) {
-            std::error_code ec; // open failure is caught below
+            std::error_code ec; // write failure is caught below
             std::filesystem::create_directories(parent, ec);
         }
-        std::ofstream file(options.doctorJsonPath);
-        if (!file) {
+        const Status st = writeFileAtomic(
+            options.doctorJsonPath, [&](std::ostream &file) {
+                writeDoctorDocument(file, "sweep", verdicts,
+                                    thresholds);
+            });
+        if (!st.ok()) {
             std::cerr << "prism_bench: cannot write "
-                      << options.doctorJsonPath << "\n";
+                      << options.doctorJsonPath << ": "
+                      << st.message() << "\n";
             return 1;
         }
-        writeDoctorDocument(file, "sweep", verdicts, thresholds);
         os << "wrote " << options.doctorJsonPath << "\n";
     }
     return worstOf(verdicts) == FindingStatus::Fail ? 1 : 0;
@@ -195,6 +253,68 @@ runFigure(const Figure &fig, const FigureRunOptions &options)
 
     SweepSpec spec = fig.spec();
 
+    // --- supervision (docs/RELIABILITY.md) -------------------------
+    SupervisorConfig supervision;
+    if (options.supervise) {
+        supervision.enabled = true;
+        supervision.maxAttempts = options.retries + 1;
+        supervision.deadlineSeconds = options.deadlineSeconds;
+        supervision.chaosSeed = options.chaosSeed;
+        if (!options.chaosSpec.empty()) {
+            if (const Status st = parseChaosSpec(options.chaosSpec,
+                                                 supervision.chaos);
+                !st.ok()) {
+                std::cerr << "prism_bench: --chaos: " << st.message()
+                          << "\n";
+                return 2;
+            }
+        }
+    } else if (!options.chaosSpec.empty()) {
+        std::cerr << "prism_bench: --chaos requires supervision "
+                     "(drop --no-supervise)\n";
+        return 2;
+    }
+
+    // --- checkpoint restore (--resume) -----------------------------
+    std::uint64_t ckpt_corrupt = 0;
+    SweepResume resume_data;
+    bool have_resume = false;
+    if (options.resume && !options.ckptPath.empty()) {
+        if (!std::filesystem::exists(options.ckptPath)) {
+            os << "resume: no checkpoint at " << options.ckptPath
+               << "; running the full sweep\n";
+        } else {
+            CheckpointData ckpt;
+            const Status st = loadCheckpoint(options.ckptPath, ckpt);
+            if (!st.ok()) {
+                std::cerr << "prism_bench: " << st.message()
+                          << "; restarting the sweep from scratch\n";
+                ckpt_corrupt = 1;
+            } else if (ckpt.fingerprint != sweepFingerprint(spec)) {
+                std::cerr << "prism_bench: checkpoint "
+                          << options.ckptPath
+                          << " belongs to a different sweep "
+                             "(fingerprint mismatch); restarting "
+                             "from scratch\n";
+                ckpt_corrupt = 1;
+            } else {
+                for (CheckpointJob &job : ckpt.jobs) {
+                    SweepResume::Entry e;
+                    e.result = std::move(job.result);
+                    e.attempts = job.attempts;
+                    e.failures = std::move(job.failures);
+                    resume_data.completed.emplace(job.id,
+                                                  std::move(e));
+                }
+                have_resume = !resume_data.completed.empty();
+                os << "resume: restoring "
+                   << resume_data.completed.size()
+                   << " completed job(s) from " << options.ckptPath
+                   << "\n";
+            }
+        }
+    }
+
     const bool tracing =
         !options.tracePath.empty() || !options.traceCsvPath.empty();
     telemetry::MetricsRegistry metrics;
@@ -213,22 +333,120 @@ runFigure(const Figure &fig, const FigureRunOptions &options)
         }
     }
 
+    // --- checkpoint writer -----------------------------------------
+    std::unique_ptr<CheckpointWriter> ckpt_writer;
+    if (!options.ckptPath.empty()) {
+        CheckpointWriter::Options wopts;
+        wopts.every = options.ckptEvery;
+        wopts.chaos = supervision.chaos;
+        ckpt_writer = std::make_unique<CheckpointWriter>(
+            options.ckptPath, spec, wopts);
+        if (have_resume) {
+            // Restored jobs stay in the file so a second kill still
+            // resumes from the union of both runs.
+            for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+                const auto it =
+                    resume_data.completed.find(spec.jobs[i].id);
+                if (it == resume_data.completed.end())
+                    continue;
+                JobReport report;
+                report.attempts = it->second.attempts;
+                report.failures = it->second.failures;
+                report.state = report.attempts > 1
+                                   ? JobState::Recovered
+                                   : JobState::Done;
+                report.restored = true;
+                ckpt_writer->seed(i, it->second.result, report);
+            }
+        }
+    }
+
     SweepRunner runner(options.threads);
     if (tracing)
         runner.setMetrics(&metrics);
-    if (options.progress)
-        runner.setJobObserver([](const SweepJob &job,
-                                 const RunResult &r,
-                                 const SweepRunner::JobProgress &p) {
-            std::cerr << "prism_bench: [" << p.done << "/" << p.total
-                      << "] " << job.id << " done (intervals "
-                      << r.intervals << ", degraded "
-                      << r.degradedIntervals << ")\n";
+    runner.setSupervisor(supervision);
+    if (options.stopFlag)
+        runner.setStopFlag(options.stopFlag);
+
+    if (options.progress || ckpt_writer) {
+        CheckpointWriter *writer = ckpt_writer.get();
+        const bool progress = options.progress;
+        const unsigned die_after = options.dieAfter;
+        auto executed = std::make_shared<std::atomic<unsigned>>(0);
+        runner.setJobObserver([writer, progress, die_after, executed](
+                                  const SweepJob &job,
+                                  const RunResult &r,
+                                  const SweepRunner::JobProgress &p) {
+            if (progress) {
+                if (p.state == JobState::Done ||
+                    p.state == JobState::Recovered) {
+                    std::cerr << "prism_bench: [" << p.done << "/"
+                              << p.total << "] " << job.id
+                              << " done (intervals " << r.intervals
+                              << ", degraded " << r.degradedIntervals
+                              << ")";
+                    if (p.attempts > 1)
+                        std::cerr << " [recovered, attempt "
+                                  << p.attempts << "]";
+                    std::cerr << "\n";
+                } else {
+                    std::cerr << "prism_bench: [" << p.done << "/"
+                              << p.total << "] " << job.id << " "
+                              << jobStateName(p.state) << " after "
+                              << p.attempts << " attempt(s)\n";
+                }
+            }
+            if (writer && p.report && p.report->succeeded()) {
+                if (const Status st =
+                        writer->record(p.index, r, *p.report);
+                    !st.ok())
+                    std::cerr
+                        << "prism_bench: checkpoint write failed: "
+                        << st.message() << "\n";
+                const unsigned n = ++*executed;
+                if (die_after && n == die_after) {
+                    // Test hook: simulate a hard crash right after
+                    // this job's state reached disk.
+                    (void)writer->flush();
+                    std::raise(SIGKILL);
+                }
+            }
         });
-    const SweepOutcome outcome = runner.run(spec);
+    }
+
+    const SweepOutcome outcome =
+        runner.run(spec, have_resume ? &resume_data : nullptr);
     const SweepResults results(spec, outcome);
 
-    fig.report(results, os);
+    if (outcome.stopped) {
+        const std::uint64_t completed =
+            outcome.countState(JobState::Done) +
+            outcome.countState(JobState::Recovered);
+        if (ckpt_writer) {
+            (void)ckpt_writer->flush();
+            std::cerr << "prism_bench: interrupted; " << completed
+                      << " completed job(s) saved to "
+                      << options.ckptPath
+                      << " — rerun with --resume to continue\n";
+        } else {
+            std::cerr << "prism_bench: interrupted; " << completed
+                      << " completed job(s) lost (run with --ckpt "
+                         "FILE to make sweeps resumable)\n";
+        }
+        return 130;
+    }
+
+    const std::uint64_t quarantined =
+        outcome.countState(JobState::Quarantined);
+    const bool degraded = quarantined > 0;
+
+    if (!degraded) {
+        fig.report(results, os);
+    } else {
+        os << "\nexec: sweep degraded — " << quarantined
+           << " job(s) quarantined; tables suppressed "
+           "(BENCH JSON carries the per-job errors)\n";
+    }
 
     os << "\nsweep: " << spec.jobs.size() << " jobs, "
        << outcome.standaloneSims << " stand-alone sims, "
@@ -236,31 +454,104 @@ runFigure(const Figure &fig, const FigureRunOptions &options)
        << outcome.threads << " thread(s) ("
        << Table::num(outcome.jobsPerSecond, 2) << " jobs/s)\n";
 
+    // --- salvaged-vs-failed manifest -------------------------------
+    if (outcome.restored > 0)
+        os << "exec: restored " << outcome.restored
+           << " job(s) from checkpoint\n";
+    const std::uint64_t recovered =
+        outcome.countState(JobState::Recovered);
+    if (recovered > 0)
+        os << "exec: recovered " << recovered << " job(s) after "
+           << outcome.retriedAttempts() << " retried attempt(s)\n";
+    if (degraded) {
+        os << "exec: quarantined " << quarantined << " job(s)\n";
+        for (std::size_t i = 0; i < outcome.reports.size(); ++i) {
+            const JobReport &report = outcome.reports[i];
+            if (report.state != JobState::Quarantined)
+                continue;
+            std::cerr << "prism_bench: job " << spec.jobs[i].id
+                      << " quarantined after " << report.attempts
+                      << " attempts";
+            if (!report.failures.empty())
+                std::cerr << " (last error: "
+                          << report.failures.back().message << ")";
+            std::cerr << "\n";
+        }
+    }
+
     if (tracing) {
         std::vector<telemetry::TraceJob> trace_jobs;
-        trace_jobs.reserve(spec.jobs.size());
+        trace_jobs.reserve(spec.jobs.size() + 1);
         for (std::size_t i = 0; i < spec.jobs.size(); ++i)
             trace_jobs.push_back({spec.jobs[i].id,
                                   outcome.results[i].recorder.get()});
+
+        // Exec timeline: retries/timeouts/quarantines as a pseudo-job
+        // built from the reports in spec order (deterministic at any
+        // thread count; the "interval" axis is the 1-based job spec
+        // index, the value the attempt).
+        std::unique_ptr<telemetry::IntervalRecorder> exec_recorder;
+        if (outcome.noteworthy()) {
+            std::size_t events = 0;
+            for (const JobReport &r : outcome.reports)
+                events += 2 * r.failures.size() + 1;
+            exec_recorder =
+                std::make_unique<telemetry::IntervalRecorder>(
+                    events > 0 ? events : 1);
+            for (std::size_t i = 0; i < outcome.reports.size(); ++i) {
+                const JobReport &report = outcome.reports[i];
+                for (std::size_t k = 0; k < report.failures.size();
+                     ++k) {
+                    telemetry::TelemetryEvent ev;
+                    ev.interval = i + 1;
+                    ev.value = static_cast<double>(k + 1);
+                    if (report.failures[k].kind ==
+                        JobErrorKind::Timeout) {
+                        ev.kind = telemetry::EventKind::JobTimeout;
+                        exec_recorder->addEvent(ev);
+                    }
+                    if (k + 2 <= report.attempts) {
+                        ev.kind = telemetry::EventKind::JobRetry;
+                        exec_recorder->addEvent(ev);
+                    }
+                }
+                if (report.state == JobState::Quarantined) {
+                    telemetry::TelemetryEvent ev;
+                    ev.kind = telemetry::EventKind::JobQuarantine;
+                    ev.interval = i + 1;
+                    ev.value = static_cast<double>(report.attempts);
+                    exec_recorder->addEvent(ev);
+                }
+            }
+            trace_jobs.push_back({"exec", exec_recorder.get()});
+        }
+
         const telemetry::TraceWriter writer; // wall time stays out
         if (!options.tracePath.empty()) {
-            std::ofstream file(options.tracePath);
-            if (!file) {
+            const Status st = writeFileAtomic(
+                options.tracePath, [&](std::ostream &file) {
+                    writer.writeChromeTrace(file, trace_jobs,
+                                            &metrics);
+                });
+            if (!st.ok()) {
                 std::cerr << "prism_bench: cannot write "
-                          << options.tracePath << "\n";
+                          << options.tracePath << ": " << st.message()
+                          << "\n";
                 return 1;
             }
-            writer.writeChromeTrace(file, trace_jobs, &metrics);
             os << "wrote " << options.tracePath << "\n";
         }
         if (!options.traceCsvPath.empty()) {
-            std::ofstream file(options.traceCsvPath);
-            if (!file) {
+            const Status st = writeFileAtomic(
+                options.traceCsvPath, [&](std::ostream &file) {
+                    writer.writeCsv(file, trace_jobs);
+                });
+            if (!st.ok()) {
                 std::cerr << "prism_bench: cannot write "
-                          << options.traceCsvPath << "\n";
+                          << options.traceCsvPath << ": "
+                          << st.message() << "\n";
                 return 1;
             }
-            writer.writeCsv(file, trace_jobs);
             os << "wrote " << options.traceCsvPath << "\n";
         }
 
@@ -285,31 +576,68 @@ runFigure(const Figure &fig, const FigureRunOptions &options)
                          "series\n";
     }
 
-    int rc = 0;
-    if (options.doctor)
-        rc |= doctorSweep(spec, outcome, options, os);
-
-    if (!options.writeJson)
-        return rc;
-
-    std::error_code ec; // best-effort; open failure is caught below
-    std::filesystem::create_directories(options.outDir, ec);
-    const std::string path =
-        options.outDir + "/BENCH_" + fig.id + ".json";
-    std::ofstream file(path);
-    if (!file) {
-        std::cerr << "prism_bench: cannot write " << path << "\n";
-        return 1;
+    int rc = degraded ? 1 : 0;
+    if (options.doctor) {
+        analysis::ExecSeries exec_series;
+        exec_series.supervised = supervision.enabled;
+        exec_series.jobs = spec.jobs.size();
+        exec_series.completed =
+            outcome.countState(JobState::Done) + recovered;
+        exec_series.recovered = recovered;
+        exec_series.quarantined = quarantined;
+        exec_series.skipped = outcome.countState(JobState::Skipped);
+        exec_series.retries = outcome.retriedAttempts();
+        exec_series.timeouts =
+            outcome.countFailures(JobErrorKind::Timeout);
+        exec_series.tornWrites =
+            ckpt_writer ? ckpt_writer->tornWrites() : 0;
+        exec_series.checkpointCorrupt = ckpt_corrupt;
+        for (std::size_t i = 0; i < outcome.reports.size(); ++i)
+            if (!outcome.reports[i].succeeded())
+                exec_series.failedIds.push_back(spec.jobs[i].id);
+        rc |= doctorSweep(spec, outcome, options, exec_series, os);
     }
-    SweepJsonOptions json_options;
-    json_options.includeTiming = options.includeTiming;
-    std::function<void(JsonWriter &)> summary;
-    if (fig.summary)
-        summary = [&fig, &results](JsonWriter &w) {
-            fig.summary(w, results);
-        };
-    writeSweepJson(file, spec, outcome, json_options, summary);
-    os << "wrote " << path << "\n";
+
+    if (options.writeJson) {
+        std::error_code ec; // best-effort; write failure caught below
+        std::filesystem::create_directories(options.outDir, ec);
+        const std::string path =
+            options.outDir + "/BENCH_" + fig.id + ".json";
+        SweepJsonOptions json_options;
+        json_options.includeTiming = options.includeTiming;
+        std::function<void(JsonWriter &)> summary;
+        // A degraded sweep has default-constructed results in the
+        // grid; figure summaries index them freely, so they only run
+        // over complete sweeps.
+        if (fig.summary && !degraded)
+            summary = [&fig, &results](JsonWriter &w) {
+                fig.summary(w, results);
+            };
+        const Status st =
+            writeFileAtomic(path, [&](std::ostream &file) {
+                writeSweepJson(file, spec, outcome, json_options,
+                               summary);
+            });
+        if (!st.ok()) {
+            std::cerr << "prism_bench: cannot write " << path << ": "
+                      << st.message() << "\n";
+            return 1;
+        }
+        os << "wrote " << path << "\n";
+    }
+
+    if (ckpt_writer) {
+        if (degraded) {
+            // Keep the successful jobs on disk: a --resume rerun
+            // retries only the quarantined ones.
+            (void)ckpt_writer->flush();
+            os << "checkpoint kept: " << options.ckptPath
+               << " (rerun with --resume to retry the failed "
+                  "job(s))\n";
+        } else {
+            std::remove(options.ckptPath.c_str());
+        }
+    }
     return rc;
 }
 
@@ -355,6 +683,21 @@ figureMain(const char *figure_id, int argc, char **argv)
                 << "  --doctor-json PATH\n"
                 << "                 write the prism-doctor-v1 "
                    "verdicts (implies --doctor)\n"
+                << "  --no-supervise raw execution: no retry, no "
+                   "quarantine (legacy)\n"
+                << "  --retries N    retries per job after the first "
+                   "attempt (default 2)\n"
+                << "  --deadline S   per-attempt deadline in seconds "
+                   "(default: none)\n"
+                << "  --chaos SPEC   inject exec faults "
+                   "(job_crash@N[*K], alloc_fail@N, ...)\n"
+                << "  --chaos-seed N backoff jitter seed\n"
+                << "  --ckpt FILE    crash-safe checkpoint; killed "
+                   "runs resume with --resume\n"
+                << "  --ckpt-every N flush cadence in completed jobs "
+                   "(default 1)\n"
+                << "  --resume       restore completed jobs from "
+                   "--ckpt FILE\n"
                 << "\nPRISM_BENCH_SCALE and PRISM_BENCH_WORKLOADS "
                    "scale the sweep.\n";
             return 0;
@@ -385,10 +728,40 @@ figureMain(const char *figure_id, int argc, char **argv)
         } else if (arg == "--doctor-json") {
             options.doctorJsonPath = value();
             options.doctor = true;
+        } else if (arg == "--no-supervise") {
+            options.supervise = false;
+        } else if (arg == "--retries") {
+            options.retries =
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--deadline") {
+            options.deadlineSeconds = std::atof(value().c_str());
+        } else if (arg == "--chaos") {
+            options.chaosSpec = value();
+        } else if (arg == "--chaos-seed") {
+            options.chaosSeed = std::strtoull(value().c_str(),
+                                              nullptr, 10);
+        } else if (arg == "--ckpt") {
+            options.ckptPath = value();
+        } else if (arg == "--ckpt-every") {
+            const long n = std::atol(value().c_str());
+            if (n <= 0) {
+                std::cerr << "--ckpt-every must be at least 1\n";
+                return 2;
+            }
+            options.ckptEvery = static_cast<unsigned>(n);
+        } else if (arg == "--resume") {
+            options.resume = true;
+        } else if (arg == "--die-after") {
+            options.dieAfter =
+                static_cast<unsigned>(std::atoi(value().c_str()));
         } else {
             std::cerr << "unknown option '" << arg << "'\n";
             return 2;
         }
+    }
+    if (options.resume && options.ckptPath.empty()) {
+        std::cerr << "--resume requires --ckpt FILE\n";
+        return 2;
     }
     return runFigure(*fig, options);
 }

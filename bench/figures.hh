@@ -20,6 +20,8 @@
 #ifndef PRISM_BENCH_FIGURES_HH
 #define PRISM_BENCH_FIGURES_HH
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <string>
@@ -96,13 +98,54 @@ struct FigureRunOptions
     bool doctor = false;
     /** When set (with doctor), write the prism-doctor-v1 file here. */
     std::string doctorJsonPath;
+
+    // --- fault-tolerant execution (docs/RELIABILITY.md) ------------
+    /**
+     * Supervise every job: classify failures, retry transients with
+     * deterministic backoff, quarantine repeat offenders. On by
+     * default — a clean supervised sweep produces byte-identical
+     * output to an unsupervised one.
+     */
+    bool supervise = true;
+    /** Retries per job after the first attempt. */
+    unsigned retries = 2;
+    /** Per-attempt deadline in seconds (0 = no watchdog). */
+    double deadlineSeconds = 0.0;
+    /** Exec-level chaos spec (job_crash@N, ...); "" = none. */
+    std::string chaosSpec;
+    /** Seeds backoff jitter only; results never depend on it. */
+    std::uint64_t chaosSeed = 0;
+
+    /** Crash-safe checkpoint file; "" = no checkpointing. */
+    std::string ckptPath;
+    /** Flush the checkpoint after every Nth completed job. */
+    unsigned ckptEvery = 1;
+    /** Restore completed jobs from ckptPath before running. */
+    bool resume = false;
+    /**
+     * Test hook: SIGKILL the process right after the Nth *executed*
+     * job's checkpoint flush (0 = off). Exercises the kill/--resume
+     * path from the CLI tests.
+     */
+    unsigned dieAfter = 0;
+
+    /**
+     * External stop flag (SIGINT/SIGTERM; non-owning). Once true,
+     * queued jobs are skipped, running attempts cancel at their next
+     * poll, a final checkpoint is flushed, and runFigure returns 130.
+     */
+    const std::atomic<bool> *stopFlag = nullptr;
 };
 
 /**
- * Run @p fig: execute its sweep under the pool, print the tables,
- * and (unless disabled) write `<outDir>/BENCH_<id>.json`.
+ * Run @p fig: execute its sweep under the pool (supervised by
+ * default), print the tables, and (unless disabled) write
+ * `<outDir>/BENCH_<id>.json` atomically.
  *
- * @return 0 on success, 1 when the JSON file cannot be written.
+ * @return 0 on success; 1 when jobs were quarantined, the doctor
+ * FAILed or an output cannot be written; 2 on bad options; 130 when
+ * a stop request interrupted the sweep (state checkpointed when
+ * --ckpt is set).
  */
 int runFigure(const Figure &fig, const FigureRunOptions &options);
 

@@ -514,6 +514,60 @@ analyze(const RunSeries &s, const DoctorThresholds &t)
     return Checker(s, t).take();
 }
 
+Verdict
+analyzeExec(const ExecSeries &s)
+{
+    Verdict v;
+    v.run = "exec";
+
+    const auto counter = [&v](const std::string &check,
+                              std::uint64_t n, FindingStatus level,
+                              const std::string &what) -> Finding & {
+        Finding f;
+        f.check = check;
+        f.status = n ? level : FindingStatus::Pass;
+        f.value = static_cast<double>(n);
+        f.hasValue = true;
+        f.detail = std::to_string(n) + " " + what;
+        v.findings.push_back(std::move(f));
+        return v.findings.back();
+    };
+
+    counter("exec.retries", s.retries, FindingStatus::Warn,
+            "retried job attempts");
+    counter("exec.timeouts", s.timeouts, FindingStatus::Warn,
+            "attempts cancelled by the per-job deadline");
+
+    Finding &quarantined =
+        counter("exec.quarantined", s.quarantined,
+                FindingStatus::Fail, "jobs quarantined");
+    if (s.quarantined > 0 && !s.failedIds.empty()) {
+        constexpr std::size_t kMaxIds = 4;
+        std::string ids;
+        const std::size_t n =
+            std::min(kMaxIds, s.failedIds.size());
+        for (std::size_t i = 0; i < n; ++i)
+            ids += (i ? ", " : "") + s.failedIds[i];
+        if (s.failedIds.size() > kMaxIds)
+            ids += ", +" +
+                   std::to_string(s.failedIds.size() - kMaxIds) +
+                   " more";
+        quarantined.detail += " (" + ids + ")";
+    }
+
+    counter("exec.skipped", s.skipped, FindingStatus::Warn,
+            "jobs skipped by shutdown request");
+    counter("exec.torn_writes", s.tornWrites, FindingStatus::Warn,
+            "torn checkpoint flushes injected");
+    counter("exec.checkpoint", s.checkpointCorrupt,
+            FindingStatus::Fail,
+            "corrupt checkpoints discarded at resume");
+
+    for (const Finding &f : v.findings)
+        v.overall = worse(v.overall, f.status);
+    return v;
+}
+
 FindingStatus
 worstOf(const std::vector<Verdict> &jobs)
 {

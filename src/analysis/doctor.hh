@@ -101,6 +101,16 @@ struct DoctorThresholds
 /** Run every applicable check on @p s. */
 Verdict analyze(const RunSeries &s, const DoctorThresholds &t = {});
 
+/**
+ * Sweep-execution health checks over the supervision manifest
+ * (docs/RELIABILITY.md): retries and deadline timeouts WARN,
+ * quarantined jobs and corrupt checkpoints FAIL. The verdict's run
+ * id is "exec"; callers append it to the per-job verdicts only when
+ * the sweep was supervised and something noteworthy happened, so
+ * clean runs keep emitting byte-identical doctor documents.
+ */
+Verdict analyzeExec(const ExecSeries &s);
+
 /** Sweep roll-up: per-status job counts plus the worst overall. */
 Verdict rollup(const std::vector<Verdict> &jobs);
 

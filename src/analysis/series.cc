@@ -319,4 +319,27 @@ seriesFromBenchJob(const JsonValue &job, RunSeries &out)
     return Status();
 }
 
+bool
+execSeriesFromBenchDoc(const JsonValue &doc, ExecSeries &out)
+{
+    const JsonValue *exec = doc.find("exec");
+    if (!exec || !exec->isObject())
+        return false;
+
+    ExecSeries s;
+    s.supervised = true;
+    s.jobs = doc.at("jobs").elements().size();
+    s.completed = exec->at("completed").asU64();
+    s.recovered = exec->at("recovered").asU64();
+    s.quarantined = exec->at("quarantined").asU64();
+    s.skipped = exec->at("skipped").asU64();
+    s.retries = exec->at("retries").asU64();
+    s.timeouts = exec->at("timeouts").asU64();
+    for (const JsonValue &job : doc.at("jobs").elements())
+        if (job.at("error").isObject())
+            s.failedIds.push_back(job.at("id").asString());
+    out = std::move(s);
+    return true;
+}
+
 } // namespace prism::analysis

@@ -100,6 +100,38 @@ Status seriesFromTraceJson(const JsonValue &doc,
 /** Read one job object of a parsed `prism-bench-v1` document. */
 Status seriesFromBenchJob(const JsonValue &job, RunSeries &out);
 
+/**
+ * Sweep-execution health: the retry/timeout/quarantine manifest the
+ * fault-tolerant exec layer produces (docs/RELIABILITY.md). Filled
+ * either live (prism_bench --doctor, from the SweepOutcome) or from
+ * the "exec" section of a prism-bench-v1 document.
+ */
+struct ExecSeries
+{
+    /** A supervision manifest was present at all. */
+    bool supervised = false;
+    std::uint64_t jobs = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t skipped = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    /** Injected torn checkpoint flushes (chaos). */
+    std::uint64_t tornWrites = 0;
+    /** Corrupt / mismatched checkpoints discarded at resume. */
+    std::uint64_t checkpointCorrupt = 0;
+    /** Ids of quarantined or skipped jobs, spec order. */
+    std::vector<std::string> failedIds;
+};
+
+/**
+ * Read the exec manifest of a parsed `prism-bench-v1` document.
+ * @return true when the document carries an "exec" section (clean
+ * sweeps omit it; @p out is then left default-initialised).
+ */
+bool execSeriesFromBenchDoc(const JsonValue &doc, ExecSeries &out);
+
 } // namespace prism::analysis
 
 #endif // PRISM_ANALYSIS_SERIES_HH

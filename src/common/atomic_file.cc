@@ -1,0 +1,98 @@
+#include "common/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace prism
+{
+
+namespace
+{
+
+Status
+errnoError(const std::string &what, const std::string &path)
+{
+    return Status::error(what + " " + path + ": " +
+                         std::strerror(errno));
+}
+
+/** write(2) the whole buffer, retrying short writes and EINTR. */
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+Status
+writeFileAtomic(const std::string &path, std::string_view payload)
+{
+    const std::string tmp = path + ".tmp";
+
+    int fd = ::open(tmp.c_str(),
+                    O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0)
+        return errnoError("cannot create", tmp);
+    if (!writeAll(fd, payload.data(), payload.size())) {
+        const Status st = errnoError("cannot write", tmp);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return st;
+    }
+    if (::fsync(fd) != 0) {
+        const Status st = errnoError("cannot fsync", tmp);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return st;
+    }
+    if (::close(fd) != 0)
+        return errnoError("cannot close", tmp);
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const Status st = errnoError("cannot rename to", path);
+        ::unlink(tmp.c_str());
+        return st;
+    }
+
+    // Make the rename durable: fsync the containing directory.
+    std::string dir =
+        std::filesystem::path(path).parent_path().string();
+    if (dir.empty())
+        dir = ".";
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+    if (dfd >= 0) {
+        // Some filesystems refuse directory fsync; the rename itself
+        // already succeeded, so a failure here is not fatal.
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+    return Status();
+}
+
+Status
+writeFileAtomic(const std::string &path,
+                const std::function<void(std::ostream &)> &fill)
+{
+    std::ostringstream buffer;
+    fill(buffer);
+    return writeFileAtomic(path, buffer.str());
+}
+
+} // namespace prism

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Crash-safe file replacement: tmp + write + fsync + rename.
+ *
+ * Every JSON artifact the tools emit (BENCH_*.json, traces, stats
+ * dumps, checkpoints) goes through writeFileAtomic() so that a crash,
+ * SIGKILL or power loss mid-write never leaves a torn file at the
+ * destination path — readers observe either the previous complete
+ * content or the new complete content, nothing in between. The
+ * sibling temporary file (`<path>.tmp`) is the only thing a crash
+ * can leave behind, and the next successful write reclaims it.
+ */
+
+#ifndef PRISM_COMMON_ATOMIC_FILE_HH
+#define PRISM_COMMON_ATOMIC_FILE_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/status.hh"
+
+namespace prism
+{
+
+/**
+ * Atomically replace @p path with @p payload: write to `<path>.tmp`,
+ * fsync, rename over @p path, then fsync the parent directory so the
+ * rename itself is durable. Returns an error Status (with errno
+ * detail) on any failure; the destination is untouched in that case.
+ */
+Status writeFileAtomic(const std::string &path,
+                       std::string_view payload);
+
+/**
+ * Convenience overload for streaming writers: @p fill serialises
+ * into a memory buffer which is then written atomically.
+ */
+Status writeFileAtomic(const std::string &path,
+                       const std::function<void(std::ostream &)> &fill);
+
+} // namespace prism
+
+#endif // PRISM_COMMON_ATOMIC_FILE_HH

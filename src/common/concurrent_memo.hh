@@ -15,6 +15,7 @@
 #ifndef PRISM_COMMON_CONCURRENT_MEMO_HH
 #define PRISM_COMMON_CONCURRENT_MEMO_HH
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -36,6 +37,12 @@ class ConcurrentMemo
      * same key block until the single computation finishes; requests
      * for different keys run in parallel (the computation itself is
      * not serialised under the map lock).
+     *
+     * A computation that throws (e.g. a cancelled simulation) is NOT
+     * memoised: the computing thread erases the entry before the
+     * exception propagates, so every waiter of that attempt rethrows
+     * but the next request computes afresh. Without this, a single
+     * deadline hit would poison the key for every future retry.
      */
     template <typename Fn>
     Value
@@ -58,8 +65,22 @@ class ConcurrentMemo
         }
         // Run the computation outside the lock so unrelated keys
         // make progress concurrently.
-        if (task.valid())
+        if (task.valid()) {
             task();
+            if (future.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+                try {
+                    future.get();
+                } catch (...) {
+                    // Only the computing thread un-memoises, so no
+                    // other thread can have replaced the entry yet.
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    memo_.erase(key);
+                    --computes_;
+                    throw;
+                }
+            }
+        }
         return future.get();
     }
 

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Crash-safe sweep checkpointing: the `prism-ckpt-v1` document.
+ *
+ * While a sweep runs, a CheckpointWriter collects every completed
+ * job's RunResult and periodically rewrites `<sweep>.ckpt.json`
+ * atomically (tmp + rename + fsync, see common/atomic_file.hh). A
+ * killed run can then restart with `prism_bench --resume`: completed
+ * jobs are restored from the checkpoint without re-execution, and —
+ * because the serialised result fields round-trip bit-exactly
+ * through the JSON layer — the merged BENCH_*.json is byte-identical
+ * to an uninterrupted run at any thread count
+ * (tests/test_resume.cc).
+ *
+ * The checkpoint is bound to its sweep by a fingerprint hash over
+ * the sweep name, job ids, machine configurations and scheme
+ * options; a stale or foreign checkpoint is rejected instead of
+ * silently merging wrong results.
+ */
+
+#ifndef PRISM_EXEC_CHECKPOINT_HH
+#define PRISM_EXEC_CHECKPOINT_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "exec/sweep.hh"
+#include "fault/fault_injector.hh"
+
+namespace prism
+{
+
+/** Hash binding a checkpoint to one exact sweep spec. */
+std::string sweepFingerprint(const SweepSpec &spec);
+
+/**
+ * Rebuild a RunResult from the JSON object written by
+ * writeRunResultFields(). Derived metrics (antt, fairness,
+ * ipc_throughput) recompute from the restored vectors; the recorder
+ * is not persisted and stays null.
+ */
+Status readRunResultFields(const JsonValue &obj, RunResult &out);
+
+/** One restored job of a checkpoint. */
+struct CheckpointJob
+{
+    std::string id;
+    unsigned attempts = 1;
+    /** Failure history of the retried attempts (possibly empty). */
+    std::vector<JobFailure> failures;
+    RunResult result;
+};
+
+/** A parsed and validated prism-ckpt-v1 document. */
+struct CheckpointData
+{
+    std::string sweep;
+    std::string fingerprint;
+    std::vector<CheckpointJob> jobs;
+};
+
+/**
+ * Read and validate @p path. An unreadable, unparsable or
+ * schema-mismatched file returns an error Status ("corrupt
+ * checkpoint: ..."); fingerprint matching is the caller's decision.
+ */
+Status loadCheckpoint(const std::string &path, CheckpointData &out);
+
+/**
+ * Collects completed jobs and atomically rewrites the checkpoint
+ * file. Thread-safe: record() may be called from concurrent job
+ * observers. The `torn_write` chaos kind hooks flushes here — a
+ * selected flush writes a truncated file *non*-atomically,
+ * simulating exactly the corruption the atomic path prevents.
+ */
+class CheckpointWriter
+{
+  public:
+    struct Options
+    {
+        /** Flush after every Nth newly recorded job (>= 1). */
+        unsigned every = 1;
+        /** Exec chaos clauses; only torn_write is consulted, keyed
+         * by flush ordinal. */
+        std::vector<FaultClause> chaos;
+    };
+
+    /** @p spec must outlive the writer. */
+    CheckpointWriter(std::string path, const SweepSpec &spec,
+                     Options options);
+
+    CheckpointWriter(std::string path, const SweepSpec &spec)
+        : CheckpointWriter(std::move(path), spec, Options())
+    {
+    }
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Seed one already-completed job (checkpoint restore) without
+     * counting towards the flush cadence.
+     */
+    void seed(std::size_t index, const RunResult &result,
+              const JobReport &report);
+
+    /**
+     * Record the completed job at spec position @p index and flush
+     * when the cadence says so. Returns the flush Status (ok when
+     * no flush happened).
+     */
+    Status record(std::size_t index, const RunResult &result,
+                  const JobReport &report);
+
+    /** Force a flush of everything recorded so far. */
+    Status flush();
+
+    std::uint64_t flushes() const;
+    std::uint64_t tornWrites() const;
+
+  private:
+    Status flushLocked();
+
+    mutable std::mutex mutex_;
+    std::string path_;
+    const SweepSpec *spec_;
+    std::string fingerprint_;
+    Options options_;
+    struct Entry
+    {
+        unsigned attempts = 1;
+        std::vector<JobFailure> failures;
+        RunResult result;
+    };
+    /** spec index -> entry; ordered so the file lists jobs in spec
+     * order. */
+    std::map<std::size_t, Entry> done_;
+    unsigned since_flush_ = 0;
+    std::uint64_t flushes_ = 0;
+    std::uint64_t torn_writes_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_EXEC_CHECKPOINT_HH

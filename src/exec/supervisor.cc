@@ -1,0 +1,171 @@
+#include "exec/supervisor.hh"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/rng.hh"
+
+namespace prism
+{
+
+const char *
+jobErrorKindName(JobErrorKind kind)
+{
+    switch (kind) {
+      case JobErrorKind::Transient:
+        return "transient";
+      case JobErrorKind::Fatal:
+        return "fatal";
+      case JobErrorKind::Timeout:
+        return "timeout";
+      case JobErrorKind::InvariantViolation:
+        return "invariant_violation";
+    }
+    return "?";
+}
+
+bool
+jobErrorKindFromName(const std::string &name, JobErrorKind &out)
+{
+    for (const JobErrorKind k :
+         {JobErrorKind::Transient, JobErrorKind::Fatal,
+          JobErrorKind::Timeout, JobErrorKind::InvariantViolation}) {
+        if (name == jobErrorKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Done:
+        return "done";
+      case JobState::Recovered:
+        return "recovered";
+      case JobState::Quarantined:
+        return "quarantined";
+      case JobState::Skipped:
+        return "skipped";
+    }
+    return "?";
+}
+
+Status
+parseChaosSpec(const std::string &spec, std::vector<FaultClause> &out)
+{
+    std::vector<FaultClause> clauses;
+    if (const Status st = parseFaultSpec(spec, clauses); !st.ok())
+        return st;
+    for (const FaultClause &c : clauses)
+        if (!isExecFaultKind(c.kind))
+            return Status::error(
+                std::string("chaos spec: '") + faultKindName(c.kind) +
+                "' is a simulation-level kind; use the per-job "
+                "--faults spec for it (exec kinds: job_crash|"
+                "job_stall|torn_write|alloc_fail)");
+    out = std::move(clauses);
+    return Status();
+}
+
+JobSupervisor::JobSupervisor(const SupervisorConfig &config,
+                             telemetry::MetricsRegistry *metrics)
+    : config_(config), metrics_(metrics)
+{
+}
+
+void
+JobSupervisor::bump(const char *counter) const
+{
+    // Resolved lazily: clean sweeps never create the exec.* counters,
+    // so trace metrics dumps stay byte-identical to unsupervised runs.
+    if (metrics_)
+        metrics_->counter(counter).add(1);
+}
+
+double
+JobSupervisor::backoffMs(const std::string &job_id,
+                         unsigned attempt) const
+{
+    double base =
+        config_.backoffBaseMs * std::pow(2.0, attempt > 0 ? attempt - 1
+                                                          : 0);
+    if (base > config_.backoffCapMs)
+        base = config_.backoffCapMs;
+    // Jitter derived from the (chaosSeed, job, attempt) key: the
+    // same schedule every run, decorrelated across jobs.
+    const std::uint64_t h = deriveSeed(
+        config_.chaosSeed,
+        job_id + "#backoff:" + std::to_string(attempt));
+    const double unit =
+        static_cast<double>(h >> 11) * 0x1.0p-53; // [0, 1)
+    return base * (0.5 + unit);
+}
+
+bool
+JobSupervisor::chaosFires(FaultKind kind, std::size_t index1,
+                          unsigned attempt) const
+{
+    for (const FaultClause &c : config_.chaos)
+        if (c.kind == kind && c.firesAt(index1) &&
+            c.firesAtAttempt(attempt))
+            return true;
+    return false;
+}
+
+void
+JobSupervisor::injectChaos(std::size_t index1, unsigned attempt,
+                           const CancelToken &token) const
+{
+    if (config_.chaos.empty())
+        return;
+
+    if (chaosFires(FaultKind::AllocFail, index1, attempt)) {
+        bump("exec.chaos_injected");
+        throw std::bad_alloc();
+    }
+    if (chaosFires(FaultKind::JobCrash, index1, attempt)) {
+        bump("exec.chaos_injected");
+        throw JobError(JobErrorKind::Transient,
+                       "injected job_crash (attempt " +
+                           std::to_string(attempt) + ")");
+    }
+    if (chaosFires(FaultKind::JobStall, index1, attempt)) {
+        bump("exec.chaos_injected");
+        // A stall hangs until cancelled; without a deadline or stop
+        // it resolves after stallMs so chaos runs cannot wedge.
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto cap = std::chrono::duration<double, std::milli>(
+            config_.stallMs);
+        while (!token.cancelled()) {
+            if (config_.deadlineSeconds <= 0.0 &&
+                std::chrono::steady_clock::now() - t0 >= cap)
+                return; // transient hiccup; proceed with the attempt
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+        token.poll(); // throws CancelledError (timeout or stop)
+    }
+}
+
+void
+JobSupervisor::backoff(const std::string &job_id, unsigned attempt,
+                       const std::atomic<bool> *stop) const
+{
+    const double total_ms = backoffMs(job_id, attempt);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto budget =
+        std::chrono::duration<double, std::milli>(total_ms);
+    // Sleep in 1 ms slices so a stop request cuts the wait short.
+    while (std::chrono::steady_clock::now() - t0 < budget) {
+        if (stop && stop->load(std::memory_order_relaxed))
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+} // namespace prism

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Job supervision for the sweep engine: structured error taxonomy,
+ * deterministic retry with exponential backoff, a deadline watchdog
+ * and quarantine of repeatedly-failing jobs.
+ *
+ * A supervised sweep always completes: instead of one throwing or
+ * hung job killing the process (and every finished result with it),
+ * each attempt runs under a CancelToken, failures are classified
+ * into JobErrorKind, transient failures and timeouts are retried up
+ * to a configured attempt budget, and jobs that exhaust it are
+ * quarantined — the sweep's outcome then carries a per-job
+ * JobReport manifest of salvaged vs. failed results.
+ *
+ * Everything that affects *results* is deterministic: retries replay
+ * the exact same seeded simulation, chaos injection (the exec-level
+ * FaultInjector kinds) selects jobs by spec index, and backoff
+ * jitter derives from the (chaos seed, job id, attempt) key — only
+ * wall-clock timing varies between runs. docs/RELIABILITY.md is the
+ * full contract.
+ */
+
+#ifndef PRISM_EXEC_SUPERVISOR_HH
+#define PRISM_EXEC_SUPERVISOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/cancel.hh"
+#include "fault/fault_injector.hh"
+#include "telemetry/metrics_registry.hh"
+
+namespace prism
+{
+
+/** The supervisor's failure taxonomy. */
+enum class JobErrorKind
+{
+    Transient,          ///< retryable (crash, allocation failure)
+    Fatal,              ///< not retryable (bad config, logic error)
+    Timeout,            ///< the deadline watchdog cancelled the job
+    InvariantViolation, ///< the job detected corrupted state
+};
+
+/** Stable lower-case name ("transient", "timeout", ...). */
+const char *jobErrorKindName(JobErrorKind kind);
+
+/** Parse a name printed by jobErrorKindName(). */
+bool jobErrorKindFromName(const std::string &name, JobErrorKind &out);
+
+/** A classified job failure, thrown from inside an attempt. */
+class JobError : public std::runtime_error
+{
+  public:
+    JobError(JobErrorKind kind, const std::string &what)
+        : std::runtime_error(what), kind_(kind)
+    {
+    }
+
+    JobErrorKind kind() const { return kind_; }
+
+  private:
+    JobErrorKind kind_;
+};
+
+/** Supervision knobs; the disabled default preserves raw execution. */
+struct SupervisorConfig
+{
+    /** Off: attempts run bare and exceptions propagate (legacy). */
+    bool enabled = false;
+
+    /** Attempt budget per job (first try included); at least 1. */
+    unsigned maxAttempts = 3;
+
+    /** Exponential backoff between attempts: base * 2^(n-1), capped. */
+    double backoffBaseMs = 5.0;
+    double backoffCapMs = 250.0;
+
+    /** Per-attempt deadline in seconds (0 = no watchdog). */
+    double deadlineSeconds = 0.0;
+
+    /** Injected job_stall duration when no deadline bounds it. */
+    double stallMs = 50.0;
+
+    /** Exec-level chaos clauses (job_crash/job_stall/...); empty =
+     * no injection. Parse with parseChaosSpec(). */
+    std::vector<FaultClause> chaos;
+
+    /** Seeds backoff jitter and nothing else (results never depend
+     * on it). */
+    std::uint64_t chaosSeed = 0;
+};
+
+/**
+ * Parse a --chaos spec: the FaultInjector grammar restricted to the
+ * exec-level kinds (simulation kinds are rejected — they belong in
+ * the per-job --faults spec).
+ */
+Status parseChaosSpec(const std::string &spec,
+                      std::vector<FaultClause> &out);
+
+/** Terminal state of one supervised job. */
+enum class JobState
+{
+    Done,        ///< succeeded on the first attempt (or restored)
+    Recovered,   ///< succeeded after at least one retry
+    Quarantined, ///< every attempt failed; default result stands
+    Skipped,     ///< not executed (stop requested before it ran)
+};
+
+/** Stable lower-case name ("done", "recovered", ...). */
+const char *jobStateName(JobState state);
+
+/** One classified failure inside a job's attempt history. */
+struct JobFailure
+{
+    JobErrorKind kind = JobErrorKind::Transient;
+    std::string message;
+};
+
+/** Everything the supervisor knows about one finished job. */
+struct JobReport
+{
+    JobState state = JobState::Done;
+    /** Attempts consumed (1 on a clean first-try success). */
+    unsigned attempts = 1;
+    /** true: the result came from a checkpoint, no attempt ran. */
+    bool restored = false;
+    /** One entry per failed attempt, oldest first. */
+    std::vector<JobFailure> failures;
+
+    bool
+    succeeded() const
+    {
+        return state == JobState::Done || state == JobState::Recovered;
+    }
+};
+
+/**
+ * Wraps job attempts with retry/deadline/quarantine semantics.
+ *
+ * Thread-safe: supervise() may run concurrently from any number of
+ * worker threads (chaos schedules are pure functions of the job
+ * index, counters are atomic).
+ */
+class JobSupervisor
+{
+  public:
+    /**
+     * @param config  Supervision knobs (copied).
+     * @param metrics Optional registry for the exec.* counters
+     *                (non-owning; may be null).
+     */
+    explicit JobSupervisor(const SupervisorConfig &config,
+                           telemetry::MetricsRegistry *metrics = nullptr);
+
+    const SupervisorConfig &config() const { return config_; }
+
+    /**
+     * One attempt body: runs the job under @p token and returns its
+     * result. Throws to signal failure (JobError for classified
+     * failures, CancelledError from cancellation polls, anything
+     * else is classified Fatal — std::bad_alloc excepted, which is
+     * Transient).
+     */
+    template <typename Result>
+    using Attempt = std::function<Result(const CancelToken &)>;
+
+    /**
+     * Execute job @p index1 (1-based spec index, the chaos schedule
+     * key) under full supervision and fill @p report. On quarantine
+     * or skip the returned result is default-constructed; the
+     * report tells the two apart. @p stop is an optional external
+     * stop flag (checked before each attempt and linked into the
+     * attempt's CancelToken).
+     */
+    template <typename Result>
+    Result
+    supervise(std::size_t index1, const std::string &job_id,
+              const Attempt<Result> &attempt, JobReport &report,
+              const std::atomic<bool> *stop = nullptr) const
+    {
+        report = JobReport{};
+        const unsigned budget =
+            config_.maxAttempts > 0 ? config_.maxAttempts : 1;
+        for (unsigned n = 1; n <= budget; ++n) {
+            if (stop && stop->load(std::memory_order_relaxed)) {
+                report.state = JobState::Skipped;
+                report.attempts = n - 1;
+                return Result{};
+            }
+            report.attempts = n;
+            CancelToken token;
+            token.linkStop(stop);
+            if (config_.deadlineSeconds > 0.0)
+                token.setDeadline(config_.deadlineSeconds);
+
+            JobFailure failure;
+            try {
+                injectChaos(index1, n, token);
+                Result r = attempt(token);
+                report.state =
+                    n == 1 ? JobState::Done : JobState::Recovered;
+                if (n > 1)
+                    bump("exec.recovered");
+                return r;
+            } catch (const CancelledError &e) {
+                if (!e.byDeadline()) {
+                    // External shutdown, not a job failure.
+                    report.state = JobState::Skipped;
+                    return Result{};
+                }
+                failure = {JobErrorKind::Timeout, e.what()};
+            } catch (const JobError &e) {
+                failure = {e.kind(), e.what()};
+            } catch (const std::bad_alloc &) {
+                failure = {JobErrorKind::Transient,
+                           "allocation failure (std::bad_alloc)"};
+            } catch (const std::exception &e) {
+                failure = {JobErrorKind::Fatal, e.what()};
+            }
+
+            if (failure.kind == JobErrorKind::Timeout)
+                bump("exec.timeouts");
+            const bool retryable =
+                failure.kind == JobErrorKind::Transient ||
+                failure.kind == JobErrorKind::Timeout;
+            report.failures.push_back(std::move(failure));
+            if (!retryable)
+                break;
+            if (n < budget) {
+                bump("exec.retries");
+                backoff(job_id, n, stop);
+            }
+        }
+        report.state = JobState::Quarantined;
+        bump("exec.quarantined");
+        return Result{};
+    }
+
+    /**
+     * Deterministic backoff delay before retry @p attempt+1 of
+     * @p job_id, in milliseconds: min(cap, base * 2^(attempt-1))
+     * scaled by a [0.5, 1.5) jitter derived from (chaosSeed, job_id,
+     * attempt). Exposed for tests; affects wall time only.
+     */
+    double backoffMs(const std::string &job_id,
+                     unsigned attempt) const;
+
+    /** Whether an exec chaos clause of @p kind fires for job
+     * @p index1 at @p attempt. */
+    bool chaosFires(FaultKind kind, std::size_t index1,
+                    unsigned attempt) const;
+
+  private:
+    /** Throw / stall per the chaos schedule (no-op without chaos). */
+    void injectChaos(std::size_t index1, unsigned attempt,
+                     const CancelToken &token) const;
+
+    /** Sleep the backoff delay, waking early on @p stop. */
+    void backoff(const std::string &job_id, unsigned attempt,
+                 const std::atomic<bool> *stop) const;
+
+    /** Increment the named exec.* counter (no-op without metrics). */
+    void bump(const char *counter) const;
+
+    SupervisorConfig config_;
+    telemetry::MetricsRegistry *metrics_ = nullptr;
+
+    friend class SupervisorTestPeer;
+};
+
+} // namespace prism
+
+#endif // PRISM_EXEC_SUPERVISOR_HH

@@ -54,13 +54,54 @@ SweepSpec::add(const MachineConfig &config, const Workload &workload,
     return jobs.size() - 1;
 }
 
+std::uint64_t
+SweepOutcome::countState(JobState state) const
+{
+    std::uint64_t n = 0;
+    for (const JobReport &r : reports)
+        if (r.state == state)
+            ++n;
+    return n;
+}
+
+std::uint64_t
+SweepOutcome::retriedAttempts() const
+{
+    std::uint64_t n = 0;
+    for (const JobReport &r : reports)
+        if (r.attempts > 1)
+            n += r.attempts - 1;
+    return n;
+}
+
+std::uint64_t
+SweepOutcome::countFailures(JobErrorKind kind) const
+{
+    std::uint64_t n = 0;
+    for (const JobReport &r : reports)
+        for (const JobFailure &f : r.failures)
+            if (f.kind == kind)
+                ++n;
+    return n;
+}
+
+bool
+SweepOutcome::noteworthy() const
+{
+    for (const JobReport &r : reports)
+        if (r.state != JobState::Done || r.attempts != 1)
+            return true;
+    return false;
+}
+
 SweepOutcome
-SweepRunner::run(const SweepSpec &spec)
+SweepRunner::run(const SweepSpec &spec, const SweepResume *resume)
 {
     const auto t0 = std::chrono::steady_clock::now();
 
     SweepOutcome out;
     out.results.resize(spec.jobs.size());
+    out.reports.resize(spec.jobs.size());
 
     // The only mutable state shared between jobs: the once-per-key
     // memo of stand-alone reference simulations.
@@ -72,35 +113,85 @@ SweepRunner::run(const SweepSpec &spec)
     if (metrics_)
         job_span = metrics_->span("sweep.job");
 
+    const JobSupervisor supervisor(supervisor_config_, metrics_);
+    const bool supervised = supervisor_config_.enabled;
+
+    // Checkpoint restore: completed jobs keep their recorded result
+    // and never touch the pool — the merged output is byte-identical
+    // to an uninterrupted run because the restored fields round-trip
+    // bit-exactly through the JSON layer.
+    std::vector<char> is_restored(spec.jobs.size(), 0);
+    if (resume) {
+        for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+            const auto it = resume->completed.find(spec.jobs[i].id);
+            if (it == resume->completed.end())
+                continue;
+            out.results[i] = it->second.result;
+            JobReport &report = out.reports[i];
+            report.state = it->second.attempts > 1
+                               ? JobState::Recovered
+                               : JobState::Done;
+            report.attempts = it->second.attempts;
+            report.failures = it->second.failures;
+            report.restored = true;
+            is_restored[i] = 1;
+            ++out.restored;
+        }
+    }
+
     // Observer state: completion counter and the mutex serialising
     // callbacks (results themselves stay lock-free, one slot per job).
     std::mutex observer_mutex;
-    std::size_t done = 0;
+    std::size_t done = out.restored;
 
     {
         ThreadPool pool(threads_);
         out.threads = pool.threadCount();
         for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+            if (is_restored[i])
+                continue;
             const SweepJob &job = spec.jobs[i];
             RunResult *slot = &out.results[i];
-            pool.submit([this, &spec, &job, slot, memo, job_span,
+            JobReport *report = &out.reports[i];
+            pool.submit([this, &spec, &job, slot, report, memo,
+                         job_span, &supervisor, supervised,
                          &observer_mutex, &done, i]() {
                 PRISM_SPAN(job_span);
-                Runner runner(job.config, memo);
-                *slot = runner.run(job.workload, job.scheme,
-                                   job.options);
+                if (supervised) {
+                    const JobSupervisor::Attempt<RunResult> attempt =
+                        [&job, memo](const CancelToken &token) {
+                            Runner runner(job.config, memo);
+                            SchemeOptions options = job.options;
+                            options.cancel = &token;
+                            return runner.run(job.workload, job.scheme,
+                                              options);
+                        };
+                    *slot = supervisor.supervise<RunResult>(
+                        i + 1, job.id, attempt, *report, stop_);
+                } else {
+                    Runner runner(job.config, memo);
+                    *slot = runner.run(job.workload, job.scheme,
+                                       job.options);
+                }
                 if (observer_) {
                     std::lock_guard<std::mutex> lock(observer_mutex);
                     JobProgress p;
                     p.index = i;
                     p.done = ++done;
                     p.total = spec.jobs.size();
+                    p.state = report->state;
+                    p.attempts = report->attempts;
+                    p.report = report;
                     observer_(job, *slot, p);
                 }
             });
         }
         pool.wait();
     }
+
+    for (const JobReport &r : out.reports)
+        if (r.state == JobState::Skipped)
+            out.stopped = true;
 
     const auto t1 = std::chrono::steady_clock::now();
     out.wallSeconds =
@@ -206,6 +297,13 @@ writeSweepJson(std::ostream &os, const SweepSpec &spec,
         w.endObject();
     }
 
+    // Supervision surfaces only when something deviated from a clean
+    // first-try success; clean runs emit the exact legacy document
+    // (golden files, resume byte-identity).
+    const bool has_reports =
+        outcome.reports.size() == spec.jobs.size();
+    const bool noteworthy = has_reports && outcome.noteworthy();
+
     w.key("jobs");
     w.beginArray();
     for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
@@ -216,13 +314,49 @@ writeSweepJson(std::ostream &os, const SweepSpec &spec,
         w.beginObject();
         writeJobConfig(w, job);
         w.endObject();
-        w.key("result");
-        w.beginObject();
-        writeRunResultFields(w, outcome.results[i]);
-        w.endObject();
+        const bool failed =
+            has_reports && !outcome.reports[i].succeeded();
+        if (failed) {
+            const JobReport &report = outcome.reports[i];
+            w.key("error");
+            w.beginObject();
+            w.kv("state", jobStateName(report.state));
+            w.kv("attempts", std::uint64_t(report.attempts));
+            w.key("failures");
+            w.beginArray();
+            for (const JobFailure &f : report.failures) {
+                w.beginObject();
+                w.kv("kind", jobErrorKindName(f.kind));
+                w.kv("message", f.message);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        } else {
+            w.key("result");
+            w.beginObject();
+            writeRunResultFields(w, outcome.results[i]);
+            w.endObject();
+        }
         w.endObject();
     }
     w.endArray();
+
+    if (noteworthy) {
+        w.key("exec");
+        w.beginObject();
+        w.kv("completed",
+             outcome.countState(JobState::Done) +
+                 outcome.countState(JobState::Recovered));
+        w.kv("recovered", outcome.countState(JobState::Recovered));
+        w.kv("quarantined",
+             outcome.countState(JobState::Quarantined));
+        w.kv("skipped", outcome.countState(JobState::Skipped));
+        w.kv("retries", outcome.retriedAttempts());
+        w.kv("timeouts",
+             outcome.countFailures(JobErrorKind::Timeout));
+        w.endObject();
+    }
 
     if (options.includeTiming) {
         w.key("timing");

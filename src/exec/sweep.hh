@@ -17,6 +17,7 @@
 #ifndef PRISM_EXEC_SWEEP_HH
 #define PRISM_EXEC_SWEEP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "exec/supervisor.hh"
 #include "sim/runner.hh"
 
 namespace prism
@@ -81,11 +83,41 @@ struct SweepSpec
     std::set<std::string> ids_;
 };
 
+/**
+ * Completed results carried across a kill/--resume boundary: the
+ * sweep runner skips these jobs instead of re-executing them.
+ */
+struct SweepResume
+{
+    struct Entry
+    {
+        RunResult result;
+        unsigned attempts = 1;
+        /** Failure history of the pre-kill attempts (so the merged
+         * exec manifest matches an uninterrupted run exactly). */
+        std::vector<JobFailure> failures;
+    };
+    /** Keyed by job id (checkpoints survive spec reordering). */
+    std::map<std::string, Entry> completed;
+};
+
 /** Everything a finished sweep produced. */
 struct SweepOutcome
 {
-    /** One result per spec job, in spec order. */
+    /** One result per spec job, in spec order. Quarantined/skipped
+     * jobs hold a default-constructed RunResult; consult reports. */
     std::vector<RunResult> results;
+
+    /** One supervision report per spec job, in spec order — the
+     * salvaged-vs-failed manifest. All Done/attempts=1 when the
+     * sweep ran clean (or unsupervised). */
+    std::vector<JobReport> reports;
+
+    /** true: a stop request (SIGINT/SIGTERM) skipped some jobs. */
+    bool stopped = false;
+
+    /** Jobs restored from a checkpoint instead of executed. */
+    std::uint64_t restored = 0;
 
     // --- execution statistics (not part of the determinism contract)
     unsigned threads = 1;
@@ -93,6 +125,15 @@ struct SweepOutcome
     double jobsPerSecond = 0.0;
     /** Distinct stand-alone reference simulations executed. */
     std::uint64_t standaloneSims = 0;
+
+    // --- manifest helpers over reports ----------------------------
+    std::uint64_t countState(JobState state) const;
+    /** Sum of (attempts - 1) over all jobs: retried attempts. */
+    std::uint64_t retriedAttempts() const;
+    /** Failures of one kind across every job's attempt history. */
+    std::uint64_t countFailures(JobErrorKind kind) const;
+    /** Any report deviating from a clean first-try success. */
+    bool noteworthy() const;
 };
 
 /**
@@ -120,12 +161,37 @@ class SweepRunner
         metrics_ = metrics;
     }
 
+    /**
+     * Attach a supervisor configuration. With config.enabled every
+     * job attempt runs under retry/deadline/quarantine semantics
+     * and SweepOutcome::reports carries the manifest; disabled (the
+     * default) keeps the raw legacy behaviour where a throwing job
+     * propagates out of run().
+     */
+    void setSupervisor(const SupervisorConfig &config)
+    {
+        supervisor_config_ = config;
+    }
+
+    /**
+     * Observe @p stop (non-owning; null detaches): once it reads
+     * true, queued jobs are skipped (reported Skipped) and running
+     * attempts are cancelled at their next poll point. Requires a
+     * supervisor (setSupervisor with enabled=true).
+     */
+    void setStopFlag(const std::atomic<bool> *stop) { stop_ = stop; }
+
     /** Completion context handed to the job observer. */
     struct JobProgress
     {
         std::size_t index = 0; ///< job's position in spec order
         std::size_t done = 0;  ///< jobs finished so far (this one incl.)
         std::size_t total = 0; ///< jobs in the sweep
+        /** Supervision outcome (Done when unsupervised). */
+        JobState state = JobState::Done;
+        unsigned attempts = 1;
+        /** Full supervision report (valid for the callback only). */
+        const JobReport *report = nullptr;
     };
 
     using JobObserver = std::function<void(
@@ -143,13 +209,21 @@ class SweepRunner
         observer_ = std::move(observer);
     }
 
-    /** Run every job of @p spec; results in spec order. */
-    SweepOutcome run(const SweepSpec &spec);
+    /**
+     * Run every job of @p spec; results in spec order. Jobs found in
+     * @p resume (matched by id) are restored without execution —
+     * their reports read Done with restored=true. The observer only
+     * sees executed jobs.
+     */
+    SweepOutcome run(const SweepSpec &spec,
+                     const SweepResume *resume = nullptr);
 
   private:
     unsigned threads_;
     telemetry::MetricsRegistry *metrics_ = nullptr;
     JobObserver observer_;
+    SupervisorConfig supervisor_config_;
+    const std::atomic<bool> *stop_ = nullptr;
 };
 
 /** Result lookup by job id for report/summary code. */
@@ -192,6 +266,12 @@ void writeRunResultFields(JsonWriter &w, const RunResult &r);
  * Serialise a finished sweep as the "prism-bench-v1" JSON document:
  * sweep name, optional figure summary, the per-job results (with
  * machine configuration), and — unless disabled — timing.
+ *
+ * Supervision surfaces only when noteworthy (any job retried,
+ * quarantined or skipped): failed jobs get an "error" object instead
+ * of "result", and an "exec" section summarises the manifest. Clean
+ * runs emit exactly the legacy document, so golden files and the
+ * resume byte-identity contract are preserved.
  */
 void writeSweepJson(
     std::ostream &os, const SweepSpec &spec, const SweepOutcome &outcome,

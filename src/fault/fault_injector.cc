@@ -24,8 +24,30 @@ faultKindName(FaultKind kind)
         return "quant";
       case FaultKind::ShadowSkew:
         return "shadow";
+      case FaultKind::JobCrash:
+        return "job_crash";
+      case FaultKind::JobStall:
+        return "job_stall";
+      case FaultKind::TornWrite:
+        return "torn_write";
+      case FaultKind::AllocFail:
+        return "alloc_fail";
     }
     return "?";
+}
+
+bool
+isExecFaultKind(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::JobCrash:
+      case FaultKind::JobStall:
+      case FaultKind::TornWrite:
+      case FaultKind::AllocFail:
+        return true;
+      default:
+        return false;
+    }
 }
 
 namespace
@@ -76,8 +98,9 @@ parseFaultSpec(const std::string &spec, std::vector<FaultClause> &out)
 
         const std::size_t at = clause.find('@');
         if (at == std::string::npos)
-            return Status::error("fault spec clause '" + clause +
-                                 "': expected kind@period[+phase]");
+            return Status::error(
+                "fault spec clause '" + clause +
+                "': expected kind@period[+phase][*attempts]");
 
         FaultClause fc;
         if (!parseKind(clause.substr(0, at), fc.kind))
@@ -85,9 +108,24 @@ parseFaultSpec(const std::string &spec, std::vector<FaultClause> &out)
                                  "': unknown fault kind '" +
                                  clause.substr(0, at) +
                                  "' (occ|stale|drop|nan|inf|quant|"
-                                 "shadow)");
+                                 "shadow|job_crash|job_stall|"
+                                 "torn_write|alloc_fail)");
 
         std::string sched = clause.substr(at + 1);
+        const std::size_t star = sched.find('*');
+        if (star != std::string::npos) {
+            const std::string attempts_s = sched.substr(star + 1);
+            if (!isExecFaultKind(fc.kind))
+                return Status::error(
+                    "fault spec clause '" + clause +
+                    "': '*attempts' is only valid for exec-level "
+                    "kinds");
+            if (!parseNumber(attempts_s, fc.attempts))
+                return Status::error("fault spec clause '" + clause +
+                                     "': bad attempt count '" +
+                                     attempts_s + "'");
+            sched = sched.substr(0, star);
+        }
         const std::size_t plus = sched.find('+');
         std::string period_s = sched.substr(0, plus);
         if (!parseNumber(period_s, fc.period) || fc.period == 0)

@@ -13,8 +13,9 @@
  * Spec grammar (see docs/TESTING.md):
  *
  *   spec    := clause (',' clause)*
- *   clause  := kind '@' period [ '+' phase ]
+ *   clause  := kind '@' period [ '+' phase ] [ '*' attempts ]
  *   kind    := occ | stale | drop | nan | inf | quant | shadow
+ *            | job_crash | job_stall | torn_write | alloc_fail
  *
  * Intervals are 1-based. "kind@N" fires at intervals N, 2N, 3N, ...;
  * "kind@N+K" fires at K, K+N, K+2N, ... Example:
@@ -24,6 +25,20 @@
  * poisons one Equation 1 input with NaN every 4th interval, corrupts
  * an occupancy counter at intervals 1, 4, 7, ... and loses every 10th
  * recompute event.
+ *
+ * The four exec-level chaos kinds target the sweep execution layer
+ * (docs/RELIABILITY.md) instead of the control loop: for them the
+ * schedule selects 1-based *job spec indices* rather than intervals,
+ * and the optional "*attempts" suffix bounds how many attempts of a
+ * selected job fail (default 0 = every attempt, which quarantines
+ * the job; "*1" fails only the first attempt, which the retry layer
+ * salvages). Example:
+ *
+ *   job_crash@3*1,alloc_fail@5
+ *
+ * crashes the first attempt of every 3rd job and every attempt of
+ * every 5th job. Exec kinds are only valid in prism_bench's --chaos
+ * option; the simulation-level --faults spec rejects them.
  */
 
 #ifndef PRISM_FAULT_FAULT_INJECTOR_HH
@@ -51,19 +66,34 @@ enum class FaultKind : unsigned
     PoisonInf,        ///< "inf": Inf into one Equation 1 input
     QuantSaturate,    ///< "quant": saturate the probability encoding
     ShadowSkew,       ///< "shadow": mis-scale shadow-tag estimates
+
+    // --- exec-level chaos (sweep execution layer; schedules select
+    // --- job spec indices, not intervals) ---
+    JobCrash,  ///< "job_crash": throw from inside the job attempt
+    JobStall,  ///< "job_stall": hang the attempt (deadline target)
+    TornWrite, ///< "torn_write": truncate a checkpoint flush
+    AllocFail, ///< "alloc_fail": inject std::bad_alloc into the job
 };
 
-inline constexpr unsigned numFaultKinds = 7;
+inline constexpr unsigned numFaultKinds = 11;
 
 /** Spec keyword for @p kind ("occ", "nan", ...). */
 const char *faultKindName(FaultKind kind);
 
-/** One parsed clause of a fault spec: kind@period[+phase]. */
+/** Whether @p kind targets the exec layer rather than the sim. */
+bool isExecFaultKind(FaultKind kind);
+
+/** One parsed clause of a fault spec: kind@period[+phase][*attempts]. */
 struct FaultClause
 {
     FaultKind kind = FaultKind::CorruptOccupancy;
     std::uint64_t period = 1; ///< fire every this many intervals
     std::uint64_t phase = 0;  ///< first firing interval; 0 = period
+    /**
+     * Exec kinds only: number of failing attempts per selected job
+     * (0 = every attempt). Simulation kinds ignore it.
+     */
+    std::uint64_t attempts = 0;
 
     /** Whether this clause fires at 1-based interval @p interval. */
     bool
@@ -71,6 +101,13 @@ struct FaultClause
     {
         const std::uint64_t first = phase ? phase : period;
         return interval >= first && (interval - first) % period == 0;
+    }
+
+    /** Exec kinds: whether 1-based attempt @p attempt still fails. */
+    bool
+    firesAtAttempt(std::uint64_t attempt) const
+    {
+        return attempts == 0 || attempt <= attempts;
     }
 };
 

@@ -87,12 +87,18 @@ replFromName(std::string_view name, ReplKind &kind)
 double
 RunResult::antt() const
 {
+    // Quarantined sweep jobs carry an empty (default) result; report
+    // NaN instead of tripping the metric layer's input validation.
+    if (ipc.empty() || ipcStandalone.empty())
+        return std::numeric_limits<double>::quiet_NaN();
     return prism::antt(ipcStandalone, ipc);
 }
 
 double
 RunResult::fairness() const
 {
+    if (ipc.empty() || ipcStandalone.empty())
+        return std::numeric_limits<double>::quiet_NaN();
     return prism::fairness(ipcStandalone, ipc);
 }
 
@@ -153,7 +159,8 @@ Runner::makeScheme(SchemeKind kind, const SchemeOptions &options,
 }
 
 double
-Runner::standaloneIpc(const std::string &benchmark)
+Runner::standaloneIpc(const std::string &benchmark,
+                      const CancelToken *cancel)
 {
     // The memo is keyed by the solo machine fingerprint so Runners
     // with different configurations can share one memo without
@@ -173,6 +180,7 @@ Runner::standaloneIpc(const std::string &benchmark)
             w.benchmarks = {benchmark};
 
             System system(solo, w, nullptr);
+            system.setCancelToken(cancel);
             const SystemResult res = system.run();
             return res.cores[0].ipc();
         });
@@ -200,7 +208,8 @@ Runner::run(const Workload &workload, SchemeKind kind,
     out.benchmarks = workload.benchmarks;
 
     for (const auto &bench : workload.benchmarks)
-        out.ipcStandalone.push_back(standaloneIpc(bench));
+        out.ipcStandalone.push_back(
+            standaloneIpc(bench, options.cancel));
 
     // PriSM-Q pins its IPC floor to core 0's stand-alone IPC.
     const double qos_target =
@@ -211,6 +220,12 @@ Runner::run(const Workload &workload, SchemeKind kind,
         std::vector<FaultClause> clauses;
         const Status st = parseFaultSpec(options.faultSpec, clauses);
         fatalIf(!st.ok(), st.message());
+        for (const FaultClause &c : clauses)
+            fatalIf(isExecFaultKind(c.kind),
+                    std::string("Runner::run: exec-level fault kind '") +
+                        faultKindName(c.kind) +
+                        "' is only valid in the sweep chaos spec "
+                        "(prism_bench --chaos)");
         injector = std::make_unique<FaultInjector>(
             std::move(clauses), config_.seed ^ 0xFA017EC7ULL);
     }
@@ -228,6 +243,7 @@ Runner::run(const Workload &workload, SchemeKind kind,
             options.telemetry.capacity);
 
     System system(config_, workload, scheme.get());
+    system.setCancelToken(options.cancel);
     system.llc().setChecked(options.checked);
     if (recorder) {
         system.setRecorder(recorder.get());

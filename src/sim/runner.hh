@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancel.hh"
 #include "common/concurrent_memo.hh"
 #include "sim/machine_config.hh"
 #include "sim/system.hh"
@@ -97,6 +98,16 @@ struct SchemeOptions
      * instead of propagating violations.
      */
     bool checked = false;
+
+    /**
+     * Cooperative cancellation (non-owning; null = never cancelled).
+     * The simulation polls the token every few thousand scheduler
+     * steps and unwinds with CancelledError — the job supervisor's
+     * deadline watchdog and prism_bench's SIGINT handler both feed
+     * this. Purely observational until it fires: results are
+     * identical with or without a token attached.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Full outcome of one workload run under one scheme. */
@@ -189,9 +200,12 @@ class Runner
     /**
      * Stand-alone IPC of @p benchmark on this machine (whole LLC,
      * unmanaged); memoised across calls and across every Runner
-     * sharing this memo.
+     * sharing this memo. A non-null @p cancel makes the reference
+     * simulation cancellable; a cancelled computation is not
+     * memoised, so a later retry computes it afresh.
      */
-    double standaloneIpc(const std::string &benchmark);
+    double standaloneIpc(const std::string &benchmark,
+                         const CancelToken *cancel = nullptr);
 
     /** The memo backing standaloneIpc(). */
     const std::shared_ptr<StandaloneIpcMemo> &

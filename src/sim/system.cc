@@ -213,6 +213,7 @@ System::run()
                 }
             }
             step(next);
+            pollCancel();
             if (!done[next] &&
                 cores_[next].instructions >= config_.warmupInstr) {
                 done[next] = 1;
@@ -244,6 +245,7 @@ System::run()
             }
         }
         step(next);
+        pollCancel();
         Core &c = cores_[next];
         if (!c.finished && c.instructions >= config_.instrBudget) {
             c.finished = true;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cache/l1_cache.hh"
+#include "common/cancel.hh"
 #include "common/rng.hh"
 #include "cache/partition_scheme.hh"
 #include "cache/shared_cache.hh"
@@ -104,6 +105,16 @@ class System
      */
     void setRecorder(telemetry::IntervalRecorder *recorder);
 
+    /**
+     * Attach a cancellation token (non-owning; null detaches). run()
+     * polls it every few thousand scheduler steps and throws
+     * CancelledError once it fires, leaving the run unfinished; the
+     * caller discards the System. Cooperative only: a token cannot
+     * interrupt a single step, so cancellation latency is one poll
+     * window of simulated progress, never a torn simulator state.
+     */
+    void setCancelToken(const CancelToken *cancel) { cancel_ = cancel; }
+
   private:
     struct Core
     {
@@ -145,7 +156,20 @@ class System
     std::vector<Core> cores_;
     PartitionScheme *scheme_;
 
+    /** Throw CancelledError when the attached token fired. */
+    void
+    pollCancel()
+    {
+        // Poll every 8192 steps: frequent enough for sub-second
+        // cancellation latency, rare enough to stay invisible in
+        // profiles.
+        if (cancel_ && (++cancel_check_ & 0x1FFFu) == 0)
+            cancel_->poll();
+    }
+
     telemetry::IntervalRecorder *recorder_ = nullptr; ///< non-owning
+    const CancelToken *cancel_ = nullptr;             ///< non-owning
+    std::uint64_t cancel_check_ = 0;
     std::uint64_t seen_ownership_repairs_ = 0;
 };
 

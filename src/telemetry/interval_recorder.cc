@@ -23,6 +23,12 @@ eventKindName(EventKind kind)
         return "fallback_entered";
       case EventKind::OwnershipRepair:
         return "ownership_repair";
+      case EventKind::JobRetry:
+        return "job_retry";
+      case EventKind::JobTimeout:
+        return "job_timeout";
+      case EventKind::JobQuarantine:
+        return "job_quarantine";
     }
     return "?";
 }

@@ -77,6 +77,12 @@ enum class EventKind
     DistributionRepair, ///< auditor clamped/renormalised E
     FallbackEntered,    ///< E unrecoverable; repl policy serves
     OwnershipRepair,    ///< cache occupancy counters were repaired
+
+    // Exec-layer events (sweep supervision): the interval index
+    // carries the 1-based job spec index, the value the attempt.
+    JobRetry,      ///< a failed attempt was retried
+    JobTimeout,    ///< an attempt hit the deadline watchdog
+    JobQuarantine, ///< the job exhausted its attempts
 };
 
 const char *eventKindName(EventKind kind);

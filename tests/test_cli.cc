@@ -186,6 +186,17 @@ TEST(Cli, BadFaultSpecFails)
     EXPECT_EQ(code2, 2);
 }
 
+TEST(Cli, ExecFaultKindRejectedInSimSpec)
+{
+    // job_crash/job_stall/torn_write/alloc_fail target the sweep
+    // execution layer; the per-run --faults spec must refuse them.
+    const auto [code, out] = run(
+        "--mix 403.gcc,186.crafty --instr 50000 --warmup 10000 "
+        "--faults job_crash@3");
+    EXPECT_NE(code, 0);
+    EXPECT_NE(out.find("exec-level fault kind"), std::string::npos);
+}
+
 TEST(Cli, InvalidConfigurationFails)
 {
     const auto [code, out] = run(

@@ -107,6 +107,62 @@ TEST(FaultSpec, RejectsMalformedInput)
               std::string::npos);
 }
 
+TEST(FaultSpec, ExecKindsAreClassified)
+{
+    for (const FaultKind k :
+         {FaultKind::JobCrash, FaultKind::JobStall,
+          FaultKind::TornWrite, FaultKind::AllocFail}) {
+        EXPECT_TRUE(isExecFaultKind(k)) << faultKindName(k);
+    }
+    for (const FaultKind k :
+         {FaultKind::CorruptOccupancy, FaultKind::StaleSnapshot,
+          FaultKind::DropRecompute, FaultKind::PoisonNan,
+          FaultKind::PoisonInf, FaultKind::QuantSaturate,
+          FaultKind::ShadowSkew}) {
+        EXPECT_FALSE(isExecFaultKind(k)) << faultKindName(k);
+    }
+}
+
+TEST(FaultSpec, ParsesAttemptBoundOnExecKinds)
+{
+    const auto clauses = parseOk("job_crash@3*1,job_stall@2+1*2");
+    ASSERT_EQ(clauses.size(), 2u);
+    EXPECT_EQ(clauses[0].kind, FaultKind::JobCrash);
+    EXPECT_EQ(clauses[0].period, 3u);
+    EXPECT_EQ(clauses[0].attempts, 1u);
+    EXPECT_EQ(clauses[1].kind, FaultKind::JobStall);
+    EXPECT_EQ(clauses[1].period, 2u);
+    EXPECT_EQ(clauses[1].phase, 1u);
+    EXPECT_EQ(clauses[1].attempts, 2u);
+
+    // Default: every attempt fails (the quarantine schedule).
+    const auto unbounded = parseOk("alloc_fail@4");
+    EXPECT_EQ(unbounded[0].attempts, 0u);
+}
+
+TEST(FaultSpec, RejectsAttemptBoundMisuse)
+{
+    std::vector<FaultClause> out;
+    // '*attempts' belongs to the exec layer only.
+    const Status st = parseFaultSpec("nan@3*1", out);
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("exec-level"), std::string::npos);
+    EXPECT_FALSE(parseFaultSpec("job_crash@3*", out).ok());
+    EXPECT_FALSE(parseFaultSpec("job_crash@3*x", out).ok());
+    EXPECT_FALSE(parseFaultSpec("job_crash@*1", out).ok());
+}
+
+TEST(FaultSpec, AttemptScheduleBoundsFailingAttempts)
+{
+    const auto clauses = parseOk("job_crash@2*2");
+    const FaultClause &c = clauses[0];
+    EXPECT_FALSE(c.firesAt(1));
+    EXPECT_TRUE(c.firesAt(2));
+    EXPECT_TRUE(c.firesAtAttempt(1));
+    EXPECT_TRUE(c.firesAtAttempt(2));
+    EXPECT_FALSE(c.firesAtAttempt(3));
+}
+
 TEST(FaultSpec, ClauseFiringSchedule)
 {
     FaultClause every3{FaultKind::PoisonNan, 3, 0};

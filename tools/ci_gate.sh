@@ -37,4 +37,27 @@ trap 'rm -rf "$out"' EXIT
     --compare "$repo/tests/golden/BENCH_fixture.json" \
     "$out/BENCH_fixture.json" --tolerance "$tolerance"
 
+echo "== chaos gate =="
+# Salvage: first-attempt crashes and allocation failures must be
+# retried to full recovery — the sweep, and its doctor verdict,
+# succeed end to end (docs/RELIABILITY.md).
+chaos_out=$(mktemp -d)
+trap 'rm -rf "$out" "$chaos_out"' EXIT
+"$build/tools/prism_bench" fixture --no-timing --out "$chaos_out" \
+    --chaos 'job_crash@3*1,alloc_fail@4*1' --doctor >/dev/null
+# Quarantine: a job whose every attempt fails must be quarantined,
+# fail the run with a non-zero exit, and FAIL the doctor verdict on
+# the emitted manifest — never crash the process.
+if "$build/tools/prism_bench" fixture --no-timing \
+    --out "$chaos_out" --retries 1 --chaos 'job_crash@4' \
+    >/dev/null 2>&1; then
+    echo "chaos gate: quarantined sweep must exit non-zero" >&2
+    exit 1
+fi
+if "$build/tools/prism_doctor" "$chaos_out/BENCH_fixture.json" \
+    >/dev/null; then
+    echo "chaos gate: doctor must FAIL on quarantined jobs" >&2
+    exit 1
+fi
+
 echo "== gate passed =="

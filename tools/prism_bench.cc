@@ -7,8 +7,19 @@
  * a thread pool with deterministic per-job seeding — the tables and
  * the BENCH_<id>.json files are bit-identical at every --threads
  * value (timing fields aside). See docs/BENCHMARKING.md.
+ *
+ * Sweeps run supervised by default (docs/RELIABILITY.md): failing
+ * jobs are retried with deterministic backoff and quarantined after
+ * their attempt budget, so a sweep always completes with a
+ * salvaged-vs-failed manifest. `--ckpt FILE` makes the run
+ * crash-safe — a killed or interrupted sweep resumes with `--resume`
+ * and merges to byte-identical output. SIGINT/SIGTERM flush a final
+ * checkpoint before exiting.
  */
 
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -17,6 +28,16 @@
 
 namespace
 {
+
+/** Set by the SIGINT/SIGTERM handler; observed by the sweep runner,
+ * which then skips queued jobs and cancels running attempts. */
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+stopHandler(int)
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
 
 int
 usage(std::ostream &os, const char *argv0)
@@ -47,6 +68,30 @@ usage(std::ostream &os, const char *argv0)
        << "                 write the verdicts as a prism-doctor-v1\n"
        << "                 document (implies --doctor; single figure\n"
        << "                 only; byte-identical at any --threads)\n"
+       << "\n"
+       << "fault tolerance (docs/RELIABILITY.md):\n"
+       << "  --no-supervise raw execution: no retry, no quarantine;\n"
+       << "                 a throwing job aborts the process\n"
+       << "  --retries N    retries per job after the first attempt\n"
+       << "                 (default 2; transients and timeouts only)\n"
+       << "  --deadline S   per-attempt deadline in seconds; stalled\n"
+       << "                 jobs are cancelled and retried (default:\n"
+       << "                 no watchdog)\n"
+       << "  --chaos SPEC   inject exec-level faults, e.g.\n"
+       << "                 'job_crash@3*1,alloc_fail@4' — kind@job\n"
+       << "                 [+phase][*attempts]; kinds: job_crash,\n"
+       << "                 job_stall, torn_write, alloc_fail\n"
+       << "  --chaos-seed N seed for backoff jitter (results never\n"
+       << "                 depend on it)\n"
+       << "  --ckpt FILE    crash-safe checkpoint (*.ckpt.json):\n"
+       << "                 completed jobs are flushed atomically so\n"
+       << "                 a killed run can resume (single figure\n"
+       << "                 only)\n"
+       << "  --ckpt-every N flush cadence in completed jobs\n"
+       << "                 (default 1)\n"
+       << "  --resume       restore completed jobs from --ckpt FILE;\n"
+       << "                 the merged output is byte-identical to an\n"
+       << "                 uninterrupted run\n"
        << "\n"
        << "environment: PRISM_BENCH_SCALE multiplies instruction\n"
        << "budgets; PRISM_BENCH_WORKLOADS caps workloads per suite\n"
@@ -116,6 +161,34 @@ main(int argc, char **argv)
         } else if (arg == "--doctor-json") {
             options.doctorJsonPath = value();
             options.doctor = true;
+        } else if (arg == "--no-supervise") {
+            options.supervise = false;
+        } else if (arg == "--retries") {
+            options.retries =
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--deadline") {
+            options.deadlineSeconds = std::atof(value().c_str());
+        } else if (arg == "--chaos") {
+            options.chaosSpec = value();
+        } else if (arg == "--chaos-seed") {
+            options.chaosSeed =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--ckpt") {
+            options.ckptPath = value();
+        } else if (arg == "--ckpt-every") {
+            const long n = std::atol(value().c_str());
+            if (n <= 0) {
+                std::cerr << "--ckpt-every must be at least 1\n";
+                return 2;
+            }
+            options.ckptEvery = static_cast<unsigned>(n);
+        } else if (arg == "--resume") {
+            options.resume = true;
+        } else if (arg == "--die-after") {
+            // Undocumented test hook: SIGKILL after the Nth executed
+            // job's checkpoint flush (tests/test_resume.cc).
+            options.dieAfter =
+                static_cast<unsigned>(std::atoi(value().c_str()));
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "unknown option '" << arg << "'\n";
             return usage(std::cerr, argv[0]);
@@ -144,6 +217,22 @@ main(int argc, char **argv)
                      "figure\n";
         return 2;
     }
+    if (options.resume && options.ckptPath.empty()) {
+        std::cerr << "--resume requires --ckpt FILE\n";
+        return 2;
+    }
+    if (ids.size() > 1 && !options.ckptPath.empty()) {
+        std::cerr << "--ckpt writes one file: select a single "
+                     "figure\n";
+        return 2;
+    }
+
+    // A stop request drains the sweep cooperatively: queued jobs are
+    // skipped, running attempts cancel at their next poll, and the
+    // checkpoint (when configured) gets a final flush before exit.
+    options.stopFlag = &g_stop;
+    std::signal(SIGINT, stopHandler);
+    std::signal(SIGTERM, stopHandler);
 
     int rc = 0;
     for (std::size_t i = 0; i < ids.size(); ++i) {
@@ -155,7 +244,13 @@ main(int argc, char **argv)
         }
         if (i > 0)
             std::cout << "\n";
-        rc |= runFigure(*fig, options);
+        const int fig_rc = runFigure(*fig, options);
+        rc |= fig_rc;
+        if (fig_rc == 130) {
+            // Interrupted: state is checkpointed, stop the batch.
+            rc = 130;
+            break;
+        }
     }
     return rc;
 }

@@ -3,13 +3,17 @@
  * prism_doctor — control-loop diagnostics for PriSM runs.
  *
  * Consumes a recorded run (a `prism-stats-v1` statistics dump, a
- * `prism-trace-v1` Chrome trace, or a `prism-bench-v1` sweep file —
- * the schema is auto-detected), or executes one fresh simulation
- * in-process (`--run "<prism_sim flags>"`), and prints a health
- * report: occupancy-tracking convergence, eviction-distribution
- * stability, invariant drift, QoS/fairness attainment and the
- * robustness counters. With `--json` the same findings are written as
- * a deterministic `prism-doctor-v1` document.
+ * `prism-trace-v1` Chrome trace, a `prism-bench-v1` sweep file, or a
+ * `prism-ckpt-v1` checkpoint via `--ckpt` — the schema is
+ * auto-detected, `*.ckpt.json` included), or executes one fresh
+ * simulation in-process (`--run "<prism_sim flags>"`), and prints a
+ * health report: occupancy-tracking convergence,
+ * eviction-distribution stability, invariant drift, QoS/fairness
+ * attainment and the robustness counters. Bench documents also grade
+ * the exec manifest (docs/RELIABILITY.md): retried/timed-out jobs
+ * WARN, quarantined jobs and corrupt checkpoints FAIL. With `--json`
+ * the same findings are written as a deterministic `prism-doctor-v1`
+ * document.
  *
  * `--compare A.json B.json` switches to regression mode: two
  * `prism-bench-v1` files are diffed metric-by-metric under relative
@@ -37,6 +41,8 @@
 #include "analysis/doctor.hh"
 #include "analysis/run_spec.hh"
 #include "analysis/series.hh"
+#include "common/atomic_file.hh"
+#include "exec/checkpoint.hh"
 
 using namespace prism;
 using namespace prism::analysis;
@@ -55,6 +61,10 @@ usage(std::ostream &os)
         "  --stats FILE         force prism-stats-v1 input\n"
         "  --trace FILE         force prism-trace-v1 input\n"
         "  --bench FILE         force prism-bench-v1 input\n"
+        "  --ckpt FILE          validate a prism-ckpt-v1 sweep\n"
+        "                       checkpoint (*.ckpt.json paths are\n"
+        "                       auto-detected); a corrupt file is a\n"
+        "                       FAIL verdict, not an input error\n"
         "  --run \"FLAGS\"        simulate one run in-process and\n"
         "                       diagnose it (prism_sim run flags:\n"
         "                       --workload/--mix/--scheme/--repl/\n"
@@ -104,6 +114,7 @@ enum class InputKind
     Stats,
     Trace,
     Bench,
+    Ckpt,
 };
 
 struct Options
@@ -133,6 +144,78 @@ detectKind(const JsonValue &doc, const std::string &path)
               << ": unrecognised document (expected prism-stats-v1, "
                  "prism-trace-v1 or prism-bench-v1)\n";
     std::exit(2);
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/**
+ * Validate a sweep checkpoint. Unlike the other inputs, a corrupt
+ * file here is the finding itself (the atomic-write path exists
+ * exactly to prevent it), so it yields a FAIL verdict and exit 1
+ * rather than a usage error.
+ */
+Verdict
+checkCheckpoint(const std::string &path)
+{
+    Verdict v;
+    v.run = "exec";
+    Finding f;
+    f.check = "exec.checkpoint";
+    CheckpointData data;
+    if (const Status st = loadCheckpoint(path, data); !st.ok()) {
+        f.status = FindingStatus::Fail;
+        f.detail = st.message();
+    } else {
+        f.status = FindingStatus::Pass;
+        f.detail = std::to_string(data.jobs.size()) +
+                   " completed job(s) of sweep '" + data.sweep +
+                   "' (fingerprint " + data.fingerprint + ")";
+        f.value = static_cast<double>(data.jobs.size());
+        f.hasValue = true;
+    }
+    v.findings.push_back(std::move(f));
+    v.overall = v.findings.back().status;
+    return v;
+}
+
+/** Hand-built verdict for a bench job that carries an "error"
+ * object (quarantined or skipped) instead of a result. */
+Verdict
+failedJobVerdict(const JsonValue &job)
+{
+    const JsonValue &error = job.at("error");
+    const std::string state = error.at("state").asString();
+    const std::uint64_t attempts = error.at("attempts").asU64();
+
+    Verdict v;
+    v.run = job.at("id").asString();
+    Finding f;
+    if (state == "skipped") {
+        f.check = "exec.job_skipped";
+        f.status = FindingStatus::Warn;
+        f.detail = "not executed (shutdown requested)";
+    } else {
+        f.check = "exec.job_quarantined";
+        f.status = FindingStatus::Fail;
+        f.detail = "quarantined after " + std::to_string(attempts) +
+                   " attempts";
+        const auto &failures = error.at("failures").elements();
+        if (!failures.empty())
+            f.detail += " (last: " +
+                        failures.back().at("message").asString() +
+                        ")";
+    }
+    f.value = static_cast<double>(attempts);
+    f.hasValue = true;
+    v.findings.push_back(std::move(f));
+    v.overall = v.findings.back().status;
+    return v;
 }
 
 /** Simulate the --run spec and build its series view. */
@@ -185,6 +268,9 @@ main(int argc, char **argv)
         } else if (arg == "--bench") {
             opt.file = value();
             opt.kind = InputKind::Bench;
+        } else if (arg == "--ckpt") {
+            opt.file = value();
+            opt.kind = InputKind::Ckpt;
         } else if (arg == "--run") {
             opt.run = value();
         } else if (arg == "--compare") {
@@ -245,53 +331,78 @@ main(int argc, char **argv)
             cliError("more than one input file given");
         }
 
-        const JsonValue doc = loadJson(opt.file);
         InputKind kind = opt.kind;
-        if (kind == InputKind::Auto)
-            kind = detectKind(doc, opt.file);
+        // Checkpoints are validated before JSON parsing: a torn
+        // write must surface as a FAIL verdict, not an exit-2
+        // parse error.
+        if (kind == InputKind::Auto && endsWith(opt.file, ".ckpt.json"))
+            kind = InputKind::Ckpt;
+        if (kind == InputKind::Ckpt) {
+            source = "ckpt";
+            jobs.push_back(checkCheckpoint(opt.file));
+        } else {
+            const JsonValue doc = loadJson(opt.file);
+            if (kind == InputKind::Auto)
+                kind = detectKind(doc, opt.file);
 
-        Status st;
-        switch (kind) {
-          case InputKind::Stats: {
-            source = "stats";
-            RunSeries s;
-            st = seriesFromStatsJson(doc, s);
-            if (st.ok())
-                jobs.push_back(analyze(s, thresholds));
-            break;
-          }
-          case InputKind::Trace: {
-            source = "trace";
-            std::vector<RunSeries> runs;
-            st = seriesFromTraceJson(doc, runs);
-            for (const RunSeries &s : runs)
-                jobs.push_back(analyze(s, thresholds));
-            break;
-          }
-          case InputKind::Bench: {
-            source = "bench";
-            if (doc.at("schema").asString() != "prism-bench-v1") {
-                st = Status::error(
-                    "not a prism-bench-v1 document");
+            Status st;
+            switch (kind) {
+              case InputKind::Stats: {
+                source = "stats";
+                RunSeries s;
+                st = seriesFromStatsJson(doc, s);
+                if (st.ok())
+                    jobs.push_back(analyze(s, thresholds));
+                break;
+              }
+              case InputKind::Trace: {
+                source = "trace";
+                std::vector<RunSeries> runs;
+                st = seriesFromTraceJson(doc, runs);
+                for (const RunSeries &s : runs)
+                    jobs.push_back(analyze(s, thresholds));
+                break;
+              }
+              case InputKind::Bench: {
+                source = "bench";
+                if (doc.at("schema").asString() !=
+                    "prism-bench-v1") {
+                    st = Status::error(
+                        "not a prism-bench-v1 document");
+                    break;
+                }
+                for (const JsonValue &job :
+                     doc.at("jobs").elements()) {
+                    // Quarantined/skipped jobs carry an "error"
+                    // object instead of a result; report the
+                    // execution failure directly.
+                    if (job.at("error").isObject()) {
+                        jobs.push_back(failedJobVerdict(job));
+                        continue;
+                    }
+                    RunSeries s;
+                    st = seriesFromBenchJob(job, s);
+                    if (!st.ok())
+                        break;
+                    jobs.push_back(analyze(s, thresholds));
+                }
+                // Supervised sweeps with retries/quarantines also
+                // carry an exec manifest; diagnose it too.
+                ExecSeries exec_series;
+                if (st.ok() &&
+                    execSeriesFromBenchDoc(doc, exec_series))
+                    jobs.push_back(analyzeExec(exec_series));
+                break;
+              }
+              case InputKind::Auto:
+              case InputKind::Ckpt:
                 break;
             }
-            for (const JsonValue &job :
-                 doc.at("jobs").elements()) {
-                RunSeries s;
-                st = seriesFromBenchJob(job, s);
-                if (!st.ok())
-                    break;
-                jobs.push_back(analyze(s, thresholds));
+            if (!st.ok()) {
+                std::cerr << "prism_doctor: " << opt.file << ": "
+                          << st.message() << "\n";
+                return 2;
             }
-            break;
-          }
-          case InputKind::Auto:
-            break;
-        }
-        if (!st.ok()) {
-            std::cerr << "prism_doctor: " << opt.file << ": "
-                      << st.message() << "\n";
-            return 2;
         }
     }
 
@@ -308,13 +419,17 @@ main(int argc, char **argv)
         if (opt.json_path == "-") {
             writeDoctorDocument(std::cout, source, jobs, thresholds);
         } else {
-            std::ofstream out(opt.json_path);
-            if (!out) {
+            const Status st = writeFileAtomic(
+                opt.json_path, [&](std::ostream &out) {
+                    writeDoctorDocument(out, source, jobs,
+                                        thresholds);
+                });
+            if (!st.ok()) {
                 std::cerr << "prism_doctor: cannot write "
-                          << opt.json_path << "\n";
+                          << opt.json_path << ": " << st.message()
+                          << "\n";
                 return 2;
             }
-            writeDoctorDocument(out, source, jobs, thresholds);
         }
     }
 

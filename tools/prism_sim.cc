@@ -25,6 +25,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/atomic_file.hh"
 #include "common/table.hh"
 #include "fault/fault_injector.hh"
 #include "sim/runner.hh"
@@ -346,16 +347,11 @@ main(int argc, char **argv)
     std::ostringstream stats;
     if (opt.stats)
         scheme_opt.statsSink = &stats;
-    std::ofstream stats_json;
-    if (!opt.stats_json.empty()) {
-        stats_json.open(opt.stats_json);
-        if (!stats_json) {
-            std::cerr << "prism_sim: cannot write " << opt.stats_json
-                      << "\n";
-            return 1;
-        }
+    // Buffered and written atomically after the run (tmp + rename):
+    // a crash mid-run never leaves a truncated JSON file behind.
+    std::ostringstream stats_json;
+    if (!opt.stats_json.empty())
         scheme_opt.statsJsonSink = &stats_json;
-    }
 
     const bool tracing = !opt.trace.empty() || !opt.trace_csv.empty();
     telemetry::MetricsRegistry metrics;
@@ -369,6 +365,16 @@ main(int argc, char **argv)
     const RunResult res =
         runner.run(workload, scheme_kind, scheme_opt);
 
+    if (!opt.stats_json.empty()) {
+        if (const Status st =
+                writeFileAtomic(opt.stats_json, stats_json.str());
+            !st.ok()) {
+            std::cerr << "prism_sim: cannot write " << opt.stats_json
+                      << ": " << st.message() << "\n";
+            return 1;
+        }
+    }
+
     if (tracing) {
         const telemetry::TraceJob job{
             workload.name + "/" + res.scheme, res.recorder.get()};
@@ -376,22 +382,28 @@ main(int argc, char **argv)
         trace_opt.includeWallTime = opt.trace_wall;
         const telemetry::TraceWriter writer(trace_opt);
         if (!opt.trace.empty()) {
-            std::ofstream file(opt.trace);
-            if (!file) {
+            const Status st = writeFileAtomic(
+                opt.trace, [&](std::ostream &file) {
+                    writer.writeChromeTrace(file, {&job, 1},
+                                            &metrics);
+                });
+            if (!st.ok()) {
                 std::cerr << "prism_sim: cannot write " << opt.trace
+                          << ": " << st.message() << "\n";
+                return 1;
+            }
+        }
+        if (!opt.trace_csv.empty()) {
+            const Status st = writeFileAtomic(
+                opt.trace_csv, [&](std::ostream &file) {
+                    writer.writeCsv(file, {&job, 1});
+                });
+            if (!st.ok()) {
+                std::cerr << "prism_sim: cannot write "
+                          << opt.trace_csv << ": " << st.message()
                           << "\n";
                 return 1;
             }
-            writer.writeChromeTrace(file, {&job, 1}, &metrics);
-        }
-        if (!opt.trace_csv.empty()) {
-            std::ofstream file(opt.trace_csv);
-            if (!file) {
-                std::cerr << "prism_sim: cannot write "
-                          << opt.trace_csv << "\n";
-                return 1;
-            }
-            writer.writeCsv(file, {&job, 1});
         }
         // The trace header records drop totals, but nobody reads a
         // header they don't expect — surface truncation on the
