@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Recorded seed baseline for the hot-path gate.
+ *
+ * Measured at the pre-optimization tree (commit 894adb6: linear
+ * inverse-CDF Core-Selection, per-block AoS metadata, per-access
+ * occupancy updates, unfused victim scan) by compiling
+ * bench/micro_common.hh's exact contract + timing streams against
+ * that tree and taking the best of repeated runs — the conservative
+ * choice: the gate compares against the *fastest* seed observed.
+ *
+ * Reference host: 1 vCPU Xeon @ 2.1 GHz, 260 MB L3, g++ 12, -O2.
+ * All simulated LLC metadata is L3-resident on this host, so these
+ * rates measure instruction-path cost, not memory capacity.
+ *
+ * Honest-measurement note (docs/BENCHMARKING.md): a zero-overhead
+ * floor probe — the same 32-core mix against a minimal inlined
+ * SoA + stamp-LRU model with no scheme, no telemetry and no
+ * interval machinery — tops out near 10 M accesses/s on this host,
+ * i.e. ~3.5x the seed. End-to-end access throughput therefore
+ * cannot reach the 10x aspiration of the issue on this hardware no
+ * matter the implementation; the achieved ~2.3-2.6x sits against
+ * that ~3.5x ceiling. The 10x algorithmic win of O(1)
+ * Core-Selection is demonstrated where it is measurable in
+ * isolation: the sampler draws/sec A/B in the same binary
+ * (`hotpath/sampler_32core`), gated at >= minSamplerSpeedup32.
+ */
+
+#ifndef PRISM_BENCH_MICRO_BASELINE_HH
+#define PRISM_BENCH_MICRO_BASELINE_HH
+
+namespace prism::microbench
+{
+
+/** Seed accesses/sec, 32-core mix (best of 4 runs, 2026-08-09). */
+inline constexpr double seedMix32AccessesPerSec = 3'134'465.0;
+
+/** Seed accesses/sec, 4-core mix (best of 4 runs, 2026-08-09). */
+inline constexpr double seedMix4AccessesPerSec = 8'061'894.0;
+
+/**
+ * Gate: end-to-end accesses/sec on the 32-core mix must stay at
+ * least this multiple of the recorded seed rate. Measured 2.2-2.6x
+ * across runs; 1.8 leaves headroom for scheduler noise on shared
+ * CI hosts while still failing on any real hot-path regression.
+ */
+inline constexpr double minAccessSpeedupMix32 = 1.8;
+
+/**
+ * Gate: O(1) sampler vs the seed's O(n) inverse-CDF walk at 32
+ * cores, same binary, same draws. Algorithmic, machine-independent.
+ */
+inline constexpr double minSamplerSpeedup32 = 10.0;
+
+} // namespace prism::microbench
+
+#endif // PRISM_BENCH_MICRO_BASELINE_HH

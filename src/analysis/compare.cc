@@ -12,7 +12,20 @@ double
 CompareOptions::toleranceFor(const std::string &metric) const
 {
     const auto it = metricTolerance.find(metric);
-    return it != metricTolerance.end() ? it->second : relTolerance;
+    if (it != metricTolerance.end())
+        return it->second;
+    // Wildcard entries ("*_per_sec") match by suffix, so one
+    // override can cover every timing-family metric of a document.
+    for (const auto &[key, tol] : metricTolerance) {
+        if (key.size() < 2 || key.front() != '*')
+            continue;
+        const std::string_view suffix(key.data() + 1, key.size() - 1);
+        if (metric.size() >= suffix.size() &&
+            metric.compare(metric.size() - suffix.size(),
+                           suffix.size(), suffix) == 0)
+            return tol;
+    }
+    return relTolerance;
 }
 
 namespace

@@ -29,7 +29,12 @@ struct CompareOptions
 {
     /** Relative tolerance applied to every numeric metric. */
     double relTolerance = 0.0;
-    /** Per-metric overrides, keyed by metric name (e.g. "ipc"). */
+    /**
+     * Per-metric overrides, keyed by metric name (e.g. "ipc"). A
+     * key starting with '*' matches by suffix ("*_per_sec" covers
+     * "alias_draws_per_sec" and "accesses_per_sec"); exact keys win
+     * over wildcards.
+     */
     std::map<std::string, double> metricTolerance;
 
     double toleranceFor(const std::string &metric) const;

@@ -128,7 +128,7 @@ class PartitionScheme
      *         underlying replacement policy update normally.
      */
     virtual bool
-    onHit(SharedCache &cache, CoreId core, SetView set, int way)
+    onHit(SharedCache &cache, CoreId core, const SetView &set, int way)
     {
         (void)cache;
         (void)core;
@@ -143,14 +143,14 @@ class PartitionScheme
      * invalid ways itself).
      */
     virtual int chooseVictim(SharedCache &cache, CoreId core,
-                             SetView set) = 0;
+                             const SetView &set) = 0;
 
     /**
      * A new block was filled into @p way for @p core.
      * @return true if the scheme handled recency placement itself.
      */
     virtual bool
-    onFill(SharedCache &cache, CoreId core, SetView set, int way)
+    onFill(SharedCache &cache, CoreId core, const SetView &set, int way)
     {
         (void)cache;
         (void)core;

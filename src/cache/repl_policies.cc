@@ -28,19 +28,19 @@ class LruPolicy : public ReplacementPolicy
     std::string name() const override { return "LRU"; }
 
     void
-    onHit(SetView set, int way) override
+    onHit(const SetView &set, int way) override
     {
         recency::moveToFront(set.state, way);
     }
 
     void
-    onFill(SetView set, int way) override
+    onFill(const SetView &set, int way) override
     {
         recency::moveToFront(set.state, way);
     }
 
     int
-    victimAmong(SetView set, std::span<const char> allowed) override
+    victimAmong(const SetView &set, std::span<const char> allowed) override
     {
         const auto &order = set.state.order;
         for (auto it = order.rbegin(); it != order.rend(); ++it)
@@ -50,10 +50,12 @@ class LruPolicy : public ReplacementPolicy
     }
 
     void
-    evictionOrder(SetView set, std::vector<int> &out) override
+    evictionOrder(const SetView &set, std::vector<int> &out) override
     {
         out.assign(set.state.order.rbegin(), set.state.order.rend());
     }
+
+    bool victimOrderIsRecency() const override { return true; }
 };
 
 /**
@@ -74,19 +76,19 @@ class TimestampLruPolicy : public ReplacementPolicy
     }
 
     void
-    onHit(SetView set, int way) override
+    onHit(const SetView &set, int way) override
     {
         coarse_ts::touch(set, way);
     }
 
     void
-    onFill(SetView set, int way) override
+    onFill(const SetView &set, int way) override
     {
         coarse_ts::touch(set, way);
     }
 
     int
-    victimAmong(SetView set, std::span<const char> allowed) override
+    victimAmong(const SetView &set, std::span<const char> allowed) override
     {
         int best = invalidWay;
         unsigned best_age = 0;
@@ -106,7 +108,7 @@ class TimestampLruPolicy : public ReplacementPolicy
     }
 
     void
-    evictionOrder(SetView set, std::vector<int> &out) override
+    evictionOrder(const SetView &set, std::vector<int> &out) override
     {
         out.clear();
         for (std::size_t w = 0; w < set.ways(); ++w)
@@ -133,13 +135,13 @@ class DipPolicy : public ReplacementPolicy
     std::string name() const override { return "DIP"; }
 
     void
-    onHit(SetView set, int way) override
+    onHit(const SetView &set, int way) override
     {
         recency::moveToFront(set.state, way);
     }
 
     void
-    onFill(SetView set, int way) override
+    onFill(const SetView &set, int way) override
     {
         // Constituency-based leader selection: one LRU leader and one
         // BIP leader per 32-set constituency.
@@ -167,7 +169,7 @@ class DipPolicy : public ReplacementPolicy
     }
 
     int
-    victimAmong(SetView set, std::span<const char> allowed) override
+    victimAmong(const SetView &set, std::span<const char> allowed) override
     {
         const auto &order = set.state.order;
         for (auto it = order.rbegin(); it != order.rend(); ++it)
@@ -177,10 +179,12 @@ class DipPolicy : public ReplacementPolicy
     }
 
     void
-    evictionOrder(SetView set, std::vector<int> &out) override
+    evictionOrder(const SetView &set, std::vector<int> &out) override
     {
         out.assign(set.state.order.rbegin(), set.state.order.rend());
     }
+
+    bool victimOrderIsRecency() const override { return true; }
 
     /** Current PSEL value, exposed for tests. */
     unsigned psel() const { return psel_; }
@@ -203,19 +207,19 @@ class RandomPolicy : public ReplacementPolicy
     std::string name() const override { return "Random"; }
 
     void
-    onHit(SetView set, int way) override
+    onHit(const SetView &set, int way) override
     {
         recency::moveToFront(set.state, way);
     }
 
     void
-    onFill(SetView set, int way) override
+    onFill(const SetView &set, int way) override
     {
         recency::moveToFront(set.state, way);
     }
 
     int
-    victimAmong(SetView set, std::span<const char> allowed) override
+    victimAmong(const SetView &set, std::span<const char> allowed) override
     {
         scratch_.clear();
         for (std::size_t w = 0; w < set.ways(); ++w)
@@ -228,7 +232,7 @@ class RandomPolicy : public ReplacementPolicy
     }
 
     void
-    evictionOrder(SetView set, std::vector<int> &out) override
+    evictionOrder(const SetView &set, std::vector<int> &out) override
     {
         out.clear();
         for (std::size_t w = 0; w < set.ways(); ++w)
@@ -259,13 +263,13 @@ class RripPolicy : public ReplacementPolicy
     std::string name() const override { return "RRIP"; }
 
     void
-    onHit(SetView set, int way) override
+    onHit(const SetView &set, int way) override
     {
         set.blocks[static_cast<std::size_t>(way)].rrpv = 0;
     }
 
     void
-    onFill(SetView set, int way) override
+    onFill(const SetView &set, int way) override
     {
         const std::uint32_t mod = set.setIdx & 31u;
         const bool srrip_leader = (mod == 0);
@@ -284,7 +288,7 @@ class RripPolicy : public ReplacementPolicy
         else
             use_brrip = psel_ > pselMax / 2;
 
-        CacheBlock &blk = set.blocks[static_cast<std::size_t>(way)];
+        const BlockRef blk = set.blocks[static_cast<std::size_t>(way)];
         if (use_brrip && !rng_.chance(1.0 / 32.0))
             blk.rrpv = rrpvMax;
         else
@@ -292,7 +296,7 @@ class RripPolicy : public ReplacementPolicy
     }
 
     int
-    victimAmong(SetView set, std::span<const char> allowed) override
+    victimAmong(const SetView &set, std::span<const char> allowed) override
     {
         // Age the whole set so that at least one block is at the
         // distant-future value, then pick the oldest allowed block.
@@ -325,7 +329,7 @@ class RripPolicy : public ReplacementPolicy
     }
 
     void
-    evictionOrder(SetView set, std::vector<int> &out) override
+    evictionOrder(const SetView &set, std::vector<int> &out) override
     {
         out.clear();
         for (std::size_t w = 0; w < set.ways(); ++w)

@@ -41,10 +41,10 @@ class ReplacementPolicy
     virtual std::string name() const = 0;
 
     /** A block in @p set at @p way was hit. */
-    virtual void onHit(SetView set, int way) = 0;
+    virtual void onHit(const SetView &set, int way) = 0;
 
     /** A new block was filled into @p way (already marked valid). */
-    virtual void onFill(SetView set, int way) = 0;
+    virtual void onFill(const SetView &set, int way) = 0;
 
     /**
      * Choose a victim among the valid ways for which @p allowed is
@@ -52,18 +52,28 @@ class ReplacementPolicy
      *
      * @return Chosen way, or invalidWay if no allowed valid way.
      */
-    virtual int victimAmong(SetView set,
+    virtual int victimAmong(const SetView &set,
                             std::span<const char> allowed) = 0;
 
     /** Victim among all valid ways. */
-    int victim(SetView set) { return victimAmong(set, {}); }
+    int victim(const SetView &set) { return victimAmong(set, {}); }
+
+    /**
+     * True when victimAmong() and evictionOrder() are exactly the
+     * back-to-front walk of the per-set recency order (the LRU
+     * family: LRU and DIP). Schemes may then fuse victim
+     * identification with their own candidate scans into one walk of
+     * the order list instead of building an allowed-way mask and
+     * calling back through the interface.
+     */
+    virtual bool victimOrderIsRecency() const { return false; }
 
     /**
      * Fill @p out with the valid ways in eviction order (best victim
      * first). Used by schemes that scan replacement candidates, e.g.
      * PriSM's fallback and Vantage's demotion scan.
      */
-    virtual void evictionOrder(SetView set,
+    virtual void evictionOrder(const SetView &set,
                                std::vector<int> &out) = 0;
 };
 

@@ -13,6 +13,16 @@
  * shadow-tag estimates), lets an optional timing hook add CPI data,
  * hands it to the scheme's allocation policy, and resets the interval
  * counters.
+ *
+ * Hot-path layout: block metadata lives in per-field arrays
+ * (BlockArrays) plus an 8-bit tag-signature array, so a lookup scans
+ * one byte per way (SWAR, 8 ways per load) and touches full 8-byte
+ * tags only on signature matches. Per-core occupancy is bookkept as
+ * per-interval deltas in cache-line-private counters and folded into
+ * the audited occupancy array once per interval — the per-access
+ * read-modify-write of a shared counter array (a false-sharing
+ * hazard when many sweep jobs run side by side) is off the miss path
+ * entirely.
  */
 
 #ifndef PRISM_CACHE_SHARED_CACHE_HH
@@ -21,7 +31,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <span>
 #include <vector>
 
 #include "cache/cache_block.hh"
@@ -188,24 +197,28 @@ class SharedCache
     /** Borrowed view of set @p set_idx. */
     SetView setView(std::uint32_t set_idx);
 
-    /** Read-only view of every block frame (audit hooks). */
-    std::span<const CacheBlock>
-    blocks() const
-    {
-        return blocks_;
-    }
+    /** Read-only view of every block frame's field arrays (audits). */
+    const BlockArrays &blockArrays() const { return blocks_; }
 
     // --- occupancy & statistics ---
+
+    /**
+     * Blocks of @p core currently resident. Folds the pending
+     * per-interval delta on top of the last audited value, so
+     * mid-interval reads see the live count.
+     */
     std::uint64_t
     occupancy(CoreId core) const
     {
-        return occupancy_[core];
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(occupancy_[core]) +
+            occ_delta_[core].v);
     }
 
     double
     occupancyFraction(CoreId core) const
     {
-        return static_cast<double>(occupancy_[core]) /
+        return static_cast<double>(occupancy(core)) /
                static_cast<double>(numBlocks());
     }
 
@@ -234,32 +247,64 @@ class SharedCache
     std::uint64_t intervalLength() const { return interval_w_; }
 
   private:
+    /**
+     * Per-interval occupancy delta for one core, alone on its cache
+     * line: the only per-access-written occupancy state, private to
+     * the simulating thread (kills false sharing across sweep jobs).
+     */
+    struct alignas(64) OccDelta
+    {
+        std::int64_t v = 0;
+    };
+
     void endInterval();
+
+    /** Fold the per-interval deltas into the occupancy array. */
+    void foldOccupancy();
 
     /**
      * Recount per-core ownership from the resident blocks and repair
-     * the incremental occupancy counters if they disagree (checked
-     * mode; counters can only drift under fault injection).
+     * the occupancy counters if they disagree (checked mode; the
+     * counters can only drift under fault injection). Deltas must be
+     * folded first.
      */
     void auditAndRepairOwnership();
+
+    /** Way holding @p addr in the set at frame @p base, or -1. */
+    int findHitWay(std::size_t base, Addr addr,
+                   std::uint8_t sig) const;
+
+    /** First invalid way of the set at frame @p base. */
+    int findInvalidWay(std::size_t base) const;
 
     CacheConfig config_;
     std::uint32_t num_sets_;
     std::uint64_t interval_w_;
 
-    std::vector<CacheBlock> blocks_;
+    BlockArrays blocks_;
+    /** 8-bit tag signatures, one per frame (+8 pad for SWAR loads). */
+    std::vector<std::uint8_t> sig_;
     std::vector<SetState> sets_;
+    /** Valid frames per set; == ways once the set has filled up. */
+    std::vector<std::uint32_t> set_filled_;
 
     std::unique_ptr<ReplacementPolicy> repl_;
+    /** Exact-LRU policy: hit/fill updates are inlined in access(). */
+    bool repl_is_lru_ = false;
     PartitionScheme *scheme_ = nullptr;
     ShadowTags shadow_;
 
+    /** Audited per-core occupancy, current as of the last interval
+     *  boundary (the fault-injection / audit seam). */
     std::vector<std::uint64_t> occupancy_;
+    /** Pending per-interval occupancy deltas (batched bookkeeping). */
+    std::vector<OccDelta> occ_delta_;
     std::vector<CoreCacheTotals> totals_;
+    /** totals_ as of the last interval boundary; interval hit/miss
+     *  counts are derived by subtraction instead of being counted
+     *  separately on the hot path. */
+    std::vector<CoreCacheTotals> interval_start_;
 
-    // Interval counters (reset every W misses).
-    std::vector<std::uint64_t> interval_hits_;
-    std::vector<std::uint64_t> interval_misses_;
     std::uint64_t misses_this_interval_ = 0;
     std::uint64_t total_misses_ = 0;
     std::uint64_t writebacks_ = 0;

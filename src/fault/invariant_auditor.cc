@@ -44,17 +44,19 @@ InvariantAuditor::checkOwnership(const SharedCache &cache)
     const std::uint32_t cores = cache.config().numCores;
     std::vector<std::uint64_t> counted(cores, 0);
     std::uint64_t resident = 0;
-    for (const CacheBlock &blk : cache.blocks()) {
-        if (!blk.valid)
+    const BlockArrays &blocks = cache.blockArrays();
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        if (!blocks.valid[i])
             continue;
         ++resident;
-        if (blk.owner >= cores) {
+        const CoreId owner = blocks.owner[i];
+        if (owner >= cores) {
             ++violations_;
             return Status::error("ownership: resident block owned by "
                                  "invalid core " +
-                                 std::to_string(blk.owner));
+                                 std::to_string(owner));
         }
-        ++counted[blk.owner];
+        ++counted[owner];
     }
 
     std::uint64_t global = 0;

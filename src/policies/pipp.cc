@@ -16,7 +16,7 @@ PippScheme::PippScheme(std::uint32_t num_cores, std::uint32_t ways,
 }
 
 bool
-PippScheme::onHit(SharedCache &cache, CoreId core, SetView set, int way)
+PippScheme::onHit(SharedCache &cache, CoreId core, const SetView &set, int way)
 {
     (void)cache;
     const double p = stream_[core] ? params_.streamPromoteProb
@@ -27,7 +27,7 @@ PippScheme::onHit(SharedCache &cache, CoreId core, SetView set, int way)
 }
 
 int
-PippScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
+PippScheme::chooseVictim(SharedCache &cache, CoreId core, const SetView &set)
 {
     (void)cache;
     (void)core;
@@ -36,7 +36,7 @@ PippScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
 }
 
 bool
-PippScheme::onFill(SharedCache &cache, CoreId core, SetView set, int way)
+PippScheme::onFill(SharedCache &cache, CoreId core, const SetView &set, int way)
 {
     (void)cache;
     // Insert pi - 1 positions above LRU (pi == 1 -> LRU position).

@@ -43,11 +43,11 @@ class PippScheme : public PartitionScheme
 
     std::string name() const override { return "PIPP"; }
 
-    bool onHit(SharedCache &cache, CoreId core, SetView set,
+    bool onHit(SharedCache &cache, CoreId core, const SetView &set,
                int way) override;
     int chooseVictim(SharedCache &cache, CoreId core,
-                     SetView set) override;
-    bool onFill(SharedCache &cache, CoreId core, SetView set,
+                     const SetView &set) override;
+    bool onFill(SharedCache &cache, CoreId core, const SetView &set,
                 int way) override;
     void onIntervalEnd(const IntervalSnapshot &snap) override;
 

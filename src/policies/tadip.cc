@@ -28,14 +28,14 @@ TadipScheme::setRole(std::uint32_t set_idx, CoreId core) const
 }
 
 int
-TadipScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
+TadipScheme::chooseVictim(SharedCache &cache, CoreId core, const SetView &set)
 {
     (void)core;
     return cache.repl().victim(set);
 }
 
 bool
-TadipScheme::onFill(SharedCache &cache, CoreId core, SetView set,
+TadipScheme::onFill(SharedCache &cache, CoreId core, const SetView &set,
                     int way)
 {
     (void)cache;

@@ -32,8 +32,8 @@ class TadipScheme : public PartitionScheme
     std::string name() const override { return "TA-DIP"; }
 
     int chooseVictim(SharedCache &cache, CoreId core,
-                     SetView set) override;
-    bool onFill(SharedCache &cache, CoreId core, SetView set,
+                     const SetView &set) override;
+    bool onFill(SharedCache &cache, CoreId core, const SetView &set,
                 int way) override;
 
     /** Current PSEL of @p core, exposed for tests. */

@@ -38,14 +38,14 @@ VantageScheme::aperture(CoreId core) const
 }
 
 bool
-VantageScheme::onHit(SharedCache &cache, CoreId core, SetView set,
+VantageScheme::onHit(SharedCache &cache, CoreId core, const SetView &set,
                      int way)
 {
     (void)cache;
     (void)core;
     // Hits are region-aware: an unmanaged block is promoted back into
     // its owner's partition.
-    CacheBlock &blk = set.blocks[static_cast<std::size_t>(way)];
+    const BlockRef blk = set.blocks[static_cast<std::size_t>(way)];
     if (blk.region == regionUnmanaged) {
         blk.region = regionManaged;
         ++managed_size_[blk.owner];
@@ -70,12 +70,12 @@ VantageScheme::adjustThreshold(CoreId p)
 }
 
 void
-VantageScheme::demoteCandidates(SetView &set)
+VantageScheme::demoteCandidates(const SetView &set)
 {
     unsigned demoted = 0;
     for (std::size_t w = 0;
          w < set.ways() && demoted < params_.maxDemotionsPerMiss; ++w) {
-        CacheBlock &blk = set.blocks[w];
+        const BlockRef blk = set.blocks[w];
         if (!blk.valid || blk.region != regionManaged)
             continue;
         const CoreId p = blk.owner;
@@ -95,7 +95,7 @@ VantageScheme::demoteCandidates(SetView &set)
 }
 
 int
-VantageScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
+VantageScheme::chooseVictim(SharedCache &cache, CoreId core, const SetView &set)
 {
     (void)core;
     demoteCandidates(set);
@@ -104,7 +104,7 @@ VantageScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
     int victim = invalidWay;
     unsigned best_age = 0;
     for (std::size_t w = 0; w < set.ways(); ++w) {
-        const CacheBlock &blk = set.blocks[w];
+        const BlockRef blk = set.blocks[w];
         if (!blk.valid || blk.region != regionUnmanaged)
             continue;
         const unsigned a = coarse_ts::age(set, static_cast<int>(w));
@@ -120,7 +120,7 @@ VantageScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
         ++forced_evictions_;
         victim = cache.repl().victim(set);
         panicIf(victim == invalidWay, "Vantage: no victim available");
-        CacheBlock &blk = set.blocks[static_cast<std::size_t>(victim)];
+        const BlockRef blk = set.blocks[static_cast<std::size_t>(victim)];
         if (blk.region == regionManaged)
             --managed_size_[blk.owner];
     }
@@ -128,7 +128,7 @@ VantageScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
 }
 
 bool
-VantageScheme::onFill(SharedCache &cache, CoreId core, SetView set,
+VantageScheme::onFill(SharedCache &cache, CoreId core, const SetView &set,
                       int way)
 {
     (void)cache;

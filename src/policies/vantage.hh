@@ -64,11 +64,11 @@ class VantageScheme : public PartitionScheme
 
     std::string name() const override { return "Vantage"; }
 
-    bool onHit(SharedCache &cache, CoreId core, SetView set,
+    bool onHit(SharedCache &cache, CoreId core, const SetView &set,
                int way) override;
     int chooseVictim(SharedCache &cache, CoreId core,
-                     SetView set) override;
-    bool onFill(SharedCache &cache, CoreId core, SetView set,
+                     const SetView &set) override;
+    bool onFill(SharedCache &cache, CoreId core, const SetView &set,
                 int way) override;
     void onIntervalEnd(const IntervalSnapshot &snap) override;
 
@@ -83,7 +83,7 @@ class VantageScheme : public PartitionScheme
     double aperture(CoreId core) const;
 
   private:
-    void demoteCandidates(SetView &set);
+    void demoteCandidates(const SetView &set);
     void adjustThreshold(CoreId p);
 
     std::uint32_t num_cores_;

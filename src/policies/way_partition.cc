@@ -87,13 +87,13 @@ WayPartitionScheme::setAllocation(std::vector<std::uint32_t> alloc)
 
 int
 WayPartitionScheme::chooseVictim(SharedCache &cache, CoreId core,
-                                 SetView set)
+                                 const SetView &set)
 {
     // Count this set's blocks per core.
     std::fill(counts_.begin(), counts_.end(), 0);
-    for (const auto &blk : set.blocks)
-        if (blk.valid)
-            ++counts_[blk.owner];
+    for (std::size_t w = 0; w < set.ways(); ++w)
+        if (set.blocks.valid[w])
+            ++counts_[set.blocks.owner[w]];
 
     // Find the core most over its allocation (ties: lower id).
     CoreId most_over = invalidCore;

@@ -46,7 +46,7 @@ class WayPartitionScheme : public PartitionScheme
      * otherwise evict from the core most over its allocation.
      */
     int chooseVictim(SharedCache &cache, CoreId core,
-                     SetView set) override;
+                     const SetView &set) override;
 
     const std::vector<std::uint32_t> &allocation() const
     {

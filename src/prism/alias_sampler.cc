@@ -1,0 +1,70 @@
+#include "prism/alias_sampler.hh"
+
+#include <bit>
+
+namespace prism
+{
+
+void
+AliasSampler::build(std::span<const double> probs)
+{
+    n_ = static_cast<std::uint32_t>(probs.size());
+    cum_.resize(n_);
+
+    // The partial sums, accumulated exactly as the reference walk
+    // does (left to right, one addition per core) so every compare
+    // below sees bit-identical values.
+    double acc = 0.0;
+    std::uint32_t eligible = 0;
+    CoreId last_nonzero = invalidCore;
+    for (std::uint32_t c = 0; c < n_; ++c) {
+        acc += probs[c];
+        cum_[c] = acc;
+        if (probs[c] > 0.0) {
+            ++eligible;
+            last_nonzero = c;
+        }
+    }
+
+    single_ = eligible == 1 ? last_nonzero : invalidCore;
+    residue_ = last_nonzero != invalidCore
+                   ? last_nonzero
+                   : (n_ ? n_ - 1 : invalidCore);
+
+    // Guide table: K equal-width buckets, K the smallest power of
+    // two >= 2n (expected walk length <= 1 + n/K <= 1.5). guide_[b]
+    // is the first core whose partial sum exceeds the bucket's lower
+    // bound b/K. NaN partial sums compare false and simply stop the
+    // scan, matching the reference walk's behaviour of falling
+    // through to the residue rule.
+    const std::uint32_t k =
+        n_ ? std::bit_ceil(2 * n_) : std::uint32_t{1};
+    guide_.resize(k);
+    bucket_scale_ = static_cast<double>(k);
+    std::uint32_t c = 0;
+    for (std::uint32_t b = 0; b < k; ++b) {
+        const double lo = static_cast<double>(b) / bucket_scale_;
+        while (c < n_ && cum_[c] <= lo)
+            ++c;
+        guide_[b] = c;
+    }
+}
+
+CoreId
+AliasSampler::inverseCdfReference(std::span<const double> probs,
+                                  double u)
+{
+    const auto n = static_cast<std::uint32_t>(probs.size());
+    double acc = 0.0;
+    for (CoreId c = 0; c < n; ++c) {
+        acc += probs[c];
+        if (u < acc)
+            return c;
+    }
+    for (CoreId c = n; c-- > 0;)
+        if (probs[c] > 0.0)
+            return c;
+    return n ? n - 1 : invalidCore;
+}
+
+} // namespace prism

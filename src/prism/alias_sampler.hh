@@ -1,0 +1,118 @@
+/**
+ * @file
+ * O(1) Core-Selection sampler (Vose/Walker alias-table family).
+ *
+ * The paper's Core-Selection draws a victim core from the eviction
+ * distribution E once per replacement. The seed implementation walked
+ * the inverse CDF linearly — O(numCores) float compares per miss,
+ * the dominant cost on the 32-core machines. This sampler rebuilds a
+ * bucketed jump table once per interval (recomputes are ~10^5 times
+ * rarer than draws) and answers each draw in O(1) expected time.
+ *
+ * Unlike a textbook Vose alias table, the bucket layout here is
+ * *CDF-aligned*: the table does not re-partition probability mass
+ * into equal-weight column pairs, it indexes the untouched partial
+ * sums of E. Each of the K (power-of-two, K >= 2n) equal-width
+ * buckets stores the first core whose cumulative sum can exceed a
+ * uniform draw landing in that bucket; a draw then finishes with
+ * ~1.5 expected comparisons against the same partial sums, in the
+ * same order, as the reference walk. The payoff is the equivalence
+ * contract the test layer enforces: for every u the sampler returns
+ * bit-for-bit the core the seed's linear walk would have returned —
+ * including quantised, degenerate, residue (sum < 1 after rounding)
+ * and pathological non-finite distributions — so every committed
+ * figure/bench/trace golden stays byte-identical. See
+ * tests/test_core_selection_stats.cc (chi-square + draw-for-draw
+ * suites) and docs/BENCHMARKING.md ("Hot path & microbenchmarks").
+ */
+
+#ifndef PRISM_PRISM_ALIAS_SAMPLER_HH
+#define PRISM_PRISM_ALIAS_SAMPLER_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace prism
+{
+
+/** O(1) expected-time sampler over a discrete distribution. */
+class AliasSampler
+{
+  public:
+    AliasSampler() = default;
+
+    /**
+     * Rebuild the table for @p probs (one entry per core; need not
+     * sum to exactly 1 — the reference walk's residue rule applies).
+     * O(n) time, no allocation after the first build at a given size.
+     */
+    void build(std::span<const double> probs);
+
+    /**
+     * Map the uniform draw @p u in [0, 1) to a core. Bit-identical
+     * to inverseCdfReference(probs, u) for the distribution last
+     * built. O(1) expected; O(1) worst-case when only one core has
+     * non-zero probability (the single-eligible short circuit).
+     */
+    CoreId
+    sample(double u) const
+    {
+        if (single_ != invalidCore)
+            return single_;
+        // K is a power of two, so u * K is exact and the bucket
+        // bounds b/K are representable: every core skipped via the
+        // guide provably satisfies cum[c] <= b/K <= u.
+        const auto b = static_cast<std::uint32_t>(u * bucket_scale_);
+        for (std::uint32_t c = guide_[b]; c < n_; ++c)
+            if (u < cum_[c])
+                return c;
+        return residue_;
+    }
+
+    /** Cores in the distribution last built (0 before any build). */
+    std::uint32_t size() const { return n_; }
+
+    /**
+     * The single core holding all probability mass, or invalidCore.
+     * When set, sample() short-circuits without touching the table.
+     */
+    CoreId singleEligible() const { return single_; }
+
+    /** Core returned for draws beyond the last partial sum (the
+     *  rounding-residue rule: last core with non-zero probability). */
+    CoreId residueCore() const { return residue_; }
+
+    /** Buckets in the guide table (power of two, >= 2n). */
+    std::uint32_t buckets() const
+    {
+        return static_cast<std::uint32_t>(guide_.empty()
+                                              ? 0
+                                              : guide_.size());
+    }
+
+    /**
+     * The seed implementation, verbatim: walk the partial sums of
+     * @p probs left to right and return the first core whose
+     * cumulative sum exceeds @p u; if rounding leaves u beyond the
+     * total, return the last core with non-zero probability. The
+     * equivalence and statistics suites hold sample() to this
+     * function draw for draw.
+     */
+    static CoreId inverseCdfReference(std::span<const double> probs,
+                                      double u);
+
+  private:
+    std::vector<double> cum_;          ///< left-to-right partial sums
+    std::vector<std::uint32_t> guide_; ///< bucket -> first candidate
+    double bucket_scale_ = 0.0;        ///< K as a double (u -> bucket)
+    std::uint32_t n_ = 0;
+    CoreId single_ = invalidCore;
+    CoreId residue_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_PRISM_ALIAS_SAMPLER_HH

@@ -21,6 +21,7 @@ PrismScheme::PrismScheme(std::uint32_t num_cores,
     targets_.assign(num_cores_, 1.0 / num_cores_);
     allowed_.assign(256, 0);
     prob_stats_.resize(num_cores_);
+    sampler_.build(e_);
 }
 
 std::string
@@ -32,20 +33,12 @@ PrismScheme::name() const
 CoreId
 PrismScheme::sampleVictimCore()
 {
-    // Inverse-CDF walk over at most numCores entries — the paper's
-    // random-number-generator + comparator tree in hardware.
-    const double u = rng_.uniform();
-    double acc = 0.0;
-    for (CoreId c = 0; c < num_cores_; ++c) {
-        acc += e_[c];
-        if (u < acc)
-            return c;
-    }
-    // Rounding residue: return the last core with non-zero E.
-    for (CoreId c = num_cores_; c-- > 0;)
-        if (e_[c] > 0.0)
-            return c;
-    return num_cores_ - 1;
+    // The paper's random-number-generator + comparator tree in
+    // hardware: one uniform per draw (stream-compatible with the
+    // reference inverse-CDF walk), mapped through the O(1) table.
+    // When a single core holds all probability mass the sampler
+    // short-circuits without touching the table.
+    return sampler_.sample(rng_.uniform());
 }
 
 void
@@ -58,10 +51,11 @@ PrismScheme::setEvictionProbs(std::span<const double> e)
         const FixedPointCodec codec(params_.probBits);
         e_ = codec.quantiseDistribution(e_);
     }
+    sampler_.build(e_);
 }
 
 int
-PrismScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
+PrismScheme::chooseVictim(SharedCache &cache, CoreId core, const SetView &set)
 {
     (void)core;
     ++replacements_;
@@ -74,20 +68,47 @@ PrismScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
     }
 
     const CoreId victim_core = sampleVictimCore();
+    const CoreId *owner = set.blocks.owner;
 
-    if (allowed_.size() < set.ways())
-        allowed_.resize(set.ways());
+    if (cache.repl().victimOrderIsRecency()) {
+        // LRU-family fast path: victimAmong() is the back-to-front
+        // walk of the recency order and evictionOrder() is that same
+        // order reversed, so Victim-Identification and the §3.1
+        // fallback fuse into one walk. Every valid way is in the
+        // list (LRU fills insert unconditionally), making this
+        // draw-for-draw identical to the masked two-pass scan below.
+        const OrderList &order = set.state.order;
+        int fallback_way = invalidWay;
+        for (std::size_t i = order.size(); i-- > 0;) {
+            const int way = order[i];
+            const CoreId o = owner[static_cast<std::size_t>(way)];
+            if (o == victim_core)
+                return way;
+            if (fallback_way == invalidWay && e_[o] > 0.0)
+                fallback_way = way;
+        }
+        ++victimless_;
+        if (fallback_way != invalidWay)
+            return fallback_way;
+        // Every owner in this set has E == 0: overall candidate.
+        return order.empty() ? invalidWay : order.back();
+    }
+
+    const std::size_t num_ways = set.ways();
+    if (allowed_.size() < num_ways)
+        allowed_.resize(num_ways);
+    // Contiguous single-field scans over the SoA metadata.
+    const std::uint8_t *valid = set.blocks.valid;
     bool present = false;
-    for (std::size_t w = 0; w < set.ways(); ++w) {
-        const bool mine = set.blocks[w].valid &&
-                          set.blocks[w].owner == victim_core;
+    for (std::size_t w = 0; w < num_ways; ++w) {
+        const bool mine = valid[w] && owner[w] == victim_core;
         allowed_[w] = mine;
         present |= mine;
     }
 
     if (present) {
         const int way = cache.repl().victimAmong(
-            set, std::span<const char>(allowed_.data(), set.ways()));
+            set, std::span<const char>(allowed_.data(), num_ways));
         if (way != invalidWay)
             return way;
     }
@@ -97,9 +118,7 @@ PrismScheme::chooseVictim(SharedCache &cache, CoreId core, SetView set)
     ++victimless_;
     cache.repl().evictionOrder(set, order_);
     for (int way : order_) {
-        const CoreId owner =
-            set.blocks[static_cast<std::size_t>(way)].owner;
-        if (e_[owner] > 0.0)
+        if (e_[owner[static_cast<std::size_t>(way)]] > 0.0)
             return way;
     }
     // Every owner in this set has E == 0: take the overall candidate.
@@ -193,6 +212,11 @@ PrismScheme::onIntervalEnd(const IntervalSnapshot &snap)
         ++degraded_intervals_;
         emitEvent(telemetry::EventKind::DegradedInterval);
     }
+
+    // Rebuild the Core-Selection table once per recompute — after
+    // every mutation of e_ (quantisation, injected saturation,
+    // repair) so the table and the distribution never diverge.
+    sampler_.build(e_);
 
     ++recomputes_;
     for (CoreId i = 0; i < num_cores_; ++i)

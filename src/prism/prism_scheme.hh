@@ -32,6 +32,7 @@
 #include "common/stats.hh"
 #include "fault/fault_injector.hh"
 #include "fault/invariant_auditor.hh"
+#include "prism/alias_sampler.hh"
 #include "prism/alloc_policy.hh"
 #include "prism/eq1.hh"
 #include "telemetry/interval_recorder.hh"
@@ -62,17 +63,22 @@ class PrismScheme : public PartitionScheme
     std::string name() const override;
 
     int chooseVictim(SharedCache &cache, CoreId core,
-                     SetView set) override;
+                     const SetView &set) override;
     void onIntervalEnd(const IntervalSnapshot &snap) override;
 
     // --- introspection ---
     /**
-     * Core-Selection: draw a victim core id according to E (one
-     * inverse-CDF walk). Public so the statistical test suite can
+     * Core-Selection: draw a victim core id according to E. Consumes
+     * exactly one uniform and maps it through the O(1) alias-family
+     * sampler — draw-for-draw identical to the seed inverse-CDF walk
+     * (see AliasSampler). Public so the statistical test suite can
      * exercise the sampler directly against a known distribution
      * (tests/test_core_selection_stats.cc).
      */
     CoreId sampleVictimCore();
+
+    /** The Core-Selection sampler for the current E (test hook). */
+    const AliasSampler &sampler() const { return sampler_; }
 
     /**
      * Overwrite the eviction distribution, applying the configured
@@ -193,6 +199,7 @@ class PrismScheme : public PartitionScheme
     PrismParams params_;
 
     std::vector<double> e_;       ///< eviction distribution
+    AliasSampler sampler_;        ///< O(1) sampler over e_
     std::vector<double> targets_; ///< last computed T_i
 
     std::vector<char> allowed_; // victim-mask scratch

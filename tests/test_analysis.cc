@@ -304,6 +304,45 @@ TEST(Compare, DriftBeyondToleranceFails)
               FindingStatus::Fail);
 }
 
+TEST(Compare, WildcardToleranceMatchesBySuffix)
+{
+    CompareOptions opts;
+    opts.relTolerance = 0.0;
+    opts.metricTolerance["*_per_sec"] = 0.5;
+    opts.metricTolerance["accesses_per_sec"] = 0.25;
+
+    // Exact key wins over the wildcard; other *_per_sec metrics get
+    // the wildcard value; unrelated metrics fall back to the global.
+    EXPECT_DOUBLE_EQ(opts.toleranceFor("accesses_per_sec"), 0.25);
+    EXPECT_DOUBLE_EQ(opts.toleranceFor("alias_draws_per_sec"), 0.5);
+    EXPECT_DOUBLE_EQ(opts.toleranceFor("_per_sec"), 0.5);
+    EXPECT_DOUBLE_EQ(opts.toleranceFor("ipc"), 0.0);
+    // Shorter than the suffix, or only a partial match: no wildcard.
+    EXPECT_DOUBLE_EQ(opts.toleranceFor("per_sec"), 0.0);
+    EXPECT_DOUBLE_EQ(opts.toleranceFor("sec"), 0.0);
+
+    // A bare "*" key is ignored (size < 2), not a match-everything.
+    CompareOptions star;
+    star.metricTolerance["*"] = 0.9;
+    EXPECT_DOUBLE_EQ(star.toleranceFor("ipc"), 0.0);
+}
+
+TEST(Compare, WildcardToleranceAppliesToDocuments)
+{
+    const JsonValue a = parsed(benchDoc(1.0, 44));
+    const JsonValue b = parsed(benchDoc(1.001, 44));
+
+    CompareOptions wild;
+    wild.metricTolerance["*pc"] = 0.01; // suffix of "ipc"
+    EXPECT_EQ(compareBenchDocs(a, b, wild).overall,
+              FindingStatus::Pass);
+
+    CompareOptions miss;
+    miss.metricTolerance["*_per_sec"] = 0.01;
+    EXPECT_EQ(compareBenchDocs(a, b, miss).overall,
+              FindingStatus::Fail);
+}
+
 TEST(Compare, MissingAndExtraJobsFail)
 {
     const JsonValue a = parsed(benchDoc(1.0, 44));

@@ -11,11 +11,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "common/rng.hh"
+#include "prism/alias_sampler.hh"
 #include "prism/alloc_hitmax.hh"
 #include "prism/prism_scheme.hh"
 
@@ -208,4 +212,193 @@ TEST(CoreSelectionStats, SeedsGiveIndependentSequences)
     for (int i = 0; i < 64; ++i)
         sa2.push_back(a2.sampleVictimCore());
     EXPECT_EQ(sa, sa2); // same seed reproduces exactly
+}
+
+// ---------------------------------------------------------------
+// Alias-sampler equivalence: the O(1) guide-table Core-Selection
+// must be *draw-for-draw identical* to the seed inverse-CDF walk
+// (AliasSampler::inverseCdfReference), not merely statistically
+// indistinguishable. docs/TESTING.md, "Hot-path equivalence".
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** Random distribution over n cores; ~1/4 of entries exactly zero. */
+std::vector<double>
+randomDistribution(std::uint32_t n, Rng &rng)
+{
+    std::vector<double> e(n);
+    double sum = 0.0;
+    for (auto &v : e) {
+        v = rng.chance(0.25) ? 0.0 : rng.uniform();
+        sum += v;
+    }
+    if (sum == 0.0) {
+        e[rng.below(n)] = 1.0;
+        return e;
+    }
+    for (auto &v : e)
+        v /= sum;
+    return e;
+}
+
+/** Hold sample(u) to the reference for a grid plus random draws. */
+void
+expectDrawForDraw(std::span<const double> e, Rng &rng)
+{
+    AliasSampler s;
+    s.build(e);
+    // Dense grid including the bucket boundaries b/K themselves.
+    const std::uint32_t k = std::max(1u, s.buckets());
+    for (std::uint32_t b = 0; b < k; ++b) {
+        for (const double eps : {0.0, 1e-12, 1e-9, 1e-4}) {
+            const double u = static_cast<double>(b) / k + eps;
+            if (u >= 1.0)
+                continue;
+            ASSERT_EQ(s.sample(u),
+                      AliasSampler::inverseCdfReference(e, u))
+                << "u=" << u;
+        }
+    }
+    // The top edge: draws beyond the last partial sum take the
+    // rounding-residue rule.
+    for (const double u :
+         {0.999999999999, std::nextafter(1.0, 0.0)})
+        ASSERT_EQ(s.sample(u),
+                  AliasSampler::inverseCdfReference(e, u));
+    for (int i = 0; i < 20'000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_EQ(s.sample(u),
+                  AliasSampler::inverseCdfReference(e, u))
+            << "u=" << u;
+    }
+}
+
+} // namespace
+
+TEST(AliasEquivalence, ExhaustiveSmallN)
+{
+    // Every core count the small configurations use, many random
+    // distributions each, grid + random draws: draw-for-draw.
+    Rng rng(20260809);
+    for (std::uint32_t n = 1; n <= 8; ++n)
+        for (int rep = 0; rep < 25; ++rep)
+            expectDrawForDraw(randomDistribution(n, rng), rng);
+}
+
+TEST(AliasEquivalence, LargeCoreCounts)
+{
+    Rng rng(77);
+    for (const std::uint32_t n : {16u, 32u, 64u})
+        for (int rep = 0; rep < 5; ++rep)
+            expectDrawForDraw(randomDistribution(n, rng), rng);
+}
+
+TEST(AliasEquivalence, QuantisedDistributions)
+{
+    // Post-quantisation distributions are the ones the scheme
+    // actually serves; 6-bit codes produce the flat, stepped shapes
+    // hardest on the guide table (many equal partial sums).
+    Rng rng(4096);
+    for (const unsigned bits : {4u, 6u, 12u}) {
+        const FixedPointCodec codec(bits);
+        for (int rep = 0; rep < 10; ++rep) {
+            const auto e =
+                codec.quantiseDistribution(randomDistribution(8, rng));
+            expectDrawForDraw(e, rng);
+        }
+    }
+}
+
+TEST(AliasEquivalence, UnnormalisedResidue)
+{
+    // Rounding can leave the partial sums short of 1; draws beyond
+    // the total must take the reference's residue rule (last core
+    // with non-zero probability).
+    const std::vector<double> e{0.3, 0.0, 0.3, 0.2}; // sums to 0.8
+    AliasSampler s;
+    s.build(e);
+    EXPECT_EQ(s.residueCore(), 3u);
+    Rng rng(11);
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_EQ(s.sample(u),
+                  AliasSampler::inverseCdfReference(e, u));
+    }
+    EXPECT_EQ(s.sample(0.9), 3u);
+    EXPECT_EQ(s.sample(std::nextafter(1.0, 0.0)), 3u);
+}
+
+TEST(AliasEquivalence, IdenticalSeedStreams)
+{
+    // End to end at identical seeds: the scheme's draw stream must
+    // equal a mirrored RNG run through the reference walk — the
+    // sampler consumes exactly one uniform per draw and never
+    // perturbs the stream, so pre-refactor behaviour reproduces.
+    for (const std::uint64_t seed : {7ull, 42ull, 31337ull}) {
+        auto scheme = makeScheme(8, seed);
+        Rng mirror(seed);
+        std::vector<double> e{0.3, 0.2, 0.15, 0.1,
+                              0.1, 0.08, 0.05, 0.02};
+        scheme.setEvictionProbs(e);
+        for (int i = 0; i < 5'000; ++i) {
+            ASSERT_EQ(scheme.sampleVictimCore(),
+                      AliasSampler::inverseCdfReference(
+                          e, mirror.uniform()));
+            if (i == 2'500) {
+                // Mid-stream recompute: table rebuilds, stream
+                // continues without a discontinuity.
+                e = {0.0, 0.5, 0.0, 0.5, 0.0, 0.0, 0.0, 0.0};
+                scheme.setEvictionProbs(e);
+            }
+        }
+    }
+}
+
+TEST(AliasEquivalence, SingleEligibleShortCircuit)
+{
+    // One core holding all mass short-circuits without touching the
+    // guide table — and still matches the reference draw for draw.
+    AliasSampler s;
+    s.build(std::vector<double>{0.0, 0.0, 1.0, 0.0});
+    EXPECT_EQ(s.singleEligible(), 2u);
+    Rng rng(3);
+    for (int i = 0; i < 1'000; ++i)
+        ASSERT_EQ(s.sample(rng.uniform()), 2u);
+
+    // The scheme wires the same short circuit.
+    auto scheme = makeScheme(4, 9);
+    scheme.setEvictionProbs({0.0, 0.0, 0.0, 1.0});
+    EXPECT_EQ(scheme.sampler().singleEligible(), 3u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(scheme.sampleVictimCore(), 3u);
+
+    // Multi-eligible distributions must NOT short-circuit.
+    scheme.setEvictionProbs({0.5, 0.5, 0.0, 0.0});
+    EXPECT_EQ(scheme.sampler().singleEligible(), invalidCore);
+}
+
+TEST(AliasEquivalence, ChiSquareThroughGuideTable)
+{
+    // Statistical sanity directly on the table at 32 cores (the
+    // scalability configuration): frequencies fit the distribution.
+    Rng rng(123);
+    std::vector<double> e(32);
+    double sum = 0.0;
+    for (auto &v : e) {
+        v = rng.uniform() * rng.uniform();
+        sum += v;
+    }
+    for (auto &v : e)
+        v /= sum;
+    AliasSampler s;
+    s.build(e);
+    std::vector<std::uint64_t> counts(32, 0);
+    Rng draws(99);
+    for (std::uint64_t i = 0; i < kDraws; ++i)
+        ++counts[s.sample(draws.uniform())];
+    unsigned df = 0;
+    const double stat = chi2(counts, e, &df);
+    EXPECT_LT(stat, chi2Critical(df));
 }

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Hot-path equivalence, end to end: after the O(1) Core-Selection
+ * sampler, the SoA metadata layout and the fused LRU victim walk,
+ * the figure pipeline must still produce *byte-identical* output.
+ *
+ * - The fixture sweep (BENCH_fixture.json) and its telemetry trace
+ *   (TRACE_fixture.json) must match the committed goldens exactly at
+ *   1, 2 and 8 worker threads — the determinism contract holds
+ *   through the hot-path rewrite.
+ * - The hot-path microbench's deterministic contract fields
+ *   (tests/golden/BENCH_hotpath.json) must reproduce exactly;
+ *   regenerate after an intentional behaviour change with
+ *   PRISM_UPDATE_GOLDEN=1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/sweep.hh"
+#include "telemetry/metrics_registry.hh"
+#include "telemetry/trace_writer.hh"
+
+using namespace prism;
+using namespace prism::telemetry;
+
+namespace
+{
+
+#ifndef PRISM_BENCH_BIN_DEFAULT
+#define PRISM_BENCH_BIN_DEFAULT "tools/prism_bench"
+#endif
+#ifndef PRISM_HOTPATH_BIN_DEFAULT
+#define PRISM_HOTPATH_BIN_DEFAULT "bench/bench_micro_hotpath"
+#endif
+#ifndef PRISM_GOLDEN_DIR_DEFAULT
+#define PRISM_GOLDEN_DIR_DEFAULT "../tests/golden"
+#endif
+
+std::string
+goldenDir()
+{
+    if (const char *p = std::getenv("PRISM_GOLDEN_DIR"))
+        return p;
+    return PRISM_GOLDEN_DIR_DEFAULT;
+}
+
+std::pair<int, std::string>
+run(const std::string &cmd)
+{
+    FILE *pipe = popen((cmd + " 2>&1").c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string out;
+    std::array<char, 4096> buf;
+    while (std::size_t n = std::fread(buf.data(), 1, buf.size(), pipe))
+        out.append(buf.data(), n);
+    const int status = pclose(pipe);
+    return {WEXITSTATUS(status), out};
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** First line at which the two texts differ, for a readable diff. */
+std::string
+firstDiff(const std::string &a, const std::string &b)
+{
+    std::istringstream sa(a), sb(b);
+    std::string la, lb;
+    for (int line = 1;; ++line) {
+        const bool ga = static_cast<bool>(std::getline(sa, la));
+        const bool gb = static_cast<bool>(std::getline(sb, lb));
+        if (!ga && !gb)
+            return "no difference";
+        if (la != lb || ga != gb)
+            return "line " + std::to_string(line) + ": golden '" +
+                   la + "' vs produced '" + lb + "'";
+    }
+}
+
+std::string
+tempDir(const char *tag)
+{
+    std::string tmpl = std::string("/tmp/prism_hotpath_") + tag +
+                       "_XXXXXX";
+    char *dir = mkdtemp(tmpl.data());
+    EXPECT_NE(dir, nullptr);
+    return tmpl;
+}
+
+/** The telemetry golden's sweep: two cores, mixed PriSM/baseline. */
+SweepSpec
+tracedSpec()
+{
+    MachineConfig m;
+    m.numCores = 2;
+    m.llcBytes = 256ull << 10;
+    m.llcWays = 8;
+    m.intervalMisses = 1024;
+    m.instrBudget = 60'000;
+    m.warmupInstr = 15'000;
+
+    const Workload gf{"GF", {"403.gcc", "186.crafty"}};
+    const Workload ss{"SS", {"179.art", "470.lbm"}};
+
+    SweepSpec spec;
+    spec.name = "telemetry";
+    SchemeOptions opt;
+    opt.telemetry.enabled = true;
+    opt.telemetry.capacity = 64;
+    spec.add(m, gf, SchemeKind::PrismH, opt);
+    spec.add(m, gf, SchemeKind::Baseline, opt);
+    spec.add(m, ss, SchemeKind::PrismH, opt);
+    return spec;
+}
+
+std::string
+traceOf(const SweepSpec &spec, unsigned threads)
+{
+    MetricsRegistry metrics;
+    SweepRunner runner(threads);
+    runner.setMetrics(&metrics);
+    const SweepOutcome outcome = runner.run(spec);
+
+    std::vector<TraceJob> jobs;
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i)
+        jobs.push_back(
+            {spec.jobs[i].id, outcome.results[i].recorder.get()});
+    std::ostringstream os;
+    TraceWriter().writeChromeTrace(os, jobs, &metrics);
+    return os.str();
+}
+
+} // namespace
+
+TEST(HotpathEquivalence, FixtureByteIdenticalAcrossThreads)
+{
+    const std::string bench_golden =
+        slurp(goldenDir() + "/BENCH_fixture.json");
+    ASSERT_FALSE(bench_golden.empty());
+
+    for (const int threads : {1, 2, 8}) {
+        const std::string dir = tempDir("fixture");
+        const auto [code, out] =
+            run(std::string(PRISM_BENCH_BIN_DEFAULT) +
+                " fixture --no-timing --threads " +
+                std::to_string(threads) + " --out " + dir);
+        ASSERT_EQ(code, 0) << out;
+
+        const std::string bench =
+            slurp(dir + "/BENCH_fixture.json");
+        EXPECT_EQ(bench, bench_golden)
+            << "threads=" << threads << ": "
+            << firstDiff(bench_golden, bench);
+
+        std::remove((dir + "/BENCH_fixture.json").c_str());
+        rmdir(dir.c_str());
+    }
+}
+
+TEST(HotpathEquivalence, TraceByteIdenticalAcrossThreads)
+{
+    // The interval telemetry rides the same hot path (per-interval
+    // snapshots, span clocks); its committed Chrome-trace golden
+    // must also reproduce exactly at every thread count.
+    const std::string trace_golden =
+        slurp(goldenDir() + "/TRACE_fixture.json");
+    ASSERT_FALSE(trace_golden.empty());
+
+    const SweepSpec spec = tracedSpec();
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        const std::string trace = traceOf(spec, threads);
+        EXPECT_EQ(trace, trace_golden)
+            << "threads=" << threads << ": "
+            << firstDiff(trace_golden, trace);
+    }
+}
+
+TEST(HotpathEquivalence, MicrobenchContractMatchesGolden)
+{
+    const std::string golden_path =
+        goldenDir() + "/BENCH_hotpath.json";
+    const std::string dir = tempDir("contract");
+    const auto [code, out] =
+        run(std::string(PRISM_HOTPATH_BIN_DEFAULT) +
+            " --no-timing --out " + dir);
+    ASSERT_EQ(code, 0) << out;
+
+    const std::string produced = slurp(dir + "/BENCH_hotpath.json");
+    std::remove((dir + "/BENCH_hotpath.json").c_str());
+    rmdir(dir.c_str());
+
+    if (std::getenv("PRISM_UPDATE_GOLDEN")) {
+        std::ofstream g(golden_path, std::ios::binary);
+        ASSERT_TRUE(g.is_open());
+        g << produced;
+        GTEST_SKIP() << "golden updated";
+    }
+    const std::string golden = slurp(golden_path);
+    ASSERT_FALSE(golden.empty());
+    EXPECT_EQ(produced, golden)
+        << "hot-path contract drifted from the committed golden ("
+        << firstDiff(golden, produced)
+        << "); regenerate with PRISM_UPDATE_GOLDEN=1 if the "
+           "behaviour change is intentional";
+}

@@ -94,9 +94,9 @@ TEST(Recency, LruWay)
 
 TEST(CoarseTs, AgeWrapsCorrectly)
 {
-    std::vector<CacheBlock> blocks(4);
+    BlockArrays blocks(4);
     SetState st;
-    SetView set{0, std::span<CacheBlock>(blocks), st};
+    SetView set{0, SetBlocks(blocks, 0, 4), st};
 
     // Touch way 0, then advance the clock by many accesses.
     coarse_ts::touch(set, 0);
@@ -108,9 +108,9 @@ TEST(CoarseTs, AgeWrapsCorrectly)
 
 TEST(CoarseTs, FreshTouchHasAgeZero)
 {
-    std::vector<CacheBlock> blocks(2);
+    BlockArrays blocks(2);
     SetState st;
-    SetView set{0, std::span<CacheBlock>(blocks), st};
+    SetView set{0, SetBlocks(blocks, 0, 2), st};
     coarse_ts::touch(set, 0);
     EXPECT_EQ(coarse_ts::age(set, 0), 0u);
 }

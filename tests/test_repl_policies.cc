@@ -18,13 +18,13 @@ namespace
 /** A hand-rolled 4-way set for driving policies directly. */
 struct TestSet
 {
-    std::vector<CacheBlock> blocks{4};
+    BlockArrays blocks{4};
     SetState state;
 
     SetView
     view(std::uint32_t idx = 0)
     {
-        return SetView{idx, std::span<CacheBlock>(blocks), state};
+        return SetView{idx, SetBlocks(blocks, 0, 4), state};
     }
 
     /** Mark way @p w valid and fill via the policy. */

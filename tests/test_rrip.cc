@@ -16,13 +16,13 @@ namespace
 
 struct TestSet
 {
-    std::vector<CacheBlock> blocks{4};
+    BlockArrays blocks{4};
     SetState state;
 
     SetView
     view(std::uint32_t idx = 0)
     {
-        return SetView{idx, std::span<CacheBlock>(blocks), state};
+        return SetView{idx, SetBlocks(blocks, 0, 4), state};
     }
 
     void

@@ -136,7 +136,7 @@ struct TopWayScheme : PartitionScheme
     std::string name() const override { return "top"; }
 
     int
-    chooseVictim(SharedCache &, CoreId, SetView set) override
+    chooseVictim(SharedCache &, CoreId, const SetView &set) override
     {
         ++calls;
         return static_cast<int>(set.ways()) - 1;

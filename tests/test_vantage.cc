@@ -130,9 +130,11 @@ TEST(Vantage, ManagedSizeConservation)
     std::uint64_t managed[2] = {0, 0};
     for (std::uint32_t s = 0; s < cache.numSets(); ++s) {
         SetView set = cache.setView(s);
-        for (const auto &blk : set.blocks)
+        for (std::size_t w = 0; w < set.ways(); ++w) {
+            const auto blk = set.blocks[w];
             if (blk.valid && blk.region == regionManaged)
                 ++managed[blk.owner];
+        }
     }
     EXPECT_EQ(v.managedSize(0), managed[0]);
     EXPECT_EQ(v.managedSize(1), managed[1]);

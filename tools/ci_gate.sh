@@ -37,12 +37,29 @@ trap 'rm -rf "$out"' EXIT
     --compare "$repo/tests/golden/BENCH_fixture.json" \
     "$out/BENCH_fixture.json" --tolerance "$tolerance"
 
+echo "== hot-path gate =="
+# Deterministic half: the contract checksums, hit/miss totals and
+# interval counts of the pinned 4-/32-core mixes must match the
+# committed golden exactly — any drift in victim selection,
+# occupancy bookkeeping or interval cadence fails here.
+hot_out=$(mktemp -d)
+trap 'rm -rf "$out" "$hot_out"' EXIT
+"$build/bench/bench_micro_hotpath" --out "$hot_out" --no-timing
+"$build/tools/prism_doctor" \
+    --compare "$repo/tests/golden/BENCH_hotpath.json" \
+    "$hot_out/BENCH_hotpath.json" --tolerance "$tolerance"
+# Timed half: accesses/sec on the 32-core mix vs the recorded seed
+# baseline and the O(1)-sampler draws/sec A/B, thresholds from
+# bench/micro_baseline.hh. The bench exits non-zero on regression.
+"$build/bench/bench_micro_hotpath" --out "$hot_out" --gate \
+    >/dev/null
+
 echo "== chaos gate =="
 # Salvage: first-attempt crashes and allocation failures must be
 # retried to full recovery — the sweep, and its doctor verdict,
 # succeed end to end (docs/RELIABILITY.md).
 chaos_out=$(mktemp -d)
-trap 'rm -rf "$out" "$chaos_out"' EXIT
+trap 'rm -rf "$out" "$hot_out" "$chaos_out"' EXIT
 "$build/tools/prism_bench" fixture --no-timing --out "$chaos_out" \
     --chaos 'job_crash@3*1,alloc_fail@4*1' --doctor >/dev/null
 # Quarantine: a job whose every attempt fails must be quarantined,
