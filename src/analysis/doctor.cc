@@ -112,6 +112,7 @@ class Checker
     void stability();
     void invariants();
     void attainment();
+    void serve();
     void robustness();
     void telemetry();
 
@@ -426,6 +427,138 @@ Checker::attainment()
     }
 }
 
+/**
+ * Serving-mode checks (prism-serve-v1 inputs). Emitted only when
+ * the input is a serve session — simulator runs produce no serve.*
+ * findings at all, not even SKIPs, so their doctor documents are
+ * unchanged by the serving subsystem's existence.
+ */
+void
+Checker::serve()
+{
+    if (!s_.serve)
+        return;
+    const std::size_t tenants = s_.serveHitRatio.size();
+
+    // Per-tenant hit-ratio SLO attainment: the worst margin over
+    // every tenant that declares a floor decides the finding.
+    bool any_slo = false;
+    double worst_margin = 0.0;
+    std::size_t worst_tenant = 0;
+    for (std::size_t t = 0; t < tenants &&
+                            t < s_.serveSloFloor.size();
+         ++t) {
+        const double floor = s_.serveSloFloor[t];
+        if (floor <= 0.0)
+            continue;
+        const double margin = s_.serveHitRatio[t] - floor;
+        if (!any_slo || margin < worst_margin) {
+            worst_margin = margin;
+            worst_tenant = t;
+        }
+        any_slo = true;
+    }
+    if (!any_slo) {
+        skip("serve.slo_attainment",
+             "no tenant declares a hit-ratio SLO floor");
+    } else {
+        const FindingStatus st = worst_margin < -t_.serveSloSlack
+                                     ? FindingStatus::Fail
+                                     : FindingStatus::Pass;
+        addValue("serve.slo_attainment", st, worst_margin,
+                 -t_.serveSloSlack)
+            .detail = "worst SLO margin " + fmt(worst_margin) +
+                      " (tenant " + std::to_string(worst_tenant) +
+                      " hit ratio " +
+                      fmt(s_.serveHitRatio[worst_tenant]) +
+                      " vs floor " +
+                      fmt(s_.serveSloFloor[worst_tenant]) + ")";
+    }
+
+    // Fair slowdown: a tenant's slowdown under sharing is modelled
+    // as 1 + missRatio * (penalty - 1); the max/min ratio across
+    // tenants is the serving analogue of the paper's fairness
+    // metric (1 = perfectly even service degradation).
+    if (tenants < 2) {
+        skip("serve.fair_slowdown",
+             "fewer than two tenants to compare");
+    } else {
+        double mn = 0.0, mx = 0.0;
+        bool first = true;
+        for (const double hit_ratio : s_.serveHitRatio) {
+            const double slowdown =
+                1.0 + (1.0 - hit_ratio) *
+                          (t_.serveMissPenalty - 1.0);
+            mn = first ? slowdown : std::min(mn, slowdown);
+            mx = first ? slowdown : std::max(mx, slowdown);
+            first = false;
+        }
+        const double ratio = mn > 0.0 ? mx / mn : 0.0;
+        const FindingStatus st = ratio > t_.fairSlowdownWarn
+                                     ? FindingStatus::Warn
+                                     : FindingStatus::Pass;
+        addValue("serve.fair_slowdown", st, ratio,
+                 t_.fairSlowdownWarn)
+            .detail = "max/min tenant slowdown ratio " +
+                      fmt(ratio) + " at modelled miss penalty " +
+                      fmt(t_.serveMissPenalty) + "x";
+    }
+
+    // Victim match: realised per-tenant eviction counts should be
+    // consistent with the Equation 1 distributions that steered
+    // them. Pearson chi-square against the per-interval expectation
+    // sum_k E_k[t] * evictions_k, critical value at alpha = 0.001
+    // via the Wilson-Hilferty cube approximation.
+    const std::size_t rows =
+        std::min(s_.evProb.size(), s_.serveEvictions.size());
+    std::vector<double> expected(tenants, 0.0);
+    std::vector<double> observed(tenants, 0.0);
+    double total_evictions = 0.0;
+    for (std::size_t k = 0; k < rows; ++k) {
+        double row_total = 0.0;
+        for (std::size_t t = 0;
+             t < tenants && t < s_.serveEvictions[k].size(); ++t) {
+            observed[t] += s_.serveEvictions[k][t];
+            row_total += s_.serveEvictions[k][t];
+        }
+        for (std::size_t t = 0;
+             t < tenants && t < s_.evProb[k].size(); ++t)
+            expected[t] += s_.evProb[k][t] * row_total;
+        total_evictions += row_total;
+    }
+    if (rows == 0 ||
+        total_evictions < 5.0 * static_cast<double>(tenants)) {
+        skip("serve.victim_match",
+             "too few recorded evictions for the chi-square test");
+        return;
+    }
+    double chi2 = 0.0;
+    std::size_t cells = 0;
+    for (std::size_t t = 0; t < tenants; ++t) {
+        if (expected[t] < 1e-9)
+            continue;
+        const double delta = observed[t] - expected[t];
+        chi2 += delta * delta / expected[t];
+        ++cells;
+    }
+    if (cells < 2) {
+        skip("serve.victim_match",
+             "eviction pressure concentrated on a single tenant");
+        return;
+    }
+    const double df = static_cast<double>(cells - 1);
+    constexpr double kZ = 3.090232; // standard-normal alpha=0.001
+    const double term =
+        1.0 - 2.0 / (9.0 * df) + kZ * std::sqrt(2.0 / (9.0 * df));
+    const double critical = df * term * term * term;
+    const FindingStatus st = chi2 > critical ? FindingStatus::Warn
+                                             : FindingStatus::Pass;
+    addValue("serve.victim_match", st, chi2, critical).detail =
+        "chi-square " + fmt(chi2) + " vs critical " +
+        fmt(critical) + " (df " + fmt(df) + ", " +
+        fmt(total_evictions) + " evictions)";
+}
+
 void
 Checker::counter(const std::string &check, std::uint64_t n,
                  FindingStatus level, const std::string &what)
@@ -499,6 +632,7 @@ Checker::take()
     stability();
     invariants();
     attainment();
+    serve();
     robustness();
     telemetry();
     for (const Finding &f : v_.findings)
@@ -680,6 +814,9 @@ writeDoctorDocument(std::ostream &os, std::string_view source,
     w.kv("degraded_fail_frac", t.degradedFailFrac);
     w.kv("qos_slack", t.qosSlack);
     w.kv("fairness_warn", t.fairnessWarn);
+    w.kv("serve_slo_slack", t.serveSloSlack);
+    w.kv("serve_miss_penalty", t.serveMissPenalty);
+    w.kv("fair_slowdown_warn", t.fairSlowdownWarn);
     w.endObject();
     w.endObject();
     os << '\n';

@@ -96,6 +96,15 @@ struct DoctorThresholds
     double qosSlack = 0.02;
     /** Fairness (min/max normalised progress) warning floor. */
     double fairnessWarn = 0.35;
+
+    // --- serving-mode bounds (prism-serve-v1 inputs only) -----------
+    /** Slack under a tenant's hit-ratio SLO floor before failing. */
+    double serveSloSlack = 0.005;
+    /** Modelled miss penalty (backend fetch / hit cost) used to turn
+     *  per-tenant miss ratios into slowdowns. */
+    double serveMissPenalty = 25.0;
+    /** Max/min tenant slowdown ratio worth warning about. */
+    double fairSlowdownWarn = 4.0;
 };
 
 /** Run every applicable check on @p s. */

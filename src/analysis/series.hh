@@ -54,6 +54,7 @@ struct RunSeries
     std::uint64_t ownershipRepairs = 0;
     std::uint64_t faultsInjected = 0;
     std::uint64_t clampedEq1Inputs = 0;
+    std::uint64_t eq1Fallbacks = 0;
 
     // --- telemetry ring totals --------------------------------------
     std::uint64_t droppedSamples = 0;
@@ -65,6 +66,18 @@ struct RunSeries
     std::vector<double> ipcStandalone;
     /** PriSM-Q IPC floor fraction; 0 = not a QoS run. */
     double qosTargetFrac = 0.0;
+
+    // --- serving-mode data (prism-serve-v1) -------------------------
+    /** This run is a prism_serve session over tenants, not a
+     *  simulated cache over cores; "core" indices are tenant ids and
+     *  the serve.* checks apply. */
+    bool serve = false;
+    std::vector<double> serveHitRatio; ///< per tenant, whole run
+    std::vector<double> serveSloFloor; ///< hit-ratio SLO; 0 = none
+    /** Per-interval per-tenant evictions, parallel to evProb rows. */
+    std::vector<std::vector<double>> serveEvictions;
+    /** Evictions redirected because the sampled tenant was empty. */
+    std::uint64_t serveVictimless = 0;
 };
 
 /** Build the series view of a recorded run (samples + events). */
@@ -99,6 +112,15 @@ Status seriesFromTraceJson(const JsonValue &doc,
 
 /** Read one job object of a parsed `prism-bench-v1` document. */
 Status seriesFromBenchJob(const JsonValue &job, RunSeries &out);
+
+/**
+ * Read one serving session from a parsed `prism-serve-v1` document
+ * (tools/prism_serve). Tenants map onto the per-core series slots,
+ * so the tracking/stability/invariant checks grade the tenant
+ * control loop unchanged, and the serve-specific fields enable the
+ * serve.* checks (SLO attainment, fair slowdown, victim match).
+ */
+Status seriesFromServeJson(const JsonValue &doc, RunSeries &out);
 
 /**
  * Sweep-execution health: the retry/timeout/quarantine manifest the

@@ -138,6 +138,10 @@ evictionDistribution(const std::vector<double> &occupancy,
             w_sum += w[i];
         }
         if (w_sum <= 0.0) {
+            // No donors at all: the miss-share (or, degenerately,
+            // uniform) fallback decides the whole distribution.
+            if (stats)
+                ++stats->fallbackActivations;
             double m_sum = 0.0;
             for (double mi : m)
                 m_sum += mi;

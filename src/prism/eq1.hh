@@ -29,6 +29,15 @@ struct Eq1Stats
 {
     /** Inputs that were NaN/Inf/outside [0,1] and had to be clamped. */
     std::uint64_t clampedInputs = 0;
+
+    /**
+     * Recomputations where no core had any eviction demand (every
+     * raw E_i clamped to zero — all cores at or below target) and
+     * the distribution had to fall back to miss shares, or, when
+     * the miss fractions were all zero as well (the all-equal
+     * degenerate case), to the uniform distribution.
+     */
+    std::uint64_t fallbackActivations = 0;
 };
 
 /**
@@ -55,10 +64,14 @@ double predictedOccupancy(double occupancy_c, double miss_frac_m,
  * Compute the full eviction probability distribution from targets.
  *
  * Applies Equation 1 per core and normalises so the entries sum to
- * one. If every raw value clamps to zero (all cores below target —
- * possible transiently), eviction falls back to being proportional to
- * the miss fractions, which leaves occupancies unchanged in
- * expectation.
+ * one. When the raw values sum short of one, the deficit is charged
+ * to the cores Equation 1 already asked to shrink (E_i > 0),
+ * proportionally to their demand. Only if every raw value clamps to
+ * zero (all cores at or below target — possible transiently) does
+ * eviction fall back to being proportional to the miss fractions,
+ * which leaves occupancies unchanged in expectation; if the miss
+ * fractions are all zero too, the fallback is uniform. Both fallback
+ * branches count one @p stats fallback activation.
  *
  * Inputs are sanitised first: NaN/Inf or out-of-range entries are
  * clamped into [0, 1] and counted in @p stats instead of propagating

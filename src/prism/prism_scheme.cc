@@ -184,6 +184,8 @@ PrismScheme::onIntervalEnd(const IntervalSnapshot &snap)
     e_ = evictionDistribution(c, targets_, m, input->totalBlocks,
                               input->intervalMisses, &recompute_stats);
     eq1_stats_.clampedInputs += recompute_stats.clampedInputs;
+    eq1_stats_.fallbackActivations +=
+        recompute_stats.fallbackActivations;
     if (recompute_stats.clampedInputs > 0)
         degraded = true;
 

@@ -155,6 +155,13 @@ class PrismScheme : public PartitionScheme
         return eq1_stats_.clampedInputs;
     }
 
+    /** Recomputes decided by the Equation 1 distribution fallback
+     *  (no eviction demand; miss-share or uniform applied). */
+    std::uint64_t eq1Fallbacks() const
+    {
+        return eq1_stats_.fallbackActivations;
+    }
+
     /**
      * Whether the scheme is currently deferring to the underlying
      * replacement policy (distribution was unrecoverable).

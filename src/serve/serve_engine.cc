@@ -1,0 +1,566 @@
+#include "serve/serve_engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/prism_assert.hh"
+#include "exec/thread_pool.hh"
+
+namespace prism::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+const char *
+policyLongName(char kind)
+{
+    switch (kind) {
+      case 'H':
+        return "HitMax";
+      case 'F':
+        return "Fair";
+      case 'Q':
+        return "QoS";
+      default:
+        return "?";
+    }
+}
+
+/** Deterministic fill pattern so reads can verify round trips. */
+void
+makeValue(std::vector<std::uint8_t> &buf, const Request &req)
+{
+    buf.assign(req.valueBytes,
+               static_cast<std::uint8_t>(Rng::mix64(
+                   req.key ^ (0x5E12C0DEull + req.tenant))));
+}
+
+} // namespace
+
+ServeEngine::ServeEngine(const ServeConfig &config) : config_(config)
+{
+    fatalIf(config_.tenants.empty(), "ServeEngine: no tenants");
+    fatalIf(config_.streams == 0, "ServeEngine: no streams");
+    fatalIf(config_.batch == 0, "ServeEngine: empty batch");
+    fatalIf(config_.capacityBytes == 0, "ServeEngine: no capacity");
+    fatalIf(!makeTenantPolicy(config_.policy, {}),
+            "ServeEngine: unknown policy (use H, F or Q)");
+}
+
+ServeResult
+ServeEngine::run()
+{
+    const auto tenants =
+        static_cast<std::uint32_t>(config_.tenants.size());
+
+    StoreConfig store_config;
+    store_config.capacityBytes = config_.capacityBytes;
+    store_config.shards = config_.shards;
+    store_config.tenants = tenants;
+    store_config.ghostPerTenant = config_.ghostPerTenant;
+    ShardedStore store(store_config);
+
+    LoadGen gen(config_.tenants, config_.streams, config_.seed);
+
+    std::vector<TenantQos> qos(tenants);
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+        qos[t].weight = config_.tenants[t].weight;
+        qos[t].floorFrac = config_.tenants[t].floorFrac;
+        qos[t].sloHitRatio = config_.tenants[t].sloHit;
+    }
+    TenantArbiter arbiter(
+        tenants, makeTenantPolicy(config_.policy, std::move(qos)),
+        deriveSeed(config_.seed, "tenant-arbiter"),
+        TenantArbiter::Params{config_.intervalMisses});
+
+    ThreadPool pool(config_.threads);
+
+    ServeResult result;
+    result.tenants.resize(tenants);
+    result.recorder = std::make_shared<telemetry::IntervalRecorder>(
+        std::max<std::size_t>(1, config_.recorderCapacity));
+    result.metrics = std::make_shared<telemetry::MetricsRegistry>();
+
+    // Per-tenant latency histograms: ~0.5us to ~1s in nanoseconds.
+    std::vector<telemetry::Histogram *> latency(tenants, nullptr);
+    if (config_.timing) {
+        const std::vector<double> bounds =
+            telemetry::Histogram::exponentialBounds(512.0, 2.0, 22);
+        for (std::uint32_t t = 0; t < tenants; ++t)
+            latency[t] = &result.metrics->histogram(
+                "serve.latency_ns.t" + std::to_string(t), bounds);
+    }
+
+    // Mean spec size stands in for the measured mean until the
+    // store holds objects (first interval of a cold run).
+    std::uint64_t spec_mean_bytes = 0;
+    for (const TenantSpec &spec : config_.tenants)
+        spec_mean_bytes += (spec.vmin + spec.vmax) / 2;
+    spec_mean_bytes =
+        std::max<std::uint64_t>(1, spec_mean_bytes / tenants);
+
+    // Round-pipeline scratch, reused every round.
+    const std::uint32_t streams = config_.streams;
+    std::vector<std::vector<Request>> per_stream(streams);
+    for (auto &batch : per_stream)
+        batch.resize(config_.batch);
+    std::vector<std::uint32_t> stream_fill(streams, 0);
+    std::vector<Request> merged;
+    merged.reserve(static_cast<std::size_t>(streams) *
+                   config_.batch);
+    std::vector<std::vector<std::uint32_t>> by_shard(
+        store.shardCount());
+
+    // Interval state: counter snapshots taken at interval open.
+    std::vector<std::uint64_t> base_hits(tenants, 0);
+    std::vector<std::uint64_t> base_misses(tenants, 0);
+    std::vector<std::uint64_t> base_shadow(tenants, 0);
+    std::vector<std::uint64_t> interval_evictions(tenants, 0);
+    std::uint64_t interval_idx = 0;
+
+    const auto intervalMissCount = [&] {
+        std::uint64_t total = 0;
+        for (std::uint32_t t = 0; t < tenants; ++t)
+            total += store.misses(t) - base_misses[t];
+        return total;
+    };
+
+    const auto closeInterval = [&](std::uint64_t misses_in_interval) {
+        telemetry::IntervalSample sample;
+        sample.interval = ++interval_idx;
+        sample.missesInInterval = misses_in_interval;
+        sample.occupancy.resize(tenants);
+        sample.missFrac.resize(tenants);
+        sample.hits.resize(tenants);
+        sample.misses.resize(tenants);
+        // The distribution *in effect during* the interval — not the
+        // one the recompute below produces. This aligns each row
+        // with the evictions it actually steered, which is what the
+        // victim-match statistics need (docs/SERVING.md).
+        sample.target = arbiter.targets();
+        sample.evProb = arbiter.evictionProbs();
+
+        TenantSnapshot snap;
+        snap.capacityBytes = config_.capacityBytes;
+        const std::uint64_t objects = store.objectCount();
+        snap.avgObjectBytes =
+            objects > 0 ? std::max<std::uint64_t>(
+                              1, store.totalBytes() / objects)
+                        : spec_mean_bytes;
+        snap.occupancyBytes.resize(tenants);
+        snap.hits.resize(tenants);
+        snap.misses.resize(tenants);
+        snap.shadowHits.resize(tenants);
+
+        for (std::uint32_t t = 0; t < tenants; ++t) {
+            const std::uint64_t bytes = store.tenantBytes(t);
+            snap.occupancyBytes[t] = bytes;
+            snap.hits[t] = store.hits(t) - base_hits[t];
+            snap.misses[t] = store.misses(t) - base_misses[t];
+            snap.shadowHits[t] =
+                store.shadowHits(t) - base_shadow[t];
+
+            sample.occupancy[t] =
+                static_cast<double>(bytes) /
+                static_cast<double>(config_.capacityBytes);
+            sample.missFrac[t] =
+                misses_in_interval
+                    ? static_cast<double>(snap.misses[t]) /
+                          static_cast<double>(misses_in_interval)
+                    : 0.0;
+            sample.hits[t] = snap.hits[t];
+            sample.misses[t] = snap.misses[t];
+
+            base_hits[t] += snap.hits[t];
+            base_misses[t] += snap.misses[t];
+            base_shadow[t] += snap.shadowHits[t];
+        }
+        result.recorder->record(std::move(sample));
+        result.intervalEvictions.push_back(interval_evictions);
+        std::fill(interval_evictions.begin(),
+                  interval_evictions.end(), 0);
+
+        arbiter.recompute(snap);
+    };
+
+    const bool budgeted = config_.opBudget > 0;
+    const auto start = Clock::now();
+    const auto deadline =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(config_.seconds));
+
+    for (;;) {
+        // --- round sizing ------------------------------------------
+        if (budgeted) {
+            const std::uint64_t remaining =
+                config_.opBudget - result.ops;
+            if (remaining == 0)
+                break;
+            const std::uint64_t round_ops = std::min<std::uint64_t>(
+                remaining,
+                static_cast<std::uint64_t>(streams) *
+                    config_.batch);
+            for (std::uint32_t s = 0; s < streams; ++s)
+                stream_fill[s] = static_cast<std::uint32_t>(
+                    round_ops / streams +
+                    (s < round_ops % streams ? 1 : 0));
+        } else {
+            if (Clock::now() >= deadline)
+                break;
+            std::fill(stream_fill.begin(), stream_fill.end(),
+                      config_.batch);
+        }
+
+        // --- (1) parallel per-stream batch fill --------------------
+        for (std::uint32_t s = 0; s < streams; ++s) {
+            if (stream_fill[s] == 0)
+                continue;
+            pool.submit([&gen, &per_stream, &stream_fill, s] {
+                gen.fill(s, std::span<Request>(
+                                per_stream[s].data(),
+                                stream_fill[s]));
+            });
+        }
+        pool.wait();
+
+        // --- (2) deterministic round-robin merge -------------------
+        merged.clear();
+        for (std::uint32_t i = 0; i < config_.batch; ++i)
+            for (std::uint32_t s = 0; s < streams; ++s)
+                if (i < stream_fill[s])
+                    merged.push_back(per_stream[s][i]);
+        if (merged.empty())
+            break;
+
+        // --- (3) partition by shard, parallel apply ----------------
+        for (auto &list : by_shard)
+            list.clear();
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(merged.size()); ++i) {
+            const Request &req = merged[i];
+            by_shard[store.shardOf(req.tenant, req.key)].push_back(
+                i);
+            if (req.isPut)
+                ++result.puts;
+            else
+                ++result.gets;
+        }
+
+        for (const std::vector<std::uint32_t> &list : by_shard) {
+            if (list.empty())
+                continue;
+            pool.submit([&store, &merged, &list, &latency,
+                         timing = config_.timing] {
+                std::vector<std::uint8_t> buf;
+                for (const std::uint32_t idx : list) {
+                    const Request &req = merged[idx];
+                    const auto t0 =
+                        timing ? Clock::now() : Clock::time_point();
+                    if (req.isPut) {
+                        makeValue(buf, req);
+                        store.put(req.tenant, req.key, buf);
+                    } else if (!store.get(req.tenant, req.key)
+                                    .hit) {
+                        // Read-through fill: a get miss fetches the
+                        // object from the (modelled) backend.
+                        makeValue(buf, req);
+                        store.put(req.tenant, req.key, buf);
+                    }
+                    if (timing)
+                        latency[req.tenant]->observe(
+                            static_cast<double>(
+                                std::chrono::nanoseconds(
+                                    Clock::now() - t0)
+                                    .count()));
+                }
+            });
+        }
+        pool.wait();
+        result.ops += merged.size();
+        ++result.rounds;
+
+        // --- (4) sequential capacity eviction ----------------------
+        while (store.totalBytes() > config_.capacityBytes) {
+            std::uint32_t victim = arbiter.sampleVictimTenant();
+            std::uint64_t freed = store.evictOneFrom(victim);
+            if (freed == 0) {
+                // Sampled tenant holds nothing here: charge the
+                // fattest tenant instead (and count the miss-step).
+                ++result.victimlessEvictions;
+                std::uint32_t fattest = 0;
+                for (std::uint32_t t = 1; t < tenants; ++t)
+                    if (store.tenantBytes(t) >
+                        store.tenantBytes(fattest))
+                        fattest = t;
+                victim = fattest;
+                freed = store.evictOneFrom(victim);
+                if (freed == 0)
+                    break; // nothing anywhere to evict
+            }
+            ++result.evictions;
+            ++interval_evictions[victim];
+            ++result.tenants[victim].evictions;
+        }
+
+        // --- (5) control loop at the interval boundary -------------
+        const std::uint64_t interval_misses = intervalMissCount();
+        if (interval_misses >= config_.intervalMisses)
+            closeInterval(interval_misses);
+    }
+
+    // The final partial interval still carries signal — record it
+    // (the simulator does the same for its last interval).
+    const std::uint64_t tail_misses = intervalMissCount();
+    if (tail_misses > 0)
+        closeInterval(tail_misses);
+
+    if (config_.timing)
+        result.wallSeconds =
+            std::chrono::duration<double>(Clock::now() - start)
+                .count();
+
+    result.intervals = interval_idx;
+    result.recomputes = arbiter.recomputes();
+    result.eq1Fallbacks = arbiter.eq1Fallbacks();
+    result.clampedEq1Inputs = arbiter.clampedInputs();
+    result.occupancyBytes = store.totalBytes();
+    result.objects = store.objectCount();
+    result.rehashes = store.rehashes();
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+        result.tenants[t].hits = store.hits(t);
+        result.tenants[t].misses = store.misses(t);
+        result.tenants[t].shadowHits = store.shadowHits(t);
+        result.tenants[t].occupancyBytes = store.tenantBytes(t);
+    }
+    return result;
+}
+
+void
+writeServeJson(std::ostream &os, const ServeConfig &config,
+               const ServeResult &result)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "prism-serve-v1");
+    w.kv("policy", policyLongName(config.policy));
+
+    w.key("config");
+    w.beginObject();
+    w.kv("capacity_bytes", config.capacityBytes);
+    w.kv("shards", config.shards);
+    w.kv("streams", config.streams);
+    w.kv("batch", config.batch);
+    w.kv("interval_misses", config.intervalMisses);
+    w.kv("seed", config.seed);
+    w.kv("op_budget", config.opBudget);
+    w.key("tenants");
+    w.beginArray();
+    for (const TenantSpec &spec : config.tenants) {
+        w.beginObject();
+        w.kv("keys", spec.keys);
+        w.kv("zipf", spec.zipf);
+        w.kv("get_frac", spec.getFrac);
+        w.kv("vmin", spec.vmin);
+        w.kv("vmax", spec.vmax);
+        w.kv("weight", spec.weight);
+        w.kv("slo_hit", spec.sloHit);
+        w.kv("floor", spec.floorFrac);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.key("totals");
+    w.beginObject();
+    w.kv("ops", result.ops);
+    w.kv("gets", result.gets);
+    w.kv("puts", result.puts);
+    std::uint64_t hits = 0, misses = 0, shadow = 0;
+    for (const TenantTotals &t : result.tenants) {
+        hits += t.hits;
+        misses += t.misses;
+        shadow += t.shadowHits;
+    }
+    w.kv("hits", hits);
+    w.kv("misses", misses);
+    w.kv("shadow_hits", shadow);
+    w.kv("evictions", result.evictions);
+    w.kv("victimless_evictions", result.victimlessEvictions);
+    w.kv("rounds", result.rounds);
+    w.kv("intervals", result.intervals);
+    w.kv("recomputes", result.recomputes);
+    w.kv("eq1_fallbacks", result.eq1Fallbacks);
+    w.kv("clamped_eq1_inputs", result.clampedEq1Inputs);
+    w.kv("occupancy_bytes", result.occupancyBytes);
+    w.kv("objects", result.objects);
+    w.kv("rehashes", result.rehashes);
+    w.endObject();
+
+    w.key("tenants");
+    w.beginArray();
+    for (std::size_t t = 0; t < result.tenants.size(); ++t) {
+        const TenantTotals &tt = result.tenants[t];
+        w.beginObject();
+        w.kv("tenant", static_cast<std::uint64_t>(t));
+        w.kv("hits", tt.hits);
+        w.kv("misses", tt.misses);
+        w.kv("shadow_hits", tt.shadowHits);
+        w.kv("evictions", tt.evictions);
+        w.kv("occupancy_bytes", tt.occupancyBytes);
+        const std::uint64_t accesses = tt.hits + tt.misses;
+        w.kv("hit_ratio",
+             accesses ? static_cast<double>(tt.hits) /
+                            static_cast<double>(accesses)
+                      : 0.0);
+        w.kv("slo_hit", t < config.tenants.size()
+                            ? config.tenants[t].sloHit
+                            : 0.0);
+        w.endObject();
+    }
+    w.endArray();
+
+    // Interval series as parallel arrays, oldest retained first.
+    // When the recorder ring wrapped, the eviction rows are trimmed
+    // to the same retained window so every series stays aligned.
+    const telemetry::IntervalRecorder &rec = *result.recorder;
+    const std::size_t n = rec.size();
+    const std::size_t ev_skip =
+        result.intervalEvictions.size() > n
+            ? result.intervalEvictions.size() - n
+            : 0;
+
+    w.key("intervals");
+    w.beginObject();
+    w.key("interval");
+    w.beginArray();
+    for (std::size_t i = 0; i < n; ++i)
+        w.value(rec.sample(i).interval);
+    w.endArray();
+    w.key("misses_in_interval");
+    w.beginArray();
+    for (std::size_t i = 0; i < n; ++i)
+        w.value(rec.sample(i).missesInInterval);
+    w.endArray();
+
+    const auto doubleRows =
+        [&](const char *name,
+            const std::vector<double> &(*row)(
+                const telemetry::IntervalSample &)) {
+            w.key(name);
+            w.beginArray();
+            for (std::size_t i = 0; i < n; ++i) {
+                w.beginArray();
+                for (const double v : row(rec.sample(i)))
+                    w.value(v);
+                w.endArray();
+            }
+            w.endArray();
+        };
+    doubleRows("occupancy",
+               +[](const telemetry::IntervalSample &s)
+                   -> const std::vector<double> & {
+                   return s.occupancy;
+               });
+    doubleRows("target",
+               +[](const telemetry::IntervalSample &s)
+                   -> const std::vector<double> & {
+                   return s.target;
+               });
+    doubleRows("ev_prob",
+               +[](const telemetry::IntervalSample &s)
+                   -> const std::vector<double> & {
+                   return s.evProb;
+               });
+    doubleRows("miss_frac",
+               +[](const telemetry::IntervalSample &s)
+                   -> const std::vector<double> & {
+                   return s.missFrac;
+               });
+
+    const auto u64Rows =
+        [&](const char *name,
+            const std::vector<std::uint64_t> &(*row)(
+                const telemetry::IntervalSample &)) {
+            w.key(name);
+            w.beginArray();
+            for (std::size_t i = 0; i < n; ++i) {
+                w.beginArray();
+                for (const std::uint64_t v : row(rec.sample(i)))
+                    w.value(v);
+                w.endArray();
+            }
+            w.endArray();
+        };
+    u64Rows("hits",
+            +[](const telemetry::IntervalSample &s)
+                -> const std::vector<std::uint64_t> & {
+                return s.hits;
+            });
+    u64Rows("misses",
+            +[](const telemetry::IntervalSample &s)
+                -> const std::vector<std::uint64_t> & {
+                return s.misses;
+            });
+
+    w.key("evictions");
+    w.beginArray();
+    for (std::size_t i = 0; i < n; ++i) {
+        w.beginArray();
+        if (ev_skip + i < result.intervalEvictions.size())
+            for (const std::uint64_t v :
+                 result.intervalEvictions[ev_skip + i])
+                w.value(v);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.key("telemetry");
+    w.beginObject();
+    w.kv("dropped_samples", rec.droppedSamples());
+    w.kv("dropped_events", rec.droppedEvents());
+    w.endObject();
+
+    if (config.timing) {
+        w.key("timing");
+        w.beginObject();
+        w.kv("threads", config.threads);
+        w.kv("wall_seconds", result.wallSeconds);
+        w.kv("ops_per_sec",
+             result.wallSeconds > 0.0
+                 ? static_cast<double>(result.ops) /
+                       result.wallSeconds
+                 : 0.0);
+        w.key("latency_us");
+        w.beginArray();
+        for (std::size_t t = 0; t < result.tenants.size(); ++t) {
+            w.beginObject();
+            w.kv("tenant", static_cast<std::uint64_t>(t));
+            const telemetry::Histogram *h =
+                result.metrics
+                    ? &const_cast<telemetry::MetricsRegistry &>(
+                           *result.metrics)
+                           .histogram("serve.latency_ns.t" +
+                                          std::to_string(t),
+                                      {})
+                    : nullptr;
+            const double scale = 1.0 / 1000.0;
+            w.kv("p50", h ? h->quantile(0.50) * scale : 0.0);
+            w.kv("p95", h ? h->quantile(0.95) * scale : 0.0);
+            w.kv("p99", h ? h->quantile(0.99) * scale : 0.0);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace prism::serve

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The serving engine: closed-loop load through the sharded store
+ * under the PriSM tenant arbiter, with deterministic output.
+ *
+ * Execution is round-based. Each round: (1) every logical stream
+ * fills one request batch (streams fan out over the worker pool),
+ * (2) the batches are merged in a fixed round-robin interleave,
+ * (3) the merged sequence is partitioned by shard and each shard's
+ * slice is applied in merged order (shards fan out over the pool),
+ * (4) after the barrier one sequential pass evicts — sampling the
+ * victim tenant from the arbiter's Equation 1 distribution — until
+ * occupancy fits the byte budget, and (5) once the interval's miss
+ * quota W is met, the control loop records the interval and
+ * recomputes targets and distribution.
+ *
+ * Because streams (not threads) own the RNGs, the merge order is a
+ * pure function of batch shape, shard routing is a pure function of
+ * keys, per-shard application order follows the merge order, and
+ * eviction + control run sequentially, every deterministic output
+ * is byte-identical at any `--threads` for a fixed op budget. Wall
+ *-clock metrics (latency histograms, throughput) are collected only
+ * when timing is on and live in the JSON "timing" section, which —
+ * like ".wall_ns" counters elsewhere — is excluded from the
+ * deterministic document (docs/SERVING.md).
+ */
+
+#ifndef PRISM_SERVE_SERVE_ENGINE_HH
+#define PRISM_SERVE_SERVE_ENGINE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "serve/load_gen.hh"
+#include "serve/sharded_store.hh"
+#include "serve/tenant_arbiter.hh"
+#include "telemetry/interval_recorder.hh"
+#include "telemetry/metrics_registry.hh"
+
+namespace prism::serve
+{
+
+/** Everything a serve run needs to know. */
+struct ServeConfig
+{
+    std::vector<TenantSpec> tenants;
+
+    std::uint32_t threads = 1;
+    /** Logical request streams (fixed; independent of threads). */
+    std::uint32_t streams = 16;
+    std::uint32_t shards = 64;
+    /** Requests per stream per round. */
+    std::uint32_t batch = 2048;
+
+    std::uint64_t capacityBytes = 64ull << 20;
+    /** The paper's W, in get misses. */
+    std::uint64_t intervalMisses = 16384;
+    /** Target policy: 'H', 'F' or 'Q'. */
+    char policy = 'H';
+    std::uint64_t seed = 42;
+
+    /** Total requests; 0 = run by wall clock instead. */
+    std::uint64_t opBudget = 0;
+    /** Wall-clock run length when opBudget == 0. */
+    double seconds = 5.0;
+
+    /** Collect wall-clock latency/throughput (non-deterministic). */
+    bool timing = true;
+    /** Interval-recorder ring capacity. */
+    std::size_t recorderCapacity = 4096;
+    /** Ghost-list keys per tenant per shard. */
+    std::uint32_t ghostPerTenant = 1024;
+};
+
+/** Final per-tenant totals. */
+struct TenantTotals
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t shadowHits = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t occupancyBytes = 0;
+};
+
+/** The outcome of one serve run. */
+struct ServeResult
+{
+    std::vector<TenantTotals> tenants;
+
+    std::uint64_t ops = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t intervals = 0;
+
+    std::uint64_t evictions = 0;
+    /** Sampled tenant held nothing; max-occupancy tenant evicted. */
+    std::uint64_t victimlessEvictions = 0;
+
+    std::uint64_t recomputes = 0;
+    std::uint64_t eq1Fallbacks = 0;
+    std::uint64_t clampedEq1Inputs = 0;
+
+    std::uint64_t occupancyBytes = 0;
+    std::uint64_t objects = 0;
+    std::uint64_t rehashes = 0;
+
+    /** Per-interval per-tenant evictions, parallel to the recorded
+     *  interval samples (same truncation when the ring wraps). */
+    std::vector<std::vector<std::uint64_t>> intervalEvictions;
+
+    /** Recorded interval series {C, T, E, M, hits, misses}. */
+    std::shared_ptr<telemetry::IntervalRecorder> recorder;
+
+    /** Per-tenant latency histograms etc. (timing runs only). */
+    std::shared_ptr<telemetry::MetricsRegistry> metrics;
+
+    /** Wall-clock seconds spent serving; 0 without timing. */
+    double wallSeconds = 0.0;
+};
+
+/** Runs one configured serve session. */
+class ServeEngine
+{
+  public:
+    explicit ServeEngine(const ServeConfig &config);
+
+    ServeResult run();
+
+  private:
+    ServeConfig config_;
+};
+
+/**
+ * Serialise @p result as a `prism-serve-v1` document. The document
+ * is byte-deterministic for a fixed op budget; the non-deterministic
+ * "timing" section is appended only when the run collected timing.
+ */
+void writeServeJson(std::ostream &os, const ServeConfig &config,
+                    const ServeResult &result);
+
+} // namespace prism::serve
+
+#endif // PRISM_SERVE_SERVE_ENGINE_HH

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Sharded in-memory object store: the serving data plane.
+ *
+ * A key-value store split into N lock-striped shards. Each shard is
+ * an open-addressing hash table (linear probing, tombstones,
+ * power-of-two slots) whose slots double as nodes of per-tenant
+ * intrusive LRU lists, so recency is tracked per tenant per shard
+ * with zero extra allocation. Byte-level accounting — per-shard
+ * per-tenant exact counters plus store-wide relaxed atomics — gives
+ * the arbiter the occupancy view Equation 1 needs without stopping
+ * the world.
+ *
+ * Each shard additionally keeps a per-tenant *ghost list* (a bounded
+ * FIFO of recently evicted keys): a miss whose key is still in the
+ * ghost list is a "shadow hit" — a hit the tenant would have had
+ * with more capacity — which is exactly the demand signal the
+ * hit-maximising target policy feeds on (the serving analogue of the
+ * paper's shadow tags).
+ *
+ * Concurrency contract: get/put are thread-safe (per-shard mutex;
+ * the TSan hammer test exercises this), occupancy reads are
+ * lock-free, and evictOneFrom is called only from the engine's
+ * sequential eviction pass. Determinism: identical operation
+ * sequences per shard produce identical state at any thread count —
+ * nothing in a shard depends on global order, only on its own.
+ */
+
+#ifndef PRISM_SERVE_SHARDED_STORE_HH
+#define PRISM_SERVE_SHARDED_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "serve/tenant_arbiter.hh"
+
+namespace prism::serve
+{
+
+/** Sizing knobs for the store. */
+struct StoreConfig
+{
+    std::uint64_t capacityBytes = 64ull << 20;
+    /** Lock stripes; rounded up to a power of two. */
+    std::uint32_t shards = 64;
+    std::uint32_t tenants = 1;
+    /** Ghost-list keys retained per tenant per shard. */
+    std::uint32_t ghostPerTenant = 1024;
+    /** Initial hash-table slots per shard (power of two). */
+    std::uint32_t initialSlots = 1024;
+};
+
+/** The sharded object store; implements the arbiter's TenantPlane. */
+class ShardedStore final : public TenantPlane
+{
+  public:
+    explicit ShardedStore(const StoreConfig &config);
+    ~ShardedStore() override;
+
+    ShardedStore(const ShardedStore &) = delete;
+    ShardedStore &operator=(const ShardedStore &) = delete;
+
+    struct GetResult
+    {
+        bool hit = false;
+        /** Miss whose key was still on the tenant's ghost list. */
+        bool shadowHit = false;
+    };
+
+    /**
+     * Look @p key up for @p tenant. A hit refreshes the object's
+     * per-tenant LRU position and, when @p value_out is non-null,
+     * copies the value bytes out. A miss checks the ghost list and
+     * bumps the tenant's hit/miss/shadow counters accordingly.
+     */
+    GetResult get(std::uint32_t tenant, std::uint64_t key,
+                  std::vector<std::uint8_t> *value_out = nullptr);
+
+    /**
+     * Insert or overwrite @p key for @p tenant with @p value bytes.
+     * The object becomes the tenant's most recently used; a key
+     * resurrected from the ghost list is dropped from it. Never
+     * evicts — capacity is enforced by the engine's eviction pass.
+     */
+    void put(std::uint32_t tenant, std::uint64_t key,
+             std::span<const std::uint8_t> value);
+
+    /** Shard @p key routes to (for the engine's batch partition). */
+    std::uint32_t
+    shardOf(std::uint32_t tenant, std::uint64_t key) const
+    {
+        return static_cast<std::uint32_t>(
+            slotHash(tenant, key) >> shard_shift_ &
+            (shards_.size() - 1));
+    }
+
+    std::uint32_t shardCount() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+    std::uint64_t capacityBytes() const { return capacity_bytes_; }
+
+    // --- TenantPlane ------------------------------------------------
+    std::uint32_t tenantCount() const override { return tenants_; }
+    std::uint64_t tenantBytes(std::uint32_t tenant) const override
+    {
+        return tenant_bytes_[tenant].load(std::memory_order_relaxed);
+    }
+    std::uint64_t totalBytes() const override
+    {
+        return total_bytes_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t objectCount() const override
+    {
+        return objects_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t evictOneFrom(std::uint32_t tenant) override;
+
+    // --- per-tenant access statistics (monotonic) -------------------
+    std::uint64_t hits(std::uint32_t tenant) const
+    {
+        return hits_[tenant].load(std::memory_order_relaxed);
+    }
+    std::uint64_t misses(std::uint32_t tenant) const
+    {
+        return misses_[tenant].load(std::memory_order_relaxed);
+    }
+    std::uint64_t shadowHits(std::uint32_t tenant) const
+    {
+        return shadow_hits_[tenant].load(std::memory_order_relaxed);
+    }
+
+    /** Hash-table growth/compaction events across all shards. */
+    std::uint64_t rehashes() const
+    {
+        return rehashes_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+    enum class SlotState : std::uint8_t { Empty, Full, Tombstone };
+
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        std::uint32_t tenant = 0;
+        SlotState state = SlotState::Empty;
+        /** Per-tenant LRU links (slot indices within the shard). */
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+        std::vector<std::uint8_t> value;
+    };
+
+    /** Bounded FIFO of evicted keys with O(1) membership. */
+    struct GhostList
+    {
+        std::vector<std::uint64_t> ring;
+        std::uint32_t head = 0; ///< next overwrite position
+        std::uint32_t size = 0;
+        std::unordered_set<std::uint64_t> members;
+
+        void push(std::uint64_t key, std::uint32_t capacity);
+        bool contains(std::uint64_t key) const
+        {
+            return members.count(key) != 0;
+        }
+        void erase(std::uint64_t key);
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::vector<Slot> slots; ///< power-of-two size
+        std::size_t used = 0;    ///< Full slots
+        std::size_t filled = 0;  ///< Full + Tombstone slots
+        // Per-tenant state, indexed by tenant id.
+        std::vector<std::uint32_t> lruHead; ///< MRU end
+        std::vector<std::uint32_t> lruTail; ///< LRU end
+        std::vector<std::uint64_t> bytes;
+        std::vector<GhostList> ghost;
+    };
+
+    static std::uint64_t
+    slotHash(std::uint32_t tenant, std::uint64_t key)
+    {
+        return Rng::mix64(key ^ Rng::mix64(0x7E9A9C1B2D3E4F50ULL +
+                                           tenant));
+    }
+
+    /** Find @p key's Full slot; kNil when absent. */
+    std::uint32_t findSlot(const Shard &shard, std::uint32_t tenant,
+                           std::uint64_t key,
+                           std::uint64_t hash) const;
+
+    void unlink(Shard &shard, std::uint32_t idx);
+    void linkFront(Shard &shard, std::uint32_t idx);
+    void growShard(Shard &shard);
+    void insertLocked(Shard &shard, std::uint32_t tenant,
+                      std::uint64_t key, std::uint64_t hash,
+                      std::span<const std::uint8_t> value);
+
+    std::uint64_t capacity_bytes_;
+    std::uint32_t tenants_;
+    std::uint32_t ghost_per_tenant_;
+    std::uint32_t shard_shift_; ///< 64 - log2(shards)
+
+    std::vector<Shard> shards_;
+
+    // Store-wide accounting (relaxed; exact because every update
+    // happens under some shard lock and readers tolerate staleness
+    // of in-flight operations).
+    std::unique_ptr<std::atomic<std::uint64_t>[]> tenant_bytes_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> hits_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> misses_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> shadow_hits_;
+    std::atomic<std::uint64_t> total_bytes_{0};
+    std::atomic<std::uint64_t> objects_{0};
+    std::atomic<std::uint64_t> rehashes_{0};
+
+    /** Per-tenant round-robin shard cursor for evictOneFrom (only
+     *  touched by the sequential eviction pass). */
+    std::vector<std::uint32_t> evict_cursor_;
+};
+
+} // namespace prism::serve
+
+#endif // PRISM_SERVE_SHARDED_STORE_HH

@@ -1,0 +1,224 @@
+#include "serve/tenant_arbiter.hh"
+
+#include <algorithm>
+
+#include "common/prism_assert.hh"
+
+namespace prism::serve
+{
+
+std::uint64_t
+TenantSnapshot::intervalMisses() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t m : misses)
+        total += m;
+    return total;
+}
+
+double
+TenantSnapshot::occupancyFraction(std::uint32_t tenant) const
+{
+    if (capacityBytes == 0)
+        return 0.0;
+    return static_cast<double>(occupancyBytes[tenant]) /
+           static_cast<double>(capacityBytes);
+}
+
+double
+TenantSnapshot::missFraction(std::uint32_t tenant) const
+{
+    const std::uint64_t total = intervalMisses();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(misses[tenant]) /
+           static_cast<double>(total);
+}
+
+namespace
+{
+
+/**
+ * Give every tenant @p floor, then distribute the remaining mass
+ * proportionally to @p scores (uniformly when the scores are all
+ * zero). Keeps the result a distribution for any non-negative
+ * inputs; floors that would oversubscribe are scaled down first.
+ */
+std::vector<double>
+floorsPlusProportional(std::vector<double> floors,
+                       const std::vector<double> &scores)
+{
+    const std::size_t n = floors.size();
+    double floor_sum = 0.0;
+    for (const double f : floors)
+        floor_sum += f;
+    if (floor_sum > 1.0) {
+        for (double &f : floors)
+            f /= floor_sum;
+        floor_sum = 1.0;
+    }
+
+    double score_sum = 0.0;
+    for (const double s : scores)
+        score_sum += s;
+
+    const double spare = 1.0 - floor_sum;
+    std::vector<double> targets(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double share =
+            score_sum > 0.0 ? scores[i] / score_sum
+                            : 1.0 / static_cast<double>(n);
+        targets[i] = floors[i] + spare * share;
+    }
+    return targets;
+}
+
+/**
+ * Hit-maximising targets: a tenant's claim grows with the reuse it
+ * realised (hits) and the reuse it was denied (ghost-list shadow
+ * hits, weighted up because each one is a miss an extra byte of
+ * capacity would likely have converted). A small uniform floor keeps
+ * idle tenants probeable so the loop can notice them warming up.
+ */
+class HitMaxPolicy final : public TenantTargetPolicy
+{
+  public:
+    using TenantTargetPolicy::TenantTargetPolicy;
+
+    std::string name() const override { return "HitMax"; }
+
+    std::vector<double>
+    computeTargets(const TenantSnapshot &snap) override
+    {
+        static constexpr double kShadowWeight = 4.0;
+        const std::size_t n = snap.occupancyBytes.size();
+        double floor = kMinTargetFrac;
+        if (floor * static_cast<double>(n) > 1.0)
+            floor = 1.0 / static_cast<double>(n);
+
+        std::vector<double> scores(n);
+        for (std::size_t i = 0; i < n; ++i)
+            scores[i] =
+                static_cast<double>(snap.hits[i]) +
+                kShadowWeight *
+                    static_cast<double>(snap.shadowHits[i]);
+        return floorsPlusProportional(
+            std::vector<double>(n, floor), scores);
+    }
+
+  private:
+    static constexpr double kMinTargetFrac = 0.02;
+};
+
+/** Weighted fair share: targets proportional to QoS weights. */
+class FairSharePolicy final : public TenantTargetPolicy
+{
+  public:
+    using TenantTargetPolicy::TenantTargetPolicy;
+
+    std::string name() const override { return "Fair"; }
+
+    std::vector<double>
+    computeTargets(const TenantSnapshot &snap) override
+    {
+        const std::size_t n = snap.occupancyBytes.size();
+        std::vector<double> weights(n, 1.0);
+        for (std::size_t i = 0; i < n && i < qos_.size(); ++i)
+            weights[i] = std::max(0.0, qos_[i].weight);
+        return floorsPlusProportional(std::vector<double>(n, 0.0),
+                                      weights);
+    }
+};
+
+/**
+ * QoS floors: protected tenants (floorFrac > 0) are guaranteed their
+ * capacity fraction; whatever remains is split by weight across all
+ * tenants, so protected tenants can still grow past their floor when
+ * the others leave capacity on the table.
+ */
+class QosFloorPolicy final : public TenantTargetPolicy
+{
+  public:
+    using TenantTargetPolicy::TenantTargetPolicy;
+
+    std::string name() const override { return "QoS"; }
+
+    std::vector<double>
+    computeTargets(const TenantSnapshot &snap) override
+    {
+        const std::size_t n = snap.occupancyBytes.size();
+        std::vector<double> floors(n, 0.0);
+        std::vector<double> weights(n, 1.0);
+        for (std::size_t i = 0; i < n && i < qos_.size(); ++i) {
+            floors[i] = std::max(0.0, qos_[i].floorFrac);
+            weights[i] = std::max(0.0, qos_[i].weight);
+        }
+        return floorsPlusProportional(std::move(floors), weights);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<TenantTargetPolicy>
+makeTenantPolicy(char kind, std::vector<TenantQos> qos)
+{
+    switch (kind) {
+      case 'H':
+        return std::make_unique<HitMaxPolicy>(std::move(qos));
+      case 'F':
+        return std::make_unique<FairSharePolicy>(std::move(qos));
+      case 'Q':
+        return std::make_unique<QosFloorPolicy>(std::move(qos));
+      default:
+        return nullptr;
+    }
+}
+
+TenantArbiter::TenantArbiter(
+    std::uint32_t tenants,
+    std::unique_ptr<TenantTargetPolicy> policy, std::uint64_t seed,
+    Params params)
+    : tenants_(tenants), policy_(std::move(policy)), rng_(seed),
+      params_(params)
+{
+    fatalIf(tenants_ == 0, "TenantArbiter: no tenants");
+    fatalIf(!policy_, "TenantArbiter: null target policy");
+    const double uniform = 1.0 / static_cast<double>(tenants_);
+    targets_.assign(tenants_, uniform);
+    e_.assign(tenants_, uniform);
+    sampler_.build(e_);
+}
+
+void
+TenantArbiter::recompute(const TenantSnapshot &snap)
+{
+    panicIf(snap.occupancyBytes.size() != tenants_,
+            "TenantArbiter: snapshot tenant count mismatch");
+    targets_ = policy_->computeTargets(snap);
+
+    std::vector<double> c(tenants_), m(tenants_);
+    for (std::uint32_t i = 0; i < tenants_; ++i) {
+        c[i] = snap.occupancyFraction(i);
+        m[i] = snap.missFraction(i);
+    }
+
+    // The byte analogue of the paper's block counts: N objects of
+    // average size fill the capacity, and the interval spanned the
+    // realised number of misses (the final interval can run short).
+    const std::uint64_t blocks_n =
+        snap.capacityBytes / std::max<std::uint64_t>(
+                                 1, snap.avgObjectBytes);
+    const std::uint64_t interval_w = snap.intervalMisses();
+
+    Eq1Stats recompute_stats;
+    e_ = evictionDistribution(c, targets_, m,
+                              std::max<std::uint64_t>(1, blocks_n),
+                              interval_w, &recompute_stats);
+    stats_.clampedInputs += recompute_stats.clampedInputs;
+    stats_.fallbackActivations += recompute_stats.fallbackActivations;
+
+    sampler_.build(e_);
+    ++recomputes_;
+}
+
+} // namespace prism::serve

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * PriSM interval control loop over *tenants* of a shared object
+ * store.
+ *
+ * The paper manages per-core occupancy of a shared hardware cache;
+ * the serving plane (docs/SERVING.md) transplants the same loop one
+ * level up: tenants of a multi-tenant key-value store share one byte
+ * budget, and every W misses the arbiter recomputes per-tenant
+ * occupancy targets T_i and the Equation 1 eviction distribution
+ * E_i. Each capacity eviction then samples a *victim tenant* from
+ * E through the same O(1) AliasSampler the simulator's
+ * Core-Selection uses, and the data plane evicts that tenant's LRU
+ * object.
+ *
+ * The data plane is abstracted behind TenantPlane (occupancy query,
+ * victim eviction, object statistics) so the arbiter and the target
+ * policies never see hash tables or locks — the same separation the
+ * simulator keeps between PrismScheme and SharedCache.
+ */
+
+#ifndef PRISM_SERVE_TENANT_ARBITER_HH
+#define PRISM_SERVE_TENANT_ARBITER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "prism/alias_sampler.hh"
+#include "prism/eq1.hh"
+
+namespace prism::serve
+{
+
+/**
+ * What the control loop may ask of the data plane. Occupancy reads
+ * must be safe concurrently with serving threads; evictOneFrom is
+ * called only from the sequential eviction pass.
+ */
+class TenantPlane
+{
+  public:
+    virtual ~TenantPlane() = default;
+
+    virtual std::uint32_t tenantCount() const = 0;
+
+    /** Bytes of live values tenant @p tenant holds right now. */
+    virtual std::uint64_t tenantBytes(std::uint32_t tenant) const = 0;
+
+    /** Bytes of live values across all tenants. */
+    virtual std::uint64_t totalBytes() const = 0;
+
+    /** Live objects across all tenants. */
+    virtual std::uint64_t objectCount() const = 0;
+
+    /**
+     * Evict @p tenant's least-recently-used object.
+     * @return Bytes freed; 0 when the tenant holds nothing (the
+     * caller then applies its victimless fallback).
+     */
+    virtual std::uint64_t evictOneFrom(std::uint32_t tenant) = 0;
+};
+
+/** Per-tenant quality-of-service inputs to the target policies. */
+struct TenantQos
+{
+    /** Relative share weight (Fair policy). */
+    double weight = 1.0;
+    /** Guaranteed capacity fraction; 0 = unprotected (QoS policy). */
+    double floorFrac = 0.0;
+    /** Hit-ratio SLO floor the doctor checks; 0 = no SLO. */
+    double sloHitRatio = 0.0;
+};
+
+/** One interval's observations, in bytes and raw counts. */
+struct TenantSnapshot
+{
+    std::uint64_t capacityBytes = 0;
+    /** Mean live-object size; the byte analogue of a cache block. */
+    std::uint64_t avgObjectBytes = 1;
+
+    // Per-tenant; all vectors share the tenant-count length.
+    std::vector<std::uint64_t> occupancyBytes;
+    std::vector<std::uint64_t> hits;       ///< this interval
+    std::vector<std::uint64_t> misses;     ///< this interval
+    std::vector<std::uint64_t> shadowHits; ///< ghost hits, interval
+
+    /** Misses across all tenants this interval (the realised W). */
+    std::uint64_t intervalMisses() const;
+
+    double occupancyFraction(std::uint32_t tenant) const;
+    double missFraction(std::uint32_t tenant) const;
+};
+
+/**
+ * Maps one interval's snapshot to per-tenant occupancy targets
+ * (fractions of capacity summing to 1) — the serving analogue of
+ * PrismAllocPolicy.
+ */
+class TenantTargetPolicy
+{
+  public:
+    explicit TenantTargetPolicy(std::vector<TenantQos> qos)
+        : qos_(std::move(qos))
+    {
+    }
+    virtual ~TenantTargetPolicy() = default;
+
+    virtual std::string name() const = 0;
+    virtual std::vector<double>
+    computeTargets(const TenantSnapshot &snap) = 0;
+
+  protected:
+    std::vector<TenantQos> qos_;
+};
+
+/**
+ * Build the policy selected by @p kind: 'H' hit-maximising (shadow
+ * hits weigh reuse a tenant was denied), 'F' weighted fair share,
+ * 'Q' QoS floors with weighted distribution of the remainder.
+ */
+std::unique_ptr<TenantTargetPolicy>
+makeTenantPolicy(char kind, std::vector<TenantQos> qos);
+
+/** Control-loop knobs for TenantArbiter. */
+struct ArbiterParams
+{
+    /** Misses per allocation interval (the paper's W). */
+    std::uint64_t intervalMisses = 16384;
+};
+
+/** The interval control loop: targets -> Equation 1 -> sampler. */
+class TenantArbiter
+{
+  public:
+    using Params = ArbiterParams;
+
+    TenantArbiter(std::uint32_t tenants,
+                  std::unique_ptr<TenantTargetPolicy> policy,
+                  std::uint64_t seed, Params params = Params());
+
+    std::uint32_t tenantCount() const { return tenants_; }
+    std::uint64_t intervalMisses() const
+    {
+        return params_.intervalMisses;
+    }
+    std::string policyName() const { return policy_->name(); }
+
+    /** Targets in effect (uniform before the first recompute). */
+    const std::vector<double> &targets() const { return targets_; }
+
+    /** Eviction distribution in effect. */
+    const std::vector<double> &evictionProbs() const { return e_; }
+
+    /**
+     * Draw the victim tenant for one capacity eviction: one uniform
+     * through the O(1) alias table, stream-identical to the
+     * inverse-CDF reference walk.
+     */
+    std::uint32_t
+    sampleVictimTenant()
+    {
+        return sampler_.sample(rng_.uniform());
+    }
+
+    /**
+     * End-of-interval recompute: policy targets, then Equation 1
+     * over byte fractions with N = capacity / avg-object-size and
+     * W = the interval's realised miss count, then rebuild the
+     * sampler.
+     */
+    void recompute(const TenantSnapshot &snap);
+
+    std::uint64_t recomputes() const { return recomputes_; }
+    std::uint64_t clampedInputs() const
+    {
+        return stats_.clampedInputs;
+    }
+    /** Equation 1 no-donor fallback activations (see eq1.hh). */
+    std::uint64_t eq1Fallbacks() const
+    {
+        return stats_.fallbackActivations;
+    }
+
+  private:
+    std::uint32_t tenants_;
+    std::unique_ptr<TenantTargetPolicy> policy_;
+    Rng rng_;
+    Params params_;
+
+    std::vector<double> targets_;
+    std::vector<double> e_;
+    AliasSampler sampler_;
+    Eq1Stats stats_;
+    std::uint64_t recomputes_ = 0;
+};
+
+} // namespace prism::serve
+
+#endif // PRISM_SERVE_TENANT_ARBITER_HH

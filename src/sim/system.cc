@@ -297,7 +297,8 @@ System::dumpStats(std::ostream &os) const
            << "prism.dropped_recomputes " << p->droppedRecomputes()
            << "\n"
            << "prism.clamped_eq1_inputs " << p->clampedInputs()
-           << "\n";
+           << "\n"
+           << "prism.eq1_fallbacks " << p->eq1Fallbacks() << "\n";
         if (p->faultInjector())
             os << "prism.faults_injected "
                << p->faultInjector()->injected() << "\n";
@@ -361,6 +362,7 @@ System::dumpStatsJson(std::ostream &os) const
         w.kv("invariant_violations", p->invariantViolations());
         w.kv("dropped_recomputes", p->droppedRecomputes());
         w.kv("clamped_eq1_inputs", p->clampedInputs());
+        w.kv("eq1_fallbacks", p->eq1Fallbacks());
         w.kv("fallback_entries", p->fallbackEntries());
         if (p->faultInjector())
             w.kv("faults_injected", p->faultInjector()->injected());

@@ -29,6 +29,57 @@ Histogram::observe(double v)
     sum_.fetch_add(v, std::memory_order_relaxed);
 }
 
+double
+Histogram::quantile(double q) const
+{
+    const std::uint64_t total = count();
+    if (total == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    else if (q > 1.0)
+        q = 1.0;
+
+    // Rank of the target observation (1-based); walk cumulative
+    // bucket counts until it is covered.
+    const double rank = q * static_cast<double>(total);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        const std::uint64_t in_bucket = bucketCount(i);
+        if (in_bucket == 0)
+            continue;
+        const std::uint64_t below = cumulative;
+        cumulative += in_bucket;
+        if (rank > static_cast<double>(cumulative))
+            continue;
+        const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+        const double hi = bounds_[i];
+        const double frac =
+            (rank - static_cast<double>(below)) /
+            static_cast<double>(in_bucket);
+        return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac);
+    }
+    // Overflow bucket: the histogram cannot resolve past the last
+    // bound, so saturate there.
+    return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double>
+Histogram::exponentialBounds(double first, double factor,
+                             std::size_t count)
+{
+    panicIf(first <= 0.0 || factor <= 1.0 || count == 0,
+            "exponentialBounds: need first > 0, factor > 1, count > 0");
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    double bound = first;
+    for (std::size_t i = 0; i < count; ++i) {
+        bounds.push_back(bound);
+        bound *= factor;
+    }
+    return bounds;
+}
+
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {

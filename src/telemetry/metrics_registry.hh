@@ -100,6 +100,25 @@ class Histogram
 
     double sum() const { return sum_.load(std::memory_order_relaxed); }
 
+    /**
+     * The @p q quantile (q in [0, 1], e.g. 0.5 / 0.95 / 0.99),
+     * linearly interpolated inside the bucket holding the target
+     * rank. Observations are assumed non-negative (the first bucket
+     * interpolates from 0); ranks landing in the overflow bucket
+     * report the last bound (the histogram cannot resolve beyond
+     * it). Returns 0 for an empty histogram.
+     */
+    double quantile(double q) const;
+
+    /**
+     * @p count strictly ascending bounds growing geometrically from
+     * @p first by @p factor — the standard latency-bucket ladder
+     * (e.g. first=1, factor=2, count=20 covers 1us..1s in microsecond
+     * units).
+     */
+    static std::vector<double>
+    exponentialBounds(double first, double factor, std::size_t count);
+
   private:
     std::vector<double> bounds_;
     std::vector<std::atomic<std::uint64_t>> buckets_;

@@ -1,0 +1,539 @@
+/**
+ * @file
+ * Unit tests for the serving plane (src/serve): the sharded object
+ * store's hashing/LRU/ghost/accounting contracts, the Zipfian load
+ * generator, tenant-spec parsing, the target policies and the
+ * interval arbiter, plus the telemetry Histogram quantile accessor
+ * the latency report depends on. The multithreaded hammer suite
+ * doubles as the TSan data-race gate for the store (registered
+ * separately under -DPRISM_TSAN=ON).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "prism/eq1.hh"
+#include "serve/load_gen.hh"
+#include "serve/sharded_store.hh"
+#include "serve/tenant_arbiter.hh"
+#include "serve/zipf.hh"
+#include "telemetry/metrics_registry.hh"
+
+using namespace prism;
+using namespace prism::serve;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+bytesOf(std::uint32_t n, std::uint8_t fill)
+{
+    return std::vector<std::uint8_t>(n, fill);
+}
+
+/** One-shard store so LRU order is observable end to end. */
+StoreConfig
+singleShard(std::uint32_t tenants, std::uint64_t capacity = 1 << 20)
+{
+    StoreConfig cfg;
+    cfg.shards = 1;
+    cfg.tenants = tenants;
+    cfg.capacityBytes = capacity;
+    return cfg;
+}
+
+} // namespace
+
+// --- ShardedStore -------------------------------------------------
+
+TEST(ShardedStore, PutGetRoundTrip)
+{
+    ShardedStore store(singleShard(2));
+    store.put(0, 42, bytesOf(100, 0xAB));
+
+    std::vector<std::uint8_t> value;
+    const auto r = store.get(0, 42, &value);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(value, bytesOf(100, 0xAB));
+
+    // Same key under another tenant is a distinct object.
+    EXPECT_FALSE(store.get(1, 42).hit);
+    EXPECT_EQ(store.hits(0), 1u);
+    EXPECT_EQ(store.misses(1), 1u);
+}
+
+TEST(ShardedStore, ByteAccountingTracksPutsAndOverwrites)
+{
+    ShardedStore store(singleShard(2));
+    store.put(0, 1, bytesOf(100, 1));
+    store.put(1, 2, bytesOf(50, 2));
+    EXPECT_EQ(store.tenantBytes(0), 100u);
+    EXPECT_EQ(store.tenantBytes(1), 50u);
+    EXPECT_EQ(store.totalBytes(), 150u);
+    EXPECT_EQ(store.objectCount(), 2u);
+
+    // Overwrite shrinks in place; counts stay at one object.
+    store.put(0, 1, bytesOf(30, 3));
+    EXPECT_EQ(store.tenantBytes(0), 30u);
+    EXPECT_EQ(store.totalBytes(), 80u);
+    EXPECT_EQ(store.objectCount(), 2u);
+}
+
+TEST(ShardedStore, EvictsLeastRecentlyUsedOfTheTenant)
+{
+    ShardedStore store(singleShard(1));
+    store.put(0, 1, bytesOf(10, 1));
+    store.put(0, 2, bytesOf(20, 2));
+    store.put(0, 3, bytesOf(30, 3));
+
+    // Refresh key 1: eviction order becomes 2, 3, 1.
+    EXPECT_TRUE(store.get(0, 1).hit);
+
+    EXPECT_EQ(store.evictOneFrom(0), 20u);
+    EXPECT_FALSE(store.get(0, 2).hit);
+    EXPECT_EQ(store.evictOneFrom(0), 30u);
+    EXPECT_EQ(store.evictOneFrom(0), 10u);
+    EXPECT_EQ(store.totalBytes(), 0u);
+    EXPECT_EQ(store.evictOneFrom(0), 0u) << "empty tenant";
+}
+
+TEST(ShardedStore, EvictionIsPerTenant)
+{
+    ShardedStore store(singleShard(2));
+    store.put(0, 1, bytesOf(10, 1));
+    store.put(1, 2, bytesOf(20, 2));
+
+    // Tenant 1's eviction must not touch tenant 0's object even
+    // though tenant 0's is older.
+    EXPECT_EQ(store.evictOneFrom(1), 20u);
+    EXPECT_TRUE(store.get(0, 1).hit);
+    EXPECT_EQ(store.tenantBytes(1), 0u);
+}
+
+TEST(ShardedStore, GhostListTurnsEvictedMissesIntoShadowHits)
+{
+    ShardedStore store(singleShard(1));
+    store.put(0, 7, bytesOf(10, 1));
+    EXPECT_EQ(store.evictOneFrom(0), 10u);
+
+    const auto r = store.get(0, 7);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.shadowHit);
+    EXPECT_EQ(store.shadowHits(0), 1u);
+
+    // Reinserting drops the key from the ghost list: a later miss
+    // (after another eviction cycle is NOT involved) is clean.
+    store.put(0, 7, bytesOf(10, 1));
+    const auto r2 = store.get(0, 8);
+    EXPECT_FALSE(r2.hit);
+    EXPECT_FALSE(r2.shadowHit);
+}
+
+TEST(ShardedStore, RehashPreservesObjectsAndRecency)
+{
+    StoreConfig cfg = singleShard(1);
+    cfg.initialSlots = 8; // force growth quickly
+    ShardedStore store(cfg);
+
+    const std::uint32_t kKeys = 200;
+    for (std::uint32_t k = 0; k < kKeys; ++k)
+        store.put(0, k, bytesOf(8, static_cast<std::uint8_t>(k)));
+    EXPECT_GT(store.rehashes(), 0u);
+    EXPECT_EQ(store.objectCount(), kKeys);
+
+    for (std::uint32_t k = 0; k < kKeys; ++k) {
+        std::vector<std::uint8_t> v;
+        ASSERT_TRUE(store.get(0, k, &v).hit) << "key " << k;
+        EXPECT_EQ(v, bytesOf(8, static_cast<std::uint8_t>(k)));
+    }
+    // Insert order is recency order here (the gets above refreshed
+    // in the same order), so eviction starts at key 0.
+    EXPECT_EQ(store.evictOneFrom(0), 8u);
+    EXPECT_FALSE(store.get(0, 0).hit);
+}
+
+TEST(ShardedStoreHammer, ConcurrentGetPutKeepsAccountingExact)
+{
+    StoreConfig cfg;
+    cfg.shards = 8;
+    cfg.tenants = 4;
+    cfg.capacityBytes = 64 << 20;
+    ShardedStore store(cfg);
+
+    constexpr std::uint32_t kThreads = 4;
+    constexpr std::uint32_t kOpsPerThread = 20000;
+    constexpr std::uint32_t kValue = 64;
+
+    std::vector<std::thread> workers;
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&store, t]() {
+            Rng rng(deriveSeed(99, std::uint64_t{t}));
+            for (std::uint32_t i = 0; i < kOpsPerThread; ++i) {
+                const auto tenant =
+                    static_cast<std::uint32_t>(rng.below(4));
+                const std::uint64_t key = rng.below(5000);
+                if (rng.chance(0.5))
+                    store.put(tenant, key, bytesOf(kValue, 0x5A));
+                else
+                    store.get(tenant, key);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    // Every live object is kValue bytes, so the atomic aggregates
+    // must agree exactly with the object count.
+    EXPECT_EQ(store.totalBytes(), store.objectCount() * kValue);
+    std::uint64_t tenant_sum = 0;
+    for (std::uint32_t t = 0; t < 4; ++t)
+        tenant_sum += store.tenantBytes(t);
+    EXPECT_EQ(tenant_sum, store.totalBytes());
+    std::uint64_t accesses = 0;
+    for (std::uint32_t t = 0; t < 4; ++t)
+        accesses += store.hits(t) + store.misses(t);
+    EXPECT_GT(accesses, 0u);
+}
+
+// --- ZipfGenerator ------------------------------------------------
+
+TEST(Zipf, RanksStayInRangeAndSkewTowardsHead)
+{
+    const std::uint64_t kN = 1000;
+    ZipfGenerator zipf(kN, 0.99);
+    Rng rng(7);
+
+    constexpr std::uint32_t kDraws = 200000;
+    std::vector<std::uint32_t> counts(kN, 0);
+    for (std::uint32_t i = 0; i < kDraws; ++i) {
+        const std::uint64_t rank = zipf.next(rng);
+        ASSERT_LT(rank, kN);
+        ++counts[rank];
+    }
+
+    // Under s=0.99 the head rank should take roughly 1/H_n of the
+    // mass (~12.8% for n=1000) — far above uniform 0.1%.
+    EXPECT_GT(counts[0], kDraws / 20);
+    // Popularity decreases along the head of the distribution.
+    EXPECT_GT(counts[0], counts[9]);
+    EXPECT_GT(counts[9], counts[99]);
+}
+
+TEST(Zipf, ExponentZeroIsUniform)
+{
+    const std::uint64_t kN = 16;
+    ZipfGenerator zipf(kN, 0.0);
+    Rng rng(11);
+
+    constexpr std::uint32_t kDraws = 160000;
+    std::vector<std::uint32_t> counts(kN, 0);
+    for (std::uint32_t i = 0; i < kDraws; ++i)
+        ++counts[zipf.next(rng)];
+
+    // Chi-square against uniform, df 15, alpha 0.001.
+    const double expected = double(kDraws) / double(kN);
+    double chi2 = 0.0;
+    for (const std::uint32_t c : counts) {
+        const double d = double(c) - expected;
+        chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 37.697);
+}
+
+// --- LoadGen ------------------------------------------------------
+
+TEST(LoadGen, ValueSizeIsPureFunctionOfTenantAndKey)
+{
+    TenantSpec spec;
+    spec.vmin = 64;
+    spec.vmax = 256;
+    LoadGen gen({spec, spec}, 4, 42);
+
+    for (std::uint64_t key = 0; key < 200; ++key) {
+        const std::uint32_t v = gen.valueBytes(0, key);
+        EXPECT_GE(v, spec.vmin);
+        EXPECT_LE(v, spec.vmax);
+        EXPECT_EQ(v, gen.valueBytes(0, key)) << "not pure";
+    }
+    // Tenants get independent size streams.
+    bool differs = false;
+    for (std::uint64_t key = 0; key < 64 && !differs; ++key)
+        differs = gen.valueBytes(0, key) != gen.valueBytes(1, key);
+    EXPECT_TRUE(differs);
+}
+
+TEST(LoadGen, StreamsAreDeterministicAndIndependent)
+{
+    TenantSpec spec;
+    spec.keys = 1000;
+    LoadGen a({spec}, 4, 42);
+    LoadGen b({spec}, 4, 42);
+
+    std::vector<Request> ba(256), bb(256);
+    a.fill(2, ba);
+    b.fill(2, bb);
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+        EXPECT_EQ(ba[i].key, bb[i].key);
+        EXPECT_EQ(ba[i].isPut, bb[i].isPut);
+        EXPECT_EQ(ba[i].valueBytes, bb[i].valueBytes);
+    }
+
+    // A different stream draws a different sequence.
+    std::vector<Request> other(256);
+    a.fill(3, other);
+    bool differs = false;
+    for (std::size_t i = 0; i < other.size() && !differs; ++i)
+        differs = other[i].key != ba[i].key;
+    EXPECT_TRUE(differs);
+}
+
+// --- parseTenantSpec ----------------------------------------------
+
+TEST(TenantSpecParse, SetsNamedFieldsAndKeepsBaseDefaults)
+{
+    TenantSpec spec;
+    spec.keys = 111;
+    const Status st = parseTenantSpec(
+        "zipf=0.8,get=0.9,vmin=32,vmax=64,weight=2,slo-hit=0.5,"
+        "floor=0.25",
+        spec);
+    ASSERT_TRUE(st.ok()) << st.message();
+    EXPECT_EQ(spec.keys, 111u) << "unset key must keep the base";
+    EXPECT_DOUBLE_EQ(spec.zipf, 0.8);
+    EXPECT_DOUBLE_EQ(spec.getFrac, 0.9);
+    EXPECT_EQ(spec.vmin, 32u);
+    EXPECT_EQ(spec.vmax, 64u);
+    EXPECT_DOUBLE_EQ(spec.weight, 2.0);
+    EXPECT_DOUBLE_EQ(spec.sloHit, 0.5);
+    EXPECT_DOUBLE_EQ(spec.floorFrac, 0.25);
+}
+
+TEST(TenantSpecParse, RejectsBadInput)
+{
+    TenantSpec spec;
+    EXPECT_FALSE(parseTenantSpec("bogus=1", spec).ok());
+    EXPECT_FALSE(parseTenantSpec("keys=0", spec).ok());
+    EXPECT_FALSE(parseTenantSpec("get=1.5", spec).ok());
+    EXPECT_FALSE(parseTenantSpec("vmin=100,vmax=50", spec).ok());
+    EXPECT_FALSE(parseTenantSpec("floor=1.0", spec).ok());
+    EXPECT_FALSE(parseTenantSpec("keys", spec).ok());
+}
+
+// --- Histogram::quantile ------------------------------------------
+
+TEST(HistogramQuantile, InterpolatesInsideTheLandingBucket)
+{
+    const std::vector<double> bounds = {10.0, 20.0, 40.0};
+    telemetry::Histogram h(bounds);
+    // 10 observations in (10, 20]: ranks spread across one bucket.
+    for (int i = 0; i < 10; ++i)
+        h.observe(15.0);
+
+    // All mass in bucket (10, 20]: the median interpolates to the
+    // middle of that bucket regardless of the raw values.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+}
+
+TEST(HistogramQuantile, FirstBucketStartsAtZeroOverflowSaturates)
+{
+    const std::vector<double> bounds = {100.0, 200.0};
+    telemetry::Histogram h(bounds);
+    h.observe(50.0);   // first bucket
+    h.observe(1000.0); // overflow
+
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 50.0); // half of [0, 100]
+    // Rank lands in the overflow bucket: saturate at the last bound.
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 200.0);
+    // Out-of-range q is clamped.
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+
+    telemetry::Histogram empty(bounds);
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(HistogramQuantile, ExponentialBoundsBuildTheLatencyLadder)
+{
+    const auto bounds =
+        telemetry::Histogram::exponentialBounds(512.0, 2.0, 4);
+    ASSERT_EQ(bounds.size(), 4u);
+    EXPECT_DOUBLE_EQ(bounds[0], 512.0);
+    EXPECT_DOUBLE_EQ(bounds[3], 4096.0);
+    EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+}
+
+// --- Equation 1 fallback counter ----------------------------------
+
+TEST(Eq1Fallback, NoDonorFallbacksAreCounted)
+{
+    // Every tenant at or below target: raw E all clamp to zero and
+    // the distribution falls back to miss shares — one activation.
+    Eq1Stats stats;
+    const auto e = evictionDistribution({0.2, 0.2}, {0.5, 0.5},
+                                        {0.75, 0.25}, 1024, 64,
+                                        &stats);
+    EXPECT_EQ(stats.fallbackActivations, 1u);
+    EXPECT_DOUBLE_EQ(e[0], 0.75);
+    EXPECT_DOUBLE_EQ(e[1], 0.25);
+
+    // Zero misses as well: uniform fallback, still one activation.
+    Eq1Stats stats2;
+    const auto u = evictionDistribution({0.2, 0.2}, {0.5, 0.5},
+                                        {0.0, 0.0}, 1024, 64,
+                                        &stats2);
+    EXPECT_EQ(stats2.fallbackActivations, 1u);
+    EXPECT_DOUBLE_EQ(u[0], 0.5);
+
+    // A live donor: no fallback counted.
+    Eq1Stats stats3;
+    evictionDistribution({0.8, 0.2}, {0.5, 0.5}, {0.5, 0.5}, 1024,
+                         64, &stats3);
+    EXPECT_EQ(stats3.fallbackActivations, 0u);
+}
+
+// --- target policies ----------------------------------------------
+
+namespace
+{
+
+TenantSnapshot
+snapshotOf(std::uint64_t capacity,
+           std::vector<std::uint64_t> occupancy,
+           std::vector<std::uint64_t> hits,
+           std::vector<std::uint64_t> misses,
+           std::vector<std::uint64_t> shadow)
+{
+    TenantSnapshot snap;
+    snap.capacityBytes = capacity;
+    snap.avgObjectBytes = 1;
+    snap.occupancyBytes = std::move(occupancy);
+    snap.hits = std::move(hits);
+    snap.misses = std::move(misses);
+    snap.shadowHits = std::move(shadow);
+    return snap;
+}
+
+} // namespace
+
+TEST(TenantPolicies, FairSharesFollowWeights)
+{
+    auto policy =
+        makeTenantPolicy('F', {{1.0, 0, 0}, {3.0, 0, 0}});
+    ASSERT_NE(policy, nullptr);
+    const auto t = policy->computeTargets(
+        snapshotOf(1000, {500, 500}, {10, 10}, {10, 10}, {0, 0}));
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_DOUBLE_EQ(t[0], 0.25);
+    EXPECT_DOUBLE_EQ(t[1], 0.75);
+}
+
+TEST(TenantPolicies, HitMaxRewardsDemonstratedReuse)
+{
+    auto policy = makeTenantPolicy('H', {{}, {}});
+    ASSERT_NE(policy, nullptr);
+    // Tenant 1 shows far more reuse (hits + shadow hits).
+    const auto t = policy->computeTargets(snapshotOf(
+        1000, {500, 500}, {100, 900}, {50, 50}, {0, 200}));
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_GT(t[1], t[0]);
+    EXPECT_NEAR(t[0] + t[1], 1.0, 1e-12);
+}
+
+TEST(TenantPolicies, QosFloorsAreGuaranteed)
+{
+    auto policy = makeTenantPolicy(
+        'Q', {{1.0, 0.6, 0}, {1.0, 0.0, 0}});
+    ASSERT_NE(policy, nullptr);
+    const auto t = policy->computeTargets(
+        snapshotOf(1000, {100, 900}, {10, 990}, {10, 10}, {0, 0}));
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_GE(t[0], 0.6);
+    EXPECT_NEAR(t[0] + t[1], 1.0, 1e-12);
+}
+
+TEST(TenantPolicies, UnknownKindReturnsNull)
+{
+    EXPECT_EQ(makeTenantPolicy('X', {}), nullptr);
+}
+
+// --- TenantArbiter ------------------------------------------------
+
+TEST(TenantArbiter, StartsUniformAndRecomputesEq1)
+{
+    TenantArbiter arbiter(
+        4, makeTenantPolicy('F', std::vector<TenantQos>(4)), 1234);
+    for (const double e : arbiter.evictionProbs())
+        EXPECT_DOUBLE_EQ(e, 0.25);
+
+    // Fair targets are uniform (0.25); tenant 0 is over target and
+    // must absorb most of the eviction probability.
+    arbiter.recompute(snapshotOf(1000, {400, 300, 200, 100},
+                                 {100, 100, 100, 100},
+                                 {100, 100, 100, 100},
+                                 {0, 0, 0, 0}));
+    EXPECT_EQ(arbiter.recomputes(), 1u);
+    const auto &e = arbiter.evictionProbs();
+    double sum = 0.0;
+    for (const double v : e)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_GT(e[0], e[1]);
+    EXPECT_GT(e[1], e[2]);
+    EXPECT_GT(e[2], e[3]);
+    // Tenant 3 is far under target: never evicted.
+    EXPECT_DOUBLE_EQ(e[3], 0.0);
+    EXPECT_EQ(arbiter.eq1Fallbacks(), 0u);
+}
+
+TEST(TenantArbiter, VictimSamplingMatchesTheDistribution)
+{
+    TenantArbiter arbiter(
+        4, makeTenantPolicy('F', std::vector<TenantQos>(4)), 1234);
+    arbiter.recompute(snapshotOf(1000, {400, 300, 200, 100},
+                                 {100, 100, 100, 100},
+                                 {100, 100, 100, 100},
+                                 {0, 0, 0, 0}));
+    const std::vector<double> e = arbiter.evictionProbs();
+
+    constexpr std::uint32_t kDraws = 200000;
+    std::vector<std::uint32_t> counts(4, 0);
+    for (std::uint32_t i = 0; i < kDraws; ++i)
+        ++counts[arbiter.sampleVictimTenant()];
+
+    // Pearson chi-square over the cells with mass, alpha 0.001.
+    // Critical values: df 1: 10.828, df 2: 13.816, df 3: 16.266.
+    static const double kCritical[] = {0.0, 10.828, 13.816, 16.266};
+    double chi2 = 0.0;
+    std::size_t cells = 0;
+    for (std::size_t t = 0; t < e.size(); ++t) {
+        const double expected = e[t] * kDraws;
+        if (expected < 1e-9) {
+            EXPECT_EQ(counts[t], 0u) << "mass-less tenant sampled";
+            continue;
+        }
+        ++cells;
+        const double d = double(counts[t]) - expected;
+        chi2 += d * d / expected;
+    }
+    ASSERT_GE(cells, 2u);
+    EXPECT_LT(chi2, kCritical[cells - 1]);
+}
+
+TEST(TenantArbiter, AllBelowTargetFallsBackAndCounts)
+{
+    TenantArbiter arbiter(
+        2, makeTenantPolicy('F', std::vector<TenantQos>(2)), 99);
+    // Both tenants far under their fair 0.5 target.
+    arbiter.recompute(
+        snapshotOf(1000, {100, 100}, {10, 10}, {30, 10}, {0, 0}));
+    EXPECT_EQ(arbiter.eq1Fallbacks(), 1u);
+    // Fallback is miss-share proportional.
+    EXPECT_NEAR(arbiter.evictionProbs()[0], 0.75, 1e-12);
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The serving plane's determinism and statistical contracts
+ * (docs/SERVING.md):
+ *
+ *  1. For a fixed op budget with timing off, the `prism-serve-v1`
+ *     document is byte-identical at 1, 2 and 8 worker threads —
+ *     logical streams own the RNGs, so threads are pure machinery.
+ *  2. Realised victim-tenant eviction frequencies match Equation 1's
+ *     E_i: per interval, victims are drawn from the distribution the
+ *     arbiter had in effect, so summing E_i-weighted expectations
+ *     over intervals predicts the per-tenant eviction totals to
+ *     chi-square precision (the serving analogue of the simulator's
+ *     Core-Selection validation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/serve_engine.hh"
+
+using namespace prism;
+using namespace prism::serve;
+
+namespace
+{
+
+/** Small but eviction-heavy configuration: working set ~4x budget. */
+ServeConfig
+fixtureConfig()
+{
+    ServeConfig config;
+    TenantSpec spec;
+    spec.keys = 40000;
+    config.tenants.assign(3, spec);
+    config.tenants[2].zipf = 0.8; // one tenant with a flatter head
+    config.capacityBytes = 4ull << 20;
+    config.shards = 16;
+    config.streams = 8;
+    config.batch = 1024;
+    config.intervalMisses = 8192;
+    config.opBudget = 400000;
+    config.timing = false;
+    config.seed = 2012;
+    return config;
+}
+
+std::string
+runToJson(ServeConfig config, std::uint32_t threads,
+          ServeResult *result_out = nullptr)
+{
+    config.threads = threads;
+    ServeEngine engine(config);
+    ServeResult result = engine.run();
+    std::ostringstream os;
+    writeServeJson(os, config, result);
+    if (result_out != nullptr)
+        *result_out = result;
+    return os.str();
+}
+
+} // namespace
+
+TEST(ServeDeterminism, JsonIsByteIdenticalAcrossThreadCounts)
+{
+    const ServeConfig config = fixtureConfig();
+    const std::string t1 = runToJson(config, 1);
+    const std::string t2 = runToJson(config, 2);
+    const std::string t8 = runToJson(config, 8);
+
+    EXPECT_GT(t1.size(), 0u);
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(t1, t8);
+}
+
+TEST(ServeDeterminism, SeedChangesTheRun)
+{
+    ServeConfig config = fixtureConfig();
+    const std::string a = runToJson(config, 2);
+    config.seed = 2013;
+    const std::string b = runToJson(config, 2);
+    EXPECT_NE(a, b);
+}
+
+TEST(ServeVictimMatch, EvictionFrequenciesFollowEq1)
+{
+    const ServeConfig config = fixtureConfig();
+    ServeResult result;
+    runToJson(config, 4, &result);
+
+    ASSERT_NE(result.recorder, nullptr);
+    const std::size_t rows = result.recorder->size();
+    ASSERT_EQ(rows, result.intervalEvictions.size())
+        << "eviction rows must parallel the retained samples";
+    ASSERT_GT(result.evictions, 0u) << "fixture must evict";
+
+    // Expected per-tenant evictions: each interval's eviction count
+    // weighted by the E distribution in effect during it (the
+    // recorded sample's evProb is exactly that, by the serve
+    // recording convention).
+    const std::size_t tenants = config.tenants.size();
+    std::vector<double> expected(tenants, 0.0);
+    std::vector<double> observed(tenants, 0.0);
+    for (std::size_t i = 0; i < rows; ++i) {
+        const auto &sample = result.recorder->sample(i);
+        ASSERT_EQ(sample.evProb.size(), tenants);
+        std::uint64_t row_total = 0;
+        for (const std::uint64_t v : result.intervalEvictions[i])
+            row_total += v;
+        for (std::size_t t = 0; t < tenants; ++t) {
+            expected[t] +=
+                sample.evProb[t] * static_cast<double>(row_total);
+            observed[t] += static_cast<double>(
+                result.intervalEvictions[i][t]);
+        }
+    }
+
+    // Pearson chi-square at alpha 0.001. Critical values:
+    // df 1: 10.828, df 2: 13.816, df 3: 16.266.
+    static const double kCritical[] = {0.0, 10.828, 13.816, 16.266};
+    double chi2 = 0.0;
+    std::size_t cells = 0;
+    for (std::size_t t = 0; t < tenants; ++t) {
+        if (expected[t] < 5.0)
+            continue; // too thin for the asymptotic test
+        ++cells;
+        const double d = observed[t] - expected[t];
+        chi2 += d * d / expected[t];
+    }
+    ASSERT_GE(cells, 2u) << "fixture produced too few evictions";
+    EXPECT_LT(chi2, kCritical[cells - 1])
+        << "victim-tenant frequencies diverge from Equation 1";
+}
+
+TEST(ServeVictimMatch, TenantEvictionTotalsAreConsistent)
+{
+    const ServeConfig config = fixtureConfig();
+    ServeResult result;
+    runToJson(config, 2, &result);
+
+    // Per-tenant totals must sum to the run total, and with no ring
+    // wrap every interval row must be retained.
+    std::uint64_t sum = 0;
+    for (const TenantTotals &t : result.tenants)
+        sum += t.evictions;
+    EXPECT_EQ(sum, result.evictions);
+    EXPECT_EQ(result.intervals, result.intervalEvictions.size());
+}

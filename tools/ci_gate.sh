@@ -77,4 +77,32 @@ if "$build/tools/prism_doctor" "$chaos_out/BENCH_fixture.json" \
     exit 1
 fi
 
+echo "== serve gate =="
+# Serving plane (docs/SERVING.md): a small eviction-heavy session
+# must produce a prism-serve-v1 document that prism_doctor grades
+# without a FAIL — SLO attainment, ΣE/ΣC invariants and the
+# chi-square victim-tenant match against Equation 1 all hold.
+serve_out=$(mktemp -d)
+trap 'rm -rf "$out" "$hot_out" "$chaos_out" "$serve_out"' EXIT
+"$build/tools/prism_serve" --tenants 4 --keys 50000 \
+    --capacity-mb 8 --interval 8192 --ops 600000 --no-timing \
+    --quiet --json "$serve_out/serve.json"
+# (no pipeline here: a FAIL exit from the doctor must stop the gate)
+"$build/tools/prism_doctor" "$serve_out/serve.json" \
+    > "$serve_out/verdict.txt"
+cat "$serve_out/verdict.txt"
+grep -q "serve.victim_match" "$serve_out/verdict.txt" || {
+    echo "serve gate: victim-match check did not run" >&2
+    exit 1
+}
+# Determinism: the same budgeted session at another thread count
+# must reproduce the document byte for byte.
+"$build/tools/prism_serve" --tenants 4 --keys 50000 \
+    --capacity-mb 8 --interval 8192 --ops 600000 --no-timing \
+    --quiet --threads 4 --json "$serve_out/serve_t4.json"
+cmp "$serve_out/serve.json" "$serve_out/serve_t4.json" || {
+    echo "serve gate: document differs across --threads" >&2
+    exit 1
+}
+
 echo "== gate passed =="

@@ -3,7 +3,8 @@
  * prism_doctor — control-loop diagnostics for PriSM runs.
  *
  * Consumes a recorded run (a `prism-stats-v1` statistics dump, a
- * `prism-trace-v1` Chrome trace, a `prism-bench-v1` sweep file, or a
+ * `prism-trace-v1` Chrome trace, a `prism-bench-v1` sweep file, a
+ * `prism-serve-v1` serving session (tools/prism_serve), or a
  * `prism-ckpt-v1` checkpoint via `--ckpt` — the schema is
  * auto-detected, `*.ckpt.json` included), or executes one fresh
  * simulation in-process (`--run "<prism_sim flags>"`), and prints a
@@ -56,11 +57,13 @@ usage(std::ostream &os)
     os <<
         "usage: prism_doctor [FILE] [options]\n"
         "       prism_doctor --compare BASELINE CANDIDATE [options]\n"
-        "  FILE                 prism-stats-v1, prism-trace-v1 or\n"
-        "                       prism-bench-v1 JSON (auto-detected)\n"
+        "  FILE                 prism-stats-v1, prism-trace-v1,\n"
+        "                       prism-bench-v1 or prism-serve-v1\n"
+        "                       JSON (auto-detected)\n"
         "  --stats FILE         force prism-stats-v1 input\n"
         "  --trace FILE         force prism-trace-v1 input\n"
         "  --bench FILE         force prism-bench-v1 input\n"
+        "  --serve FILE         force prism-serve-v1 input\n"
         "  --ckpt FILE          validate a prism-ckpt-v1 sweep\n"
         "                       checkpoint (*.ckpt.json paths are\n"
         "                       auto-detected); a corrupt file is a\n"
@@ -114,6 +117,7 @@ enum class InputKind
     Stats,
     Trace,
     Bench,
+    Serve,
     Ckpt,
 };
 
@@ -137,12 +141,15 @@ detectKind(const JsonValue &doc, const std::string &path)
         return InputKind::Stats;
     if (schema == "prism-bench-v1")
         return InputKind::Bench;
+    if (schema == "prism-serve-v1")
+        return InputKind::Serve;
     if (doc.at("otherData").at("schema").asString() ==
         "prism-trace-v1")
         return InputKind::Trace;
     std::cerr << "prism_doctor: " << path
               << ": unrecognised document (expected prism-stats-v1, "
-                 "prism-trace-v1 or prism-bench-v1)\n";
+                 "prism-trace-v1, prism-bench-v1 or "
+                 "prism-serve-v1)\n";
     std::exit(2);
 }
 
@@ -268,6 +275,9 @@ main(int argc, char **argv)
         } else if (arg == "--bench") {
             opt.file = value();
             opt.kind = InputKind::Bench;
+        } else if (arg == "--serve") {
+            opt.file = value();
+            opt.kind = InputKind::Serve;
         } else if (arg == "--ckpt") {
             opt.file = value();
             opt.kind = InputKind::Ckpt;
@@ -351,6 +361,14 @@ main(int argc, char **argv)
                 source = "stats";
                 RunSeries s;
                 st = seriesFromStatsJson(doc, s);
+                if (st.ok())
+                    jobs.push_back(analyze(s, thresholds));
+                break;
+              }
+              case InputKind::Serve: {
+                source = "serve";
+                RunSeries s;
+                st = seriesFromServeJson(doc, s);
                 if (st.ok())
                     jobs.push_back(analyze(s, thresholds));
                 break;

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * prism_serve — multi-tenant object-store service mode.
+ *
+ * Runs a closed-loop serving session: Zipfian tenant workloads
+ * through the sharded store under the PriSM tenant arbiter
+ * (docs/SERVING.md). Prints a human summary, optionally writes the
+ * deterministic `prism-serve-v1` document, and with `--doctor`
+ * grades the session in-process with the same checks
+ * `prism_doctor FILE` would apply.
+ *
+ * Determinism: with `--ops N` (a fixed op budget) the document is
+ * byte-identical at any `--threads`; `--no-timing` additionally
+ * drops the wall-clock section so whole files can be compared. With
+ * `--seconds` the run length depends on the machine, so only the
+ * per-run structure is stable.
+ *
+ * Examples:
+ *   prism_serve --tenants 4 --threads 8 --seconds 5
+ *   prism_serve --tenants 2 --ops 1000000 --no-timing --json out.json
+ *   prism_serve --tenant keys=100000,get=0.9,slo-hit=0.3 \
+ *               --tenant keys=400000,floor=0.5 --policy Q --doctor
+ *
+ * Exit codes: 0 success (doctor PASS/WARN), 1 doctor FAIL,
+ * 2 usage or input error.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/doctor.hh"
+#include "analysis/series.hh"
+#include "common/atomic_file.hh"
+#include "common/json.hh"
+#include "serve/serve_engine.hh"
+
+using namespace prism;
+using namespace prism::serve;
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os <<
+        "usage: prism_serve [options]\n"
+        "  --tenants N          tenants with the base spec "
+        "(default 4)\n"
+        "  --tenant SPEC        add one tenant; SPEC is\n"
+        "                       key=value[,...] over keys, zipf,\n"
+        "                       get, vmin, vmax, weight, slo-hit,\n"
+        "                       floor (repeatable; replaces\n"
+        "                       --tenants when given)\n"
+        "  --keys N             base keyspace per tenant "
+        "(default 300000)\n"
+        "  --zipf S             base Zipf exponent (default 0.99)\n"
+        "  --threads N          worker threads (default 1)\n"
+        "  --streams N          logical request streams "
+        "(default 16)\n"
+        "  --shards N           store shards (default 64)\n"
+        "  --batch N            requests per stream per round "
+        "(default 2048)\n"
+        "  --capacity-mb N      store byte budget (default 64)\n"
+        "  --interval W         misses per allocation interval "
+        "(default 16384)\n"
+        "  --policy H|F|Q       target policy (default H)\n"
+        "  --seconds S          wall-clock run length (default 5)\n"
+        "  --ops N              fixed op budget (overrides "
+        "--seconds;\n"
+        "                       required for byte-identical "
+        "output)\n"
+        "  --seed N             base RNG seed (default 42)\n"
+        "  --json PATH          write the prism-serve-v1 document\n"
+        "                       ('-' for stdout)\n"
+        "  --no-timing          skip wall-clock collection and the\n"
+        "                       non-deterministic timing section\n"
+        "  --doctor             diagnose the session in-process\n"
+        "  --quiet              suppress the human summary\n";
+}
+
+[[noreturn]] void
+cliError(const std::string &msg)
+{
+    std::cerr << "prism_serve: " << msg << "\n\n";
+    usage(std::cerr);
+    std::exit(2);
+}
+
+std::uint64_t
+parseU64Arg(const std::string &arg, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t v = std::stoull(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        cliError("invalid value '" + value + "' for " + arg);
+    }
+}
+
+double
+parseDoubleArg(const std::string &arg, const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size())
+        cliError("invalid value '" + value + "' for " + arg);
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServeConfig config;
+    TenantSpec base;
+    std::vector<std::string> tenant_specs;
+    std::uint64_t num_tenants = 4;
+    std::string json_path;
+    bool doctor = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                cliError("missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--tenants") {
+            num_tenants = parseU64Arg(arg, value());
+            if (num_tenants == 0 || num_tenants > 256)
+                cliError("--tenants must be in [1, 256]");
+        } else if (arg == "--tenant") {
+            tenant_specs.push_back(value());
+        } else if (arg == "--keys") {
+            base.keys = parseU64Arg(arg, value());
+            if (base.keys == 0)
+                cliError("--keys must be positive");
+        } else if (arg == "--zipf") {
+            base.zipf = parseDoubleArg(arg, value());
+            if (base.zipf < 0.0)
+                cliError("--zipf must be >= 0");
+        } else if (arg == "--threads") {
+            config.threads = static_cast<std::uint32_t>(
+                parseU64Arg(arg, value()));
+            if (config.threads == 0)
+                cliError("--threads must be positive");
+        } else if (arg == "--streams") {
+            config.streams = static_cast<std::uint32_t>(
+                parseU64Arg(arg, value()));
+            if (config.streams == 0)
+                cliError("--streams must be positive");
+        } else if (arg == "--shards") {
+            config.shards = static_cast<std::uint32_t>(
+                parseU64Arg(arg, value()));
+            if (config.shards == 0)
+                cliError("--shards must be positive");
+        } else if (arg == "--batch") {
+            config.batch = static_cast<std::uint32_t>(
+                parseU64Arg(arg, value()));
+            if (config.batch == 0)
+                cliError("--batch must be positive");
+        } else if (arg == "--capacity-mb") {
+            const std::uint64_t mb = parseU64Arg(arg, value());
+            if (mb == 0)
+                cliError("--capacity-mb must be positive");
+            config.capacityBytes = mb << 20;
+        } else if (arg == "--interval") {
+            config.intervalMisses = parseU64Arg(arg, value());
+            if (config.intervalMisses == 0)
+                cliError("--interval must be positive");
+        } else if (arg == "--policy") {
+            const std::string v = value();
+            if (v.size() != 1 ||
+                (v[0] != 'H' && v[0] != 'F' && v[0] != 'Q'))
+                cliError("--policy must be H, F or Q");
+            config.policy = v[0];
+        } else if (arg == "--seconds") {
+            config.seconds = parseDoubleArg(arg, value());
+            if (config.seconds <= 0.0)
+                cliError("--seconds must be positive");
+        } else if (arg == "--ops") {
+            config.opBudget = parseU64Arg(arg, value());
+            if (config.opBudget == 0)
+                cliError("--ops must be positive");
+        } else if (arg == "--seed") {
+            config.seed = parseU64Arg(arg, value());
+        } else if (arg == "--json") {
+            json_path = value();
+        } else if (arg == "--no-timing") {
+            config.timing = false;
+        } else if (arg == "--doctor") {
+            doctor = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            cliError("unknown option '" + arg + "'");
+        }
+    }
+
+    if (tenant_specs.empty()) {
+        config.tenants.assign(num_tenants, base);
+    } else {
+        for (const std::string &text : tenant_specs) {
+            TenantSpec spec = base;
+            if (const Status st = parseTenantSpec(text, spec);
+                !st.ok())
+                cliError("--tenant: " + st.message());
+            config.tenants.push_back(spec);
+        }
+    }
+
+    ServeEngine engine(config);
+    const ServeResult result = engine.run();
+
+    if (!quiet) {
+        std::uint64_t hits = 0, misses = 0;
+        for (const TenantTotals &t : result.tenants) {
+            hits += t.hits;
+            misses += t.misses;
+        }
+        const std::uint64_t accesses = hits + misses;
+        std::cout << "prism_serve: policy "
+                  << (config.policy == 'H'   ? "HitMax"
+                      : config.policy == 'F' ? "Fair"
+                                             : "QoS")
+                  << ", " << config.tenants.size() << " tenant(s), "
+                  << result.ops << " ops in " << result.rounds
+                  << " round(s)\n";
+        if (config.timing && result.wallSeconds > 0.0)
+            std::cout << "  wall " << result.wallSeconds << " s, "
+                      << static_cast<std::uint64_t>(
+                             static_cast<double>(result.ops) /
+                             result.wallSeconds)
+                      << " ops/s\n";
+        std::cout << "  hit ratio "
+                  << (accesses ? static_cast<double>(hits) /
+                                     static_cast<double>(accesses)
+                               : 0.0)
+                  << ", " << result.intervals << " interval(s), "
+                  << result.evictions << " eviction(s), "
+                  << result.recomputes << " recompute(s)\n";
+        for (std::size_t t = 0; t < result.tenants.size(); ++t) {
+            const TenantTotals &tt = result.tenants[t];
+            const std::uint64_t acc = tt.hits + tt.misses;
+            std::cout << "  tenant " << t << ": hit ratio "
+                      << (acc ? static_cast<double>(tt.hits) /
+                                    static_cast<double>(acc)
+                              : 0.0)
+                      << ", " << tt.occupancyBytes
+                      << " bytes resident, " << tt.evictions
+                      << " eviction(s)\n";
+        }
+    }
+
+    std::ostringstream doc;
+    writeServeJson(doc, config, result);
+
+    if (!json_path.empty()) {
+        if (json_path == "-") {
+            std::cout << doc.str();
+        } else if (const Status st =
+                       writeFileAtomic(json_path, doc.str());
+                   !st.ok()) {
+            std::cerr << "prism_serve: " << st.message() << "\n";
+            return 2;
+        }
+    }
+
+    if (doctor) {
+        JsonValue parsed;
+        if (const Status st = parseJson(doc.str(), parsed);
+            !st.ok()) {
+            std::cerr << "prism_serve: internal: " << st.message()
+                      << "\n";
+            return 2;
+        }
+        analysis::RunSeries series;
+        if (const Status st =
+                analysis::seriesFromServeJson(parsed, series);
+            !st.ok()) {
+            std::cerr << "prism_serve: internal: " << st.message()
+                      << "\n";
+            return 2;
+        }
+        const analysis::Verdict verdict = analysis::analyze(series);
+        analysis::printReport(std::cout, verdict);
+        if (verdict.overall == analysis::FindingStatus::Fail)
+            return 1;
+    }
+    return 0;
+}
