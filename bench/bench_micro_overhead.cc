@@ -20,7 +20,7 @@
 #include "prism/alloc_hitmax.hh"
 #include "prism/alloc_lookahead.hh"
 #include "prism/alloc_qos.hh"
-#include "prism/eq1.hh"
+#include "plane/eq1.hh"
 #include "prism/prism_scheme.hh"
 #include "workload/stack_dist_generator.hh"
 

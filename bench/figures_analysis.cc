@@ -496,6 +496,69 @@ ablationRepl()
     return f;
 }
 
+Figure
+wayMask()
+{
+    Figure f;
+    f.id = "waymask";
+    f.title = "PriSM-WM: targets enforced by CAT-style way masks "
+              "(quad)";
+    f.paper = "beyond the paper: the same control loop on commodity "
+              "way masks (LFOC-style), vs the probabilistic "
+              "mechanism and static partitioning";
+
+    f.spec = []() {
+        SweepSpec spec;
+        spec.name = "waymask";
+        addSuite(spec, machine(4), suite(4),
+                 {SchemeKind::Baseline, SchemeKind::PrismH,
+                  SchemeKind::PrismWM, SchemeKind::StaticWP});
+        return spec;
+    };
+
+    f.report = [](const SweepResults &res, std::ostream &os) {
+        const auto ws = suite(4);
+        const auto lru = collectSuite(res, ws, SchemeKind::Baseline);
+        const auto wm = collectSuite(res, ws, SchemeKind::PrismWM);
+        Table t({"workload", "PriSM-H/LRU", "PriSM-WM/LRU",
+                 "StaticWP/LRU", "quant err (ways)"});
+        const auto ph = collectSuite(res, ws, SchemeKind::PrismH);
+        const auto sw = collectSuite(res, ws, SchemeKind::StaticWP);
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            const double base = lru[i].antt();
+            t.addRow({ws[i].name, Table::num(ph[i].antt() / base),
+                      Table::num(wm[i].antt() / base),
+                      Table::num(sw[i].antt() / base),
+                      Table::num(wm[i].wayQuantError)});
+        }
+        t.addRow({"geomean", Table::num(geomeanNormAntt(ph, lru)),
+                  Table::num(geomeanNormAntt(wm, lru)),
+                  Table::num(geomeanNormAntt(sw, lru)), ""});
+        printBanner(os, "ANTT normalised to LRU (lower is better)");
+        t.print(os);
+        os << "\nPriSM-WM should land between PriSM-H (exact "
+              "probabilistic enforcement) and StaticWP (no control "
+              "loop); quant err above 1 way means the mask "
+              "granularity is hiding the targets.\n";
+    };
+
+    f.summary = [](JsonWriter &w, const SweepResults &res) {
+        const auto ws = suite(4);
+        const auto lru = collectSuite(res, ws, SchemeKind::Baseline);
+        const auto wm = collectSuite(res, ws, SchemeKind::PrismWM);
+        w.kv("prism_wm_vs_lru", geomeanNormAntt(wm, lru));
+        w.kv("prism_h_vs_lru",
+             geomeanNormAntt(
+                 collectSuite(res, ws, SchemeKind::PrismH), lru));
+        double err = 0.0;
+        for (const RunResult &r : wm)
+            err += r.wayQuantError;
+        w.kv("way_quant_error_mean",
+             err / static_cast<double>(wm.size()));
+    };
+    return f;
+}
+
 } // namespace
 
 void
@@ -508,6 +571,7 @@ registerAnalysisFigures(std::vector<Figure> &out)
     out.push_back(ablationAlloc());
     out.push_back(ablationInterval());
     out.push_back(ablationRepl());
+    out.push_back(wayMask());
 }
 
 } // namespace prism::bench

@@ -37,7 +37,7 @@
 
 #include "cache/shared_cache.hh"
 #include "common/rng.hh"
-#include "prism/alias_sampler.hh"
+#include "plane/alias_sampler.hh"
 #include "prism/alloc_hitmax.hh"
 #include "prism/prism_scheme.hh"
 

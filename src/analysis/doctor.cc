@@ -98,6 +98,7 @@ class Checker
         : s_(s), t_(t)
     {
         v_.run = s.name;
+        v_.backend = s.plane;
     }
 
     Verdict take();
@@ -113,6 +114,7 @@ class Checker
     void invariants();
     void attainment();
     void serve();
+    void analyzePlane();
     void robustness();
     void telemetry();
 
@@ -559,6 +561,34 @@ Checker::serve()
         fmt(total_evictions) + " evictions)";
 }
 
+/**
+ * Way-mask plane checks (PriSM-WM runs). Like the serve.* family,
+ * these are emitted only when the run came from the way-mask
+ * backend — sim and store runs produce no plane.* findings at all,
+ * so their doctor documents are unchanged by the backend's
+ * existence.
+ */
+void
+Checker::analyzePlane()
+{
+    if (s_.plane != "way-mask")
+        return;
+    if (!s_.hasWayQuant) {
+        skip("plane.way_quant_error",
+             "no way-quantisation statistics in this input");
+        return;
+    }
+    const FindingStatus st = s_.wayQuantError > t_.wayQuantWarn
+                                 ? FindingStatus::Warn
+                                 : FindingStatus::Pass;
+    addValue("plane.way_quant_error", st, s_.wayQuantError,
+             t_.wayQuantWarn)
+        .detail = "mean |alloc_i - T_i*ways| of " +
+                  fmt(s_.wayQuantError) +
+                  " ways between the continuous targets and the "
+                  "enforced way masks";
+}
+
 void
 Checker::counter(const std::string &check, std::uint64_t n,
                  FindingStatus level, const std::string &what)
@@ -633,6 +663,7 @@ Checker::take()
     invariants();
     attainment();
     serve();
+    analyzePlane();
     robustness();
     telemetry();
     for (const Finding &f : v_.findings)
@@ -745,6 +776,7 @@ writeVerdictJson(JsonWriter &w, const Verdict &v)
 {
     w.beginObject();
     w.kv("run", v.run);
+    w.kv("backend", v.backend);
     w.kv("overall", findingStatusName(v.overall));
     w.key("findings");
     w.beginArray();
@@ -817,6 +849,7 @@ writeDoctorDocument(std::ostream &os, std::string_view source,
     w.kv("serve_slo_slack", t.serveSloSlack);
     w.kv("serve_miss_penalty", t.serveMissPenalty);
     w.kv("fair_slowdown_warn", t.fairSlowdownWarn);
+    w.kv("way_quant_warn", t.wayQuantWarn);
     w.endObject();
     w.endObject();
     os << '\n';

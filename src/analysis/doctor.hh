@@ -53,6 +53,9 @@ struct Finding
 struct Verdict
 {
     std::string run;
+    /** CachePlane backend that produced the run ("sim", "store",
+     *  "way-mask"); "" for synthetic verdicts (exec, roll-up). */
+    std::string backend;
     FindingStatus overall = FindingStatus::Pass;
     std::vector<Finding> findings;
 
@@ -105,6 +108,12 @@ struct DoctorThresholds
     double serveMissPenalty = 25.0;
     /** Max/min tenant slowdown ratio worth warning about. */
     double fairSlowdownWarn = 4.0;
+
+    // --- way-mask plane bounds (PriSM-WM runs only) -----------------
+    /** Mean |alloc_i - T_i*ways| above this many ways warns: the
+     *  way-mask backend is too coarse for the targets it is asked
+     *  to enforce. */
+    double wayQuantWarn = 1.0;
 };
 
 /** Run every applicable check on @p s. */

@@ -69,6 +69,11 @@ attachRunResult(RunSeries &s, const RunResult &r)
 {
     s.scheme = r.scheme;
     s.cores = static_cast<std::uint32_t>(r.ipc.size());
+    s.plane = r.plane.empty() ? "sim" : r.plane;
+    if (!r.plane.empty()) {
+        s.wayQuantError = r.wayQuantError;
+        s.hasWayQuant = true;
+    }
     s.hasCounters = true;
     s.intervals = r.intervals;
     s.recomputes = r.recomputes;
@@ -107,6 +112,7 @@ seriesFromStatsJson(const JsonValue &doc, RunSeries &out)
     out = RunSeries();
     out.name = doc.at("workload").asString();
     out.scheme = canonicalSchemeName(doc.at("scheme").asString());
+    out.plane = out.scheme == "PriSM-WM" ? "way-mask" : "sim";
     if (out.name.empty())
         out.name = "stats";
     else if (!out.scheme.empty())
@@ -135,6 +141,10 @@ seriesFromStatsJson(const JsonValue &doc, RunSeries &out)
         out.invariantViolations +=
             prism->at("invariant_violations").asU64();
         out.faultsInjected = prism->at("faults_injected").asU64();
+        if (const JsonValue *err = prism->find("way_quant_error")) {
+            out.wayQuantError = err->asDouble();
+            out.hasWayQuant = true;
+        }
     }
     if (const JsonValue *telemetry = doc.find("telemetry")) {
         out.droppedSamples =
@@ -240,6 +250,7 @@ seriesFromTraceJson(const JsonValue &doc, std::vector<RunSeries> &out)
             slash != std::string::npos)
             s.scheme =
                 canonicalSchemeName(s.name.substr(slash + 1));
+        s.plane = s.scheme == "PriSM-WM" ? "way-mask" : "sim";
         s.hasSeries = true;
         s.hasCounters = true;
         for (const auto &[interval, row] : by_interval) {
@@ -294,6 +305,15 @@ seriesFromBenchJob(const JsonValue &job, RunSeries &out)
     out.scheme = result.at("scheme").asString();
     out.cores = static_cast<std::uint32_t>(
         job.at("config").at("cores").asU64());
+    if (const JsonValue *plane = result.find("plane")) {
+        out.plane = plane->asString();
+        if (const JsonValue *err = result.find("way_quant_error")) {
+            out.wayQuantError = err->asDouble();
+            out.hasWayQuant = true;
+        }
+    } else {
+        out.plane = "sim";
+    }
 
     out.hasCounters = true;
     out.intervals = result.at("intervals").asU64();
@@ -330,6 +350,7 @@ seriesFromServeJson(const JsonValue &doc, RunSeries &out)
 
     out = RunSeries();
     out.serve = true;
+    out.plane = "store";
     out.scheme =
         canonicalSchemeName("PriSM-" + doc.at("policy").asString());
     out.name = "serve/" + out.scheme;

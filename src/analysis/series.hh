@@ -34,6 +34,14 @@ struct RunSeries
     std::string scheme; ///< scheme name; "" when unknown
     std::uint32_t cores = 0;
 
+    /** CachePlane backend that produced the run: "sim" (simulated
+     *  cache), "store" (serving store), "way-mask" (PriSM-WM); ""
+     *  when the input predates the plane field. */
+    std::string plane;
+    /** PriSM-WM mean way-quantisation error in ways (hasWayQuant). */
+    double wayQuantError = 0.0;
+    bool hasWayQuant = false;
+
     // --- per-interval series (parallel arrays, oldest first) -------
     bool hasSeries = false;
     bool prism = false; ///< target/evProb series are populated

@@ -9,6 +9,16 @@
  * chooseVictim / onFill) and the interval hook (onIntervalEnd), which
  * receives an IntervalSnapshot assembled by the cache and — when a
  * timing model is attached — augmented with per-core CPI statistics.
+ *
+ * A PartitionScheme is the simulator-side *backend* layer of the
+ * CachePlane split (DESIGN.md §8, src/plane/cache_plane.hh): the
+ * PriSM-driven schemes (PrismScheme, WayMaskScheme) additionally
+ * implement CachePlane + ControllerHost, delegating the whole
+ * interval recompute to the shared PrismController and keeping only
+ * enforcement — per-miss victim-core sampling or way-mask
+ * quantisation — in their onIntervalEnd/chooseVictim hooks. Schemes
+ * that predate the split (UCP, PIPP, Vantage, ...) implement this
+ * interface alone.
  */
 
 #ifndef PRISM_CACHE_PARTITION_SCHEME_HH

@@ -1,4 +1,4 @@
-#include "prism/alias_sampler.hh"
+#include "plane/alias_sampler.hh"
 
 #include <bit>
 

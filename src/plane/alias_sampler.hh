@@ -26,8 +26,8 @@
  * suites) and docs/BENCHMARKING.md ("Hot path & microbenchmarks").
  */
 
-#ifndef PRISM_PRISM_ALIAS_SAMPLER_HH
-#define PRISM_PRISM_ALIAS_SAMPLER_HH
+#ifndef PRISM_PLANE_ALIAS_SAMPLER_HH
+#define PRISM_PLANE_ALIAS_SAMPLER_HH
 
 #include <cstdint>
 #include <span>
@@ -115,4 +115,4 @@ class AliasSampler
 
 } // namespace prism
 
-#endif // PRISM_PRISM_ALIAS_SAMPLER_HH
+#endif // PRISM_PLANE_ALIAS_SAMPLER_HH

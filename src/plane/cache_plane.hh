@@ -1,0 +1,104 @@
+/**
+ * @file
+ * CachePlane: the substrate abstraction under the PriSM control loop.
+ *
+ * PriSM's allocation loop (targets T_i → Equation 1 → eviction
+ * distribution E_i) is independent of the mechanism that enforces
+ * it. This header names the three-layer split (DESIGN.md, "The
+ * CachePlane substrate"):
+ *
+ *     controller   PrismController — targets → hardened Equation 1 →
+ *                  AliasSampler → degraded-mode fallback
+ *     plane        CachePlane — what every substrate must answer:
+ *                  how many domains, how full is each, how much
+ *                  stand-alone reuse did each see, in which unit
+ *     backend      the enforcement mechanism — PrismScheme (per-miss
+ *                  probabilistic victim cores on the set-associative
+ *                  simulator), ShardedStore via TenantArbiter
+ *                  (victim-tenant LRU evictions in the serving
+ *                  store), WayMaskScheme (CAT-style per-core way
+ *                  masks)
+ *
+ * A "domain" is whatever the plane partitions capacity between:
+ * cores in the simulator, tenants in the serving store. Capacity is
+ * reported in the plane's native unit — blocks for hardware-like
+ * planes, bytes for object stores — and the controller only ever
+ * sees fractions plus the unit-count N that Equation 1 scales by.
+ */
+
+#ifndef PRISM_PLANE_CACHE_PLANE_HH
+#define PRISM_PLANE_CACHE_PLANE_HH
+
+#include <cstdint>
+
+namespace prism
+{
+
+class PrismController;
+
+/** The unit a plane counts capacity in. */
+enum class CapacityUnit
+{
+    Blocks, ///< fixed-size cache blocks (simulator, way masks)
+    Bytes,  ///< variable-size objects (serving store)
+};
+
+const char *capacityUnitName(CapacityUnit unit);
+
+/**
+ * What every cache substrate can answer about itself. Implemented by
+ * the simulator schemes (domains = cores, unit = blocks) and by the
+ * serving store's TenantPlane (domains = tenants, unit = bytes).
+ * Occupancy reads must be safe concurrently with the data path; the
+ * victim-domain *sampling* hook lives on the controller
+ * (PrismController::sampleVictim), and enforcement — actually
+ * evicting from the sampled domain, or quantising targets to way
+ * masks — is the backend's job.
+ */
+class CachePlane
+{
+  public:
+    virtual ~CachePlane() = default;
+
+    /** Stable backend id the doctor reports: "sim" | "store" |
+     *  "way-mask". */
+    virtual const char *backendName() const = 0;
+
+    virtual CapacityUnit capacityUnit() const = 0;
+
+    /** Partition domains sharing this plane (cores / tenants). */
+    virtual std::uint32_t domainCount() const = 0;
+
+    /** Total capacity in native units (the paper's N). */
+    virtual std::uint64_t capacityUnits() const = 0;
+
+    /** Units domain @p domain holds right now (C_i numerator). */
+    virtual std::uint64_t occupancyUnits(std::uint32_t domain)
+        const = 0;
+
+    /**
+     * Stand-alone reuse estimate for @p domain over the last
+     * interval: shadow-tag hits in the simulator, ghost-list shadow
+     * hits in the store. 0 when the plane keeps no shadow state.
+     */
+    virtual double standAloneHits(std::uint32_t domain) const = 0;
+};
+
+/**
+ * Implemented by every backend that embeds a PrismController, so
+ * generic wiring (telemetry recording, fault injection, checked
+ * mode, result extraction) reaches the one shared control loop
+ * without knowing which backend it is talking to.
+ */
+class ControllerHost
+{
+  public:
+    virtual ~ControllerHost() = default;
+
+    virtual PrismController &controller() = 0;
+    virtual const PrismController &controller() const = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_PLANE_CACHE_PLANE_HH

@@ -1,4 +1,4 @@
-#include "prism/eq1.hh"
+#include "plane/eq1.hh"
 
 #include <cmath>
 

@@ -15,8 +15,8 @@
  * core-selection step, which requires sum(E_i) == 1.
  */
 
-#ifndef PRISM_PRISM_EQ1_HH
-#define PRISM_PRISM_EQ1_HH
+#ifndef PRISM_PLANE_EQ1_HH
+#define PRISM_PLANE_EQ1_HH
 
 #include <cstdint>
 #include <vector>
@@ -93,4 +93,4 @@ evictionDistribution(const std::vector<double> &occupancy,
 
 } // namespace prism
 
-#endif // PRISM_PRISM_EQ1_HH
+#endif // PRISM_PLANE_EQ1_HH

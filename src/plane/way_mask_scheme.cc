@@ -1,0 +1,75 @@
+#include "plane/way_mask_scheme.hh"
+
+#include <cmath>
+
+#include "common/prism_assert.hh"
+
+namespace prism
+{
+
+WayMaskScheme::WayMaskScheme(std::uint32_t num_cores,
+                             std::uint32_t ways,
+                             std::unique_ptr<PrismAllocPolicy> policy,
+                             std::uint64_t seed,
+                             const ControllerParams &params)
+    : WayPartitionScheme(num_cores, ways),
+      policy_(std::move(policy)),
+      controller_(num_cores, seed, params)
+{
+    fatalIf(!policy_, "WayMaskScheme: null allocation policy");
+    occupancy_blocks_.assign(num_cores_, 0);
+    stand_alone_hits_.assign(num_cores_, 0.0);
+}
+
+void
+WayMaskScheme::onIntervalEnd(const IntervalSnapshot &snap)
+{
+    PRISM_SPAN(recompute_span_);
+
+    if (controller_.beginRecompute()) {
+        const IntervalSnapshot *input = &snap;
+        IntervalSnapshot perturbed;
+        if (FaultInjector *injector = controller_.faultInjector()) {
+            perturbed = snap;
+            injector->skewShadow(perturbed,
+                                 controller_.intervalIndex());
+            input = &perturbed;
+        }
+
+        std::vector<double> targets = policy_->computeTargets(*input);
+
+        std::vector<double> c(num_cores_), m(num_cores_);
+        for (CoreId i = 0; i < num_cores_; ++i) {
+            c[i] = input->occupancyFraction(i);
+            m[i] = input->missFraction(i);
+        }
+        controller_.conditionInputs(c, m);
+        controller_.commitRecompute(std::move(targets), c, m,
+                                    input->totalBlocks,
+                                    input->intervalMisses);
+
+        if (!controller_.fallbackActive()) {
+            // Enforcement: quantise the real-valued targets onto the
+            // way masks and record how much expressiveness the
+            // quantisation cost.
+            const std::vector<double> &t = controller_.targets();
+            std::vector<std::uint32_t> alloc =
+                roundFractionsToWays(t, ways_);
+            double err = 0.0;
+            for (std::uint32_t i = 0; i < num_cores_; ++i)
+                err += std::abs(static_cast<double>(alloc[i]) -
+                                t[i] * static_cast<double>(ways_));
+            quant_err_.add(err / static_cast<double>(num_cores_));
+            setAllocation(std::move(alloc));
+        }
+    }
+
+    // Refresh the CachePlane view from the (unperturbed) snapshot.
+    capacity_blocks_ = snap.totalBlocks;
+    for (CoreId i = 0; i < num_cores_; ++i) {
+        occupancy_blocks_[i] = snap.cores[i].occupancyBlocks;
+        stand_alone_hits_[i] = snap.cores[i].standAloneHits();
+    }
+}
+
+} // namespace prism

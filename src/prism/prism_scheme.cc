@@ -1,10 +1,7 @@
 #include "prism/prism_scheme.hh"
 
-#include <cmath>
-
 #include "cache/shared_cache.hh"
 #include "common/prism_assert.hh"
-#include "prism/eq1.hh"
 #include "telemetry/span.hh"
 
 namespace prism
@@ -13,15 +10,14 @@ namespace prism
 PrismScheme::PrismScheme(std::uint32_t num_cores,
                          std::unique_ptr<PrismAllocPolicy> policy,
                          std::uint64_t seed, const PrismParams &params)
-    : num_cores_(num_cores), policy_(std::move(policy)), rng_(seed),
-      params_(params)
+    : num_cores_(num_cores), policy_(std::move(policy)),
+      controller_(num_cores, seed,
+                  ControllerParams{.probBits = params.probBits})
 {
     fatalIf(!policy_, "PrismScheme: null allocation policy");
-    e_.assign(num_cores_, 1.0 / num_cores_);
-    targets_.assign(num_cores_, 1.0 / num_cores_);
     allowed_.assign(256, 0);
-    prob_stats_.resize(num_cores_);
-    sampler_.build(e_);
+    occupancy_blocks_.assign(num_cores_, 0);
+    stand_alone_hits_.assign(num_cores_, 0.0);
 }
 
 std::string
@@ -30,37 +26,13 @@ PrismScheme::name() const
     return "PriSM-" + policy_->name();
 }
 
-CoreId
-PrismScheme::sampleVictimCore()
-{
-    // The paper's random-number-generator + comparator tree in
-    // hardware: one uniform per draw (stream-compatible with the
-    // reference inverse-CDF walk), mapped through the O(1) table.
-    // When a single core holds all probability mass the sampler
-    // short-circuits without touching the table.
-    return sampler_.sample(rng_.uniform());
-}
-
-void
-PrismScheme::setEvictionProbs(std::span<const double> e)
-{
-    panicIf(e.size() != num_cores_,
-            "setEvictionProbs: distribution size != core count");
-    e_.assign(e.begin(), e.end());
-    if (params_.probBits > 0) {
-        const FixedPointCodec codec(params_.probBits);
-        e_ = codec.quantiseDistribution(e_);
-    }
-    sampler_.build(e_);
-}
-
 int
 PrismScheme::chooseVictim(SharedCache &cache, CoreId core, const SetView &set)
 {
     (void)core;
     ++replacements_;
 
-    if (fallback_) {
+    if (controller_.fallbackActive()) {
         // Degraded: the last recompute produced an unrecoverable
         // distribution, so probabilistic core selection is off and
         // the underlying replacement policy serves the interval.
@@ -69,6 +41,7 @@ PrismScheme::chooseVictim(SharedCache &cache, CoreId core, const SetView &set)
 
     const CoreId victim_core = sampleVictimCore();
     const CoreId *owner = set.blocks.owner;
+    const double *e = controller_.evictionProbs().data();
 
     if (cache.repl().victimOrderIsRecency()) {
         // LRU-family fast path: victimAmong() is the back-to-front
@@ -84,7 +57,7 @@ PrismScheme::chooseVictim(SharedCache &cache, CoreId core, const SetView &set)
             const CoreId o = owner[static_cast<std::size_t>(way)];
             if (o == victim_core)
                 return way;
-            if (fallback_way == invalidWay && e_[o] > 0.0)
+            if (fallback_way == invalidWay && e[o] > 0.0)
                 fallback_way = way;
         }
         ++victimless_;
@@ -118,7 +91,7 @@ PrismScheme::chooseVictim(SharedCache &cache, CoreId core, const SetView &set)
     ++victimless_;
     cache.repl().evictionOrder(set, order_);
     for (int way : order_) {
-        if (e_[owner[static_cast<std::size_t>(way)]] > 0.0)
+        if (e[owner[static_cast<std::size_t>(way)]] > 0.0)
             return way;
     }
     // Every owner in this set has E == 0: take the overall candidate.
@@ -126,126 +99,39 @@ PrismScheme::chooseVictim(SharedCache &cache, CoreId core, const SetView &set)
 }
 
 void
-PrismScheme::emitEvent(telemetry::EventKind kind, double value,
-                       CoreId core)
-{
-    if (recorder_)
-        recorder_->addEvent(
-            telemetry::TelemetryEvent{kind, interval_idx_, core, value});
-}
-
-void
 PrismScheme::onIntervalEnd(const IntervalSnapshot &snap)
 {
     PRISM_SPAN(recompute_span_);
-    const std::uint64_t interval = ++interval_idx_;
-    bool degraded = false;
 
-    if (injector_ && injector_->dropRecompute(interval)) {
-        // The recompute event was lost: keep serving the previous
-        // distribution for another interval.
-        ++dropped_recomputes_;
-        ++degraded_intervals_;
-        emitEvent(telemetry::EventKind::DroppedRecompute);
-        emitEvent(telemetry::EventKind::DegradedInterval);
-        return;
-    }
+    if (!controller_.beginRecompute())
+        return; // dropped recompute: previous E serves the interval
 
     const IntervalSnapshot *input = &snap;
     IntervalSnapshot perturbed;
-    if (injector_) {
+    if (FaultInjector *injector = controller_.faultInjector()) {
         perturbed = snap;
-        injector_->skewShadow(perturbed, interval);
+        injector->skewShadow(perturbed, controller_.intervalIndex());
         input = &perturbed;
     }
 
-    targets_ = policy_->computeTargets(*input);
+    std::vector<double> targets = policy_->computeTargets(*input);
 
     std::vector<double> c(num_cores_), m(num_cores_);
     for (CoreId i = 0; i < num_cores_; ++i) {
         c[i] = input->occupancyFraction(i);
         m[i] = input->missFraction(i);
     }
+    controller_.conditionInputs(c, m);
+    controller_.commitRecompute(std::move(targets), c, m,
+                                input->totalBlocks,
+                                input->intervalMisses);
 
-    if (injector_) {
-        std::vector<double> clean_c = c, clean_m = m;
-        if (!prev_c_.empty() &&
-            injector_->staleSnapshot(interval)) {
-            c = prev_c_;
-            m = prev_m_;
-            degraded = true;
-        }
-        injector_->poisonInputs(c, m, interval);
-        prev_c_ = std::move(clean_c);
-        prev_m_ = std::move(clean_m);
+    // Refresh the CachePlane view from the (unperturbed) snapshot.
+    capacity_blocks_ = snap.totalBlocks;
+    for (CoreId i = 0; i < num_cores_; ++i) {
+        occupancy_blocks_[i] = snap.cores[i].occupancyBlocks;
+        stand_alone_hits_[i] = snap.cores[i].standAloneHits();
     }
-
-    Eq1Stats recompute_stats;
-    e_ = evictionDistribution(c, targets_, m, input->totalBlocks,
-                              input->intervalMisses, &recompute_stats);
-    eq1_stats_.clampedInputs += recompute_stats.clampedInputs;
-    eq1_stats_.fallbackActivations +=
-        recompute_stats.fallbackActivations;
-    if (recompute_stats.clampedInputs > 0)
-        degraded = true;
-
-    if (params_.probBits > 0) {
-        const FixedPointCodec codec(params_.probBits);
-        e_ = codec.quantiseDistribution(e_);
-    }
-
-    if (injector_)
-        injector_->saturateQuantisation(e_, interval);
-
-    fallback_ = false;
-    if (checked_ && !auditor_.checkDistribution(e_).ok()) {
-        degraded = true;
-        if (!repairDistribution())
-            fallback_ = true;
-        emitEvent(telemetry::EventKind::DistributionRepair,
-                  fallback_ ? 0.0 : 1.0);
-        if (fallback_) {
-            ++fallback_entries_;
-            emitEvent(telemetry::EventKind::FallbackEntered);
-        }
-    }
-
-    if (degraded) {
-        ++degraded_intervals_;
-        emitEvent(telemetry::EventKind::DegradedInterval);
-    }
-
-    // Rebuild the Core-Selection table once per recompute — after
-    // every mutation of e_ (quantisation, injected saturation,
-    // repair) so the table and the distribution never diverge.
-    sampler_.build(e_);
-
-    ++recomputes_;
-    for (CoreId i = 0; i < num_cores_; ++i)
-        prob_stats_[i].add(e_[i]);
-}
-
-bool
-PrismScheme::repairDistribution()
-{
-    double sum = 0.0;
-    for (double &v : e_) {
-        if (!std::isfinite(v) || v < 0.0)
-            v = 0.0;
-        else if (v > 1.0)
-            v = 1.0;
-        sum += v;
-    }
-    if (sum <= 0.0) {
-        // No probability mass survived: leave a safe uniform
-        // distribution behind and tell the caller to fall back to
-        // the underlying replacement policy until the next interval.
-        e_.assign(num_cores_, 1.0 / num_cores_);
-        return false;
-    }
-    for (double &v : e_)
-        v /= sum;
-    return true;
 }
 
 } // namespace prism

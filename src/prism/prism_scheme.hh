@@ -1,6 +1,7 @@
 /**
  * @file
- * The PriSM probabilistic cache manager (paper §3.1).
+ * The PriSM probabilistic cache manager (paper §3.1) — the
+ * *simulator backend* of the CachePlane split (DESIGN.md).
  *
  * Replacement under PriSM is two-step: Core-Selection draws a victim
  * core from the eviction probability distribution E, then
@@ -11,9 +12,13 @@
  * with non-zero eviction probability (§3.1); such "victimless"
  * events are counted for the Figure 13 analysis.
  *
- * E is recomputed each interval by a pluggable allocation policy
- * (PriSM-H/F/Q) via Equation 1, optionally quantised to K bits
- * (Figure 12).
+ * The interval control loop itself — targets → hardened Equation 1
+ * → AliasSampler → degraded-mode fallback — lives in the shared
+ * PrismController (src/plane/); this class is the thin adapter from
+ * the PartitionScheme hooks to that controller plus the
+ * cache-specific Victim-Identification above. The same controller
+ * drives the serving store (serve::TenantArbiter) and the CAT-style
+ * way-mask backend (WayMaskScheme).
  */
 
 #ifndef PRISM_PRISM_PRISM_SCHEME_HH
@@ -27,14 +32,12 @@
 #include <vector>
 
 #include "cache/partition_scheme.hh"
-#include "common/fixed_point.hh"
-#include "common/rng.hh"
 #include "common/stats.hh"
 #include "fault/fault_injector.hh"
-#include "fault/invariant_auditor.hh"
-#include "prism/alias_sampler.hh"
+#include "plane/alias_sampler.hh"
+#include "plane/cache_plane.hh"
+#include "plane/prism_controller.hh"
 #include "prism/alloc_policy.hh"
-#include "prism/eq1.hh"
 #include "telemetry/interval_recorder.hh"
 #include "telemetry/metrics_registry.hh"
 
@@ -53,7 +56,9 @@ struct PrismParams
 };
 
 /** The PriSM management scheme. */
-class PrismScheme : public PartitionScheme
+class PrismScheme : public PartitionScheme,
+                    public ControllerHost,
+                    public CachePlane
 {
   public:
     PrismScheme(std::uint32_t num_cores,
@@ -66,6 +71,33 @@ class PrismScheme : public PartitionScheme
                      const SetView &set) override;
     void onIntervalEnd(const IntervalSnapshot &snap) override;
 
+    // --- ControllerHost ---
+    PrismController &controller() override { return controller_; }
+    const PrismController &controller() const override
+    {
+        return controller_;
+    }
+
+    // --- CachePlane (domains = cores, unit = blocks) ---
+    const char *backendName() const override { return "sim"; }
+    CapacityUnit capacityUnit() const override
+    {
+        return CapacityUnit::Blocks;
+    }
+    std::uint32_t domainCount() const override { return num_cores_; }
+    std::uint64_t capacityUnits() const override
+    {
+        return capacity_blocks_;
+    }
+    std::uint64_t occupancyUnits(std::uint32_t core) const override
+    {
+        return occupancy_blocks_[core];
+    }
+    double standAloneHits(std::uint32_t core) const override
+    {
+        return stand_alone_hits_[core];
+    }
+
     // --- introspection ---
     /**
      * Core-Selection: draw a victim core id according to E. Consumes
@@ -75,10 +107,17 @@ class PrismScheme : public PartitionScheme
      * exercise the sampler directly against a known distribution
      * (tests/test_core_selection_stats.cc).
      */
-    CoreId sampleVictimCore();
+    CoreId
+    sampleVictimCore()
+    {
+        return static_cast<CoreId>(controller_.sampleVictim());
+    }
 
     /** The Core-Selection sampler for the current E (test hook). */
-    const AliasSampler &sampler() const { return sampler_; }
+    const AliasSampler &sampler() const
+    {
+        return controller_.sampler();
+    }
 
     /**
      * Overwrite the eviction distribution, applying the configured
@@ -86,7 +125,11 @@ class PrismScheme : public PartitionScheme
      * the Core-Selection statistics; @p e must have one entry per
      * core and sum to ~1.
      */
-    void setEvictionProbs(std::span<const double> e);
+    void
+    setEvictionProbs(std::span<const double> e)
+    {
+        controller_.setEvictionProbs(e);
+    }
 
     void
     setEvictionProbs(std::initializer_list<double> e)
@@ -94,8 +137,14 @@ class PrismScheme : public PartitionScheme
         setEvictionProbs(std::span<const double>(e.begin(), e.size()));
     }
 
-    const std::vector<double> &evictionProbs() const { return e_; }
-    const std::vector<double> &lastTargets() const { return targets_; }
+    const std::vector<double> &evictionProbs() const
+    {
+        return controller_.evictionProbs();
+    }
+    const std::vector<double> &lastTargets() const
+    {
+        return controller_.targets();
+    }
     PrismAllocPolicy &policy() { return *policy_; }
 
     /** Replacements where the selected core had no block in the set. */
@@ -111,74 +160,95 @@ class PrismScheme : public PartitionScheme
     }
 
     /** Times the distribution has been recomputed (Figure 11). */
-    std::uint64_t recomputes() const { return recomputes_; }
+    std::uint64_t recomputes() const
+    {
+        return controller_.recomputes();
+    }
 
     /** Mean/stddev tracker of core @p c's eviction probability. */
-    const RunningStat &probStat(CoreId c) const { return prob_stats_[c]; }
+    const RunningStat &probStat(CoreId c) const
+    {
+        return controller_.probStat(c);
+    }
 
     // --- robustness: fault injection, auditing, degradation ---
 
     /** Attach a fault injector (non-owning); null detaches. */
     void setFaultInjector(FaultInjector *injector)
     {
-        injector_ = injector;
+        controller_.setFaultInjector(injector);
     }
 
-    const FaultInjector *faultInjector() const { return injector_; }
+    const FaultInjector *faultInjector() const
+    {
+        return controller_.faultInjector();
+    }
 
     /** Audit the distribution each interval and recover in place. */
-    void setChecked(bool on) { checked_ = on; }
-    bool checked() const { return checked_; }
+    void setChecked(bool on) { controller_.setChecked(on); }
+    bool checked() const { return controller_.checked(); }
 
     /**
      * Intervals in which the scheme operated in a recovery regime:
      * a recompute was dropped, inputs were stale or had to be
      * clamped, or the distribution needed repair / fallback.
      */
-    std::uint64_t degradedIntervals() const { return degraded_intervals_; }
+    std::uint64_t degradedIntervals() const
+    {
+        return controller_.degradedIntervals();
+    }
 
     /** Distribution invariant violations the auditor caught. */
     std::uint64_t invariantViolations() const
     {
-        return auditor_.violations();
+        return controller_.invariantViolations();
     }
 
     /** Recompute events lost to injected faults. */
-    std::uint64_t droppedRecomputes() const { return dropped_recomputes_; }
+    std::uint64_t droppedRecomputes() const
+    {
+        return controller_.droppedRecomputes();
+    }
 
     /** Intervals that started with fallback mode engaged. */
-    std::uint64_t fallbackEntries() const { return fallback_entries_; }
+    std::uint64_t fallbackEntries() const
+    {
+        return controller_.fallbackEntries();
+    }
 
     /** Equation 1 inputs clamped for being NaN/Inf/out-of-range. */
     std::uint64_t clampedInputs() const
     {
-        return eq1_stats_.clampedInputs;
+        return controller_.clampedInputs();
     }
 
     /** Recomputes decided by the Equation 1 distribution fallback
      *  (no eviction demand; miss-share or uniform applied). */
     std::uint64_t eq1Fallbacks() const
     {
-        return eq1_stats_.fallbackActivations;
+        return controller_.eq1Fallbacks();
     }
 
     /**
      * Whether the scheme is currently deferring to the underlying
      * replacement policy (distribution was unrecoverable).
      */
-    bool fallbackActive() const { return fallback_; }
+    bool fallbackActive() const
+    {
+        return controller_.fallbackActive();
+    }
 
     // --- telemetry ---
 
     /**
      * Attach an interval recorder (non-owning; null detaches): the
-     * scheme emits instant events for degraded intervals, dropped
-     * recomputes, distribution repairs and fallback entries, making
-     * fault-injection runs visually debuggable in the trace.
+     * controller emits instant events for degraded intervals,
+     * dropped recomputes, distribution repairs and fallback entries,
+     * making fault-injection runs visually debuggable in the trace.
      */
     void setRecorder(telemetry::IntervalRecorder *recorder)
     {
-        recorder_ = recorder;
+        controller_.setRecorder(recorder);
     }
 
     /** Scoped-timer stats for onIntervalEnd(); default = disabled. */
@@ -189,49 +259,22 @@ class PrismScheme : public PartitionScheme
     }
 
   private:
-    /** Record an instant event when a recorder is attached. */
-    void emitEvent(telemetry::EventKind kind, double value = 0.0,
-                   CoreId core = invalidCore);
-
-    /**
-     * Clamp and renormalise e_ in place after an audit failure.
-     * @return false when the distribution is unrecoverable (no
-     *         probability mass left) and fallback mode is required.
-     */
-    bool repairDistribution();
-
     std::uint32_t num_cores_;
     std::unique_ptr<PrismAllocPolicy> policy_;
-    Rng rng_;
-    PrismParams params_;
-
-    std::vector<double> e_;       ///< eviction distribution
-    AliasSampler sampler_;        ///< O(1) sampler over e_
-    std::vector<double> targets_; ///< last computed T_i
+    PrismController controller_;
 
     std::vector<char> allowed_; // victim-mask scratch
     std::vector<int> order_;    // eviction-order scratch
 
     std::uint64_t victimless_ = 0;
     std::uint64_t replacements_ = 0;
-    std::uint64_t recomputes_ = 0;
-    std::vector<RunningStat> prob_stats_;
 
-    // --- robustness state ---
-    FaultInjector *injector_ = nullptr; ///< non-owning; may be null
-    InvariantAuditor auditor_;
-    bool checked_ = false;
-    bool fallback_ = false; ///< defer to repl policy this interval
-    std::uint64_t interval_idx_ = 0;
-    std::uint64_t degraded_intervals_ = 0;
-    std::uint64_t dropped_recomputes_ = 0;
-    std::uint64_t fallback_entries_ = 0;
-    Eq1Stats eq1_stats_;
-    std::vector<double> prev_c_; ///< last clean C_i (stale fault)
-    std::vector<double> prev_m_; ///< last clean M_i (stale fault)
+    // --- CachePlane view of the last interval ---
+    std::uint64_t capacity_blocks_ = 0;
+    std::vector<std::uint64_t> occupancy_blocks_;
+    std::vector<double> stand_alone_hits_;
 
     // --- telemetry ---
-    telemetry::IntervalRecorder *recorder_ = nullptr; ///< non-owning
     telemetry::SpanStats recompute_span_{};
 };
 

@@ -122,6 +122,16 @@ class ShardedStore final : public TenantPlane
     }
     std::uint64_t evictOneFrom(std::uint32_t tenant) override;
 
+    // --- CachePlane (via TenantPlane) -------------------------------
+    std::uint64_t capacityUnits() const override
+    {
+        return capacity_bytes_;
+    }
+    double standAloneHits(std::uint32_t tenant) const override
+    {
+        return static_cast<double>(shadowHits(tenant));
+    }
+
     // --- per-tenant access statistics (monotonic) -------------------
     std::uint64_t hits(std::uint32_t tenant) const
     {

@@ -178,15 +178,11 @@ TenantArbiter::TenantArbiter(
     std::uint32_t tenants,
     std::unique_ptr<TenantTargetPolicy> policy, std::uint64_t seed,
     Params params)
-    : tenants_(tenants), policy_(std::move(policy)), rng_(seed),
-      params_(params)
+    : tenants_(tenants), policy_(std::move(policy)), params_(params),
+      controller_(std::max<std::uint32_t>(1, tenants), seed)
 {
     fatalIf(tenants_ == 0, "TenantArbiter: no tenants");
     fatalIf(!policy_, "TenantArbiter: null target policy");
-    const double uniform = 1.0 / static_cast<double>(tenants_);
-    targets_.assign(tenants_, uniform);
-    e_.assign(tenants_, uniform);
-    sampler_.build(e_);
 }
 
 void
@@ -194,7 +190,7 @@ TenantArbiter::recompute(const TenantSnapshot &snap)
 {
     panicIf(snap.occupancyBytes.size() != tenants_,
             "TenantArbiter: snapshot tenant count mismatch");
-    targets_ = policy_->computeTargets(snap);
+    std::vector<double> targets = policy_->computeTargets(snap);
 
     std::vector<double> c(tenants_), m(tenants_);
     for (std::uint32_t i = 0; i < tenants_; ++i) {
@@ -210,15 +206,12 @@ TenantArbiter::recompute(const TenantSnapshot &snap)
                                  1, snap.avgObjectBytes);
     const std::uint64_t interval_w = snap.intervalMisses();
 
-    Eq1Stats recompute_stats;
-    e_ = evictionDistribution(c, targets_, m,
-                              std::max<std::uint64_t>(1, blocks_n),
-                              interval_w, &recompute_stats);
-    stats_.clampedInputs += recompute_stats.clampedInputs;
-    stats_.fallbackActivations += recompute_stats.fallbackActivations;
-
-    sampler_.build(e_);
-    ++recomputes_;
+    if (!controller_.beginRecompute())
+        return; // dropped recompute: previous E serves the interval
+    controller_.conditionInputs(c, m);
+    controller_.commitRecompute(std::move(targets), c, m,
+                                std::max<std::uint64_t>(1, blocks_n),
+                                interval_w);
 }
 
 } // namespace prism::serve

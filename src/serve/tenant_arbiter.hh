@@ -15,8 +15,14 @@
  *
  * The data plane is abstracted behind TenantPlane (occupancy query,
  * victim eviction, object statistics) so the arbiter and the target
- * policies never see hash tables or locks — the same separation the
- * simulator keeps between PrismScheme and SharedCache.
+ * policies never see hash tables or locks. TenantPlane is the
+ * serving-store instantiation of the CachePlane substrate
+ * (src/plane/cache_plane.hh, DESIGN.md): domains are tenants and
+ * capacity counts bytes, and the arbiter is the thin adapter that
+ * feeds byte-fraction observations into the one shared
+ * PrismController — the exact control loop PrismScheme runs over
+ * the simulated cache and WayMaskScheme runs over CAT-style way
+ * masks.
  */
 
 #ifndef PRISM_SERVE_TENANT_ARBITER_HH
@@ -27,23 +33,24 @@
 #include <string>
 #include <vector>
 
-#include "common/rng.hh"
-#include "prism/alias_sampler.hh"
-#include "prism/eq1.hh"
+#include "plane/cache_plane.hh"
+#include "plane/prism_controller.hh"
 
 namespace prism::serve
 {
 
 /**
- * What the control loop may ask of the data plane. Occupancy reads
- * must be safe concurrently with serving threads; evictOneFrom is
- * called only from the sequential eviction pass.
+ * What the control loop may ask of the serving data plane: the
+ * byte-unit CachePlane (domains = tenants) plus the store-specific
+ * eviction primitive. Occupancy reads must be safe concurrently
+ * with serving threads; evictOneFrom is called only from the
+ * sequential eviction pass. The CachePlane half is satisfied by
+ * adapters over the tenant-named accessors, so the diagnostics
+ * layer can interrogate any backend uniformly.
  */
-class TenantPlane
+class TenantPlane : public CachePlane
 {
   public:
-    virtual ~TenantPlane() = default;
-
     virtual std::uint32_t tenantCount() const = 0;
 
     /** Bytes of live values tenant @p tenant holds right now. */
@@ -61,6 +68,21 @@ class TenantPlane
      * caller then applies its victimless fallback).
      */
     virtual std::uint64_t evictOneFrom(std::uint32_t tenant) = 0;
+
+    // --- CachePlane (domains = tenants, unit = bytes) ---
+    const char *backendName() const override { return "store"; }
+    CapacityUnit capacityUnit() const override
+    {
+        return CapacityUnit::Bytes;
+    }
+    std::uint32_t domainCount() const override
+    {
+        return tenantCount();
+    }
+    std::uint64_t occupancyUnits(std::uint32_t tenant) const override
+    {
+        return tenantBytes(tenant);
+    }
 };
 
 /** Per-tenant quality-of-service inputs to the target policies. */
@@ -131,8 +153,14 @@ struct ArbiterParams
     std::uint64_t intervalMisses = 16384;
 };
 
-/** The interval control loop: targets -> Equation 1 -> sampler. */
-class TenantArbiter
+/**
+ * The serving-plane adapter onto the shared PrismController
+ * (src/plane/): maps tenant byte observations into the controller's
+ * targets → Equation 1 → sampler loop, exactly as PrismScheme maps
+ * core block observations. No Equation 1 / alias-sampling /
+ * fallback code lives here any more.
+ */
+class TenantArbiter : public ControllerHost
 {
   public:
     using Params = ArbiterParams;
@@ -148,11 +176,24 @@ class TenantArbiter
     }
     std::string policyName() const { return policy_->name(); }
 
+    // --- ControllerHost ---
+    PrismController &controller() override { return controller_; }
+    const PrismController &controller() const override
+    {
+        return controller_;
+    }
+
     /** Targets in effect (uniform before the first recompute). */
-    const std::vector<double> &targets() const { return targets_; }
+    const std::vector<double> &targets() const
+    {
+        return controller_.targets();
+    }
 
     /** Eviction distribution in effect. */
-    const std::vector<double> &evictionProbs() const { return e_; }
+    const std::vector<double> &evictionProbs() const
+    {
+        return controller_.evictionProbs();
+    }
 
     /**
      * Draw the victim tenant for one capacity eviction: one uniform
@@ -162,39 +203,36 @@ class TenantArbiter
     std::uint32_t
     sampleVictimTenant()
     {
-        return sampler_.sample(rng_.uniform());
+        return controller_.sampleVictim();
     }
 
     /**
-     * End-of-interval recompute: policy targets, then Equation 1
-     * over byte fractions with N = capacity / avg-object-size and
-     * W = the interval's realised miss count, then rebuild the
-     * sampler.
+     * End-of-interval recompute: policy targets, then the
+     * controller's Equation 1 over byte fractions with
+     * N = capacity / avg-object-size and W = the interval's realised
+     * miss count, then the sampler rebuild.
      */
     void recompute(const TenantSnapshot &snap);
 
-    std::uint64_t recomputes() const { return recomputes_; }
+    std::uint64_t recomputes() const
+    {
+        return controller_.recomputes();
+    }
     std::uint64_t clampedInputs() const
     {
-        return stats_.clampedInputs;
+        return controller_.clampedInputs();
     }
     /** Equation 1 no-donor fallback activations (see eq1.hh). */
     std::uint64_t eq1Fallbacks() const
     {
-        return stats_.fallbackActivations;
+        return controller_.eq1Fallbacks();
     }
 
   private:
     std::uint32_t tenants_;
     std::unique_ptr<TenantTargetPolicy> policy_;
-    Rng rng_;
     Params params_;
-
-    std::vector<double> targets_;
-    std::vector<double> e_;
-    AliasSampler sampler_;
-    Eq1Stats stats_;
-    std::uint64_t recomputes_ = 0;
+    PrismController controller_;
 };
 
 } // namespace prism::serve

@@ -1,127 +1,24 @@
 /**
  * @file
- * Zipf-distributed rank sampler for the serving load generator.
+ * Serving-layer alias of the shared Zipf sampler.
  *
- * Key popularity in cache-serving workloads is classically Zipfian
- * (YCSB uses exponent 0.99). The naive inverse-CDF table costs O(n)
- * memory and O(log n) per draw, which is unacceptable at the
- * multi-million-key keyspaces prism_serve targets, so this is the
- * rejection-inversion sampler of Hörmann & Derflinger ("Rejection-
- * inversion to generate variates from monotone discrete
- * distributions", 1996): O(1) state, O(1) expected draws, exact for
- * any exponent >= 0 without precomputation over the keyspace.
- *
- * Determinism: the sampler itself is immutable after construction;
- * every draw consumes uniforms from the caller's Rng only, so a
- * stream's rank sequence depends on its seed alone — the property
- * the serve determinism suite leans on (docs/SERVING.md).
+ * The rejection-inversion rank sampler the load generator draws key
+ * popularity from lives in common/zipf.hh, shared with the
+ * simulator's trace-generator power law. This header keeps the
+ * historical prism::serve::ZipfGenerator spelling alive for the
+ * serving layer; the type (and therefore every draw stream) is
+ * exactly the shared one.
  */
 
 #ifndef PRISM_SERVE_ZIPF_HH
 #define PRISM_SERVE_ZIPF_HH
 
-#include <cmath>
-#include <cstdint>
-
-#include "common/prism_assert.hh"
-#include "common/rng.hh"
+#include "common/zipf.hh"
 
 namespace prism::serve
 {
 
-/** O(1) sampler of ranks in [0, n) with P(r) proportional to
- *  1/(r+1)^s. Immutable; safe to share between generator streams. */
-class ZipfGenerator
-{
-  public:
-    /**
-     * @param num_elements Keyspace size n; at least 1.
-     * @param exponent Zipf exponent s >= 0 (0 = uniform).
-     */
-    ZipfGenerator(std::uint64_t num_elements, double exponent)
-        : n_(num_elements), s_(exponent)
-    {
-        panicIf(n_ == 0, "ZipfGenerator: empty keyspace");
-        panicIf(!(s_ >= 0.0), "ZipfGenerator: exponent must be >= 0");
-        h_x1_ = hIntegral(1.5) - 1.0;
-        h_n_ = hIntegral(static_cast<double>(n_) + 0.5);
-        s_factor_ = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
-    }
-
-    /** Draw one rank in [0, n) using uniforms from @p rng. */
-    std::uint64_t
-    next(Rng &rng) const
-    {
-        if (n_ == 1)
-            return 0;
-        // Rejection-inversion over the hat function h(x) = x^-s:
-        // invert the hat's integral at a uniform point, round to the
-        // nearest integer rank, and accept when the rank's true mass
-        // covers the point (the s_factor short-cut accepts the vast
-        // majority of draws without evaluating hIntegral again).
-        for (;;) {
-            const double u =
-                h_n_ + rng.uniform() * (h_x1_ - h_n_);
-            const double x = hIntegralInverse(u);
-            double k = std::floor(x + 0.5);
-            if (k < 1.0)
-                k = 1.0;
-            else if (k > static_cast<double>(n_))
-                k = static_cast<double>(n_);
-            if (k - x <= s_factor_ ||
-                u >= hIntegral(k + 0.5) - h(k))
-                return static_cast<std::uint64_t>(k) - 1;
-        }
-    }
-
-    std::uint64_t numElements() const { return n_; }
-    double exponent() const { return s_; }
-
-  private:
-    /** Integral of the hat: H(x) = ∫ x^-s dx, via helpers that stay
-     *  accurate through the s -> 1 singularity. */
-    double
-    hIntegral(double x) const
-    {
-        const double log_x = std::log(x);
-        return helper2((1.0 - s_) * log_x) * log_x;
-    }
-
-    double h(double x) const { return std::exp(-s_ * std::log(x)); }
-
-    double
-    hIntegralInverse(double x) const
-    {
-        double t = x * (1.0 - s_);
-        if (t < -1.0)
-            t = -1.0; // round-off guard at the left boundary
-        return std::exp(helper1(t) * x);
-    }
-
-    /** log1p(x)/x, Taylor-expanded near 0. */
-    static double
-    helper1(double x)
-    {
-        if (std::abs(x) > 1e-8)
-            return std::log1p(x) / x;
-        return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x));
-    }
-
-    /** expm1(x)/x, Taylor-expanded near 0. */
-    static double
-    helper2(double x)
-    {
-        if (std::abs(x) > 1e-8)
-            return std::expm1(x) / x;
-        return 1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x));
-    }
-
-    std::uint64_t n_;
-    double s_;
-    double h_x1_;     ///< hIntegral(1.5) - 1
-    double h_n_;      ///< hIntegral(n + 0.5)
-    double s_factor_; ///< acceptance short-cut bound
-};
+using ZipfGenerator = prism::ZipfGenerator;
 
 } // namespace prism::serve
 

@@ -2,6 +2,7 @@
 
 #include "common/prism_assert.hh"
 #include "fault/fault_injector.hh"
+#include "plane/way_mask_scheme.hh"
 #include "policies/pipp.hh"
 #include "policies/tadip.hh"
 #include "policies/vantage.hh"
@@ -41,6 +42,8 @@ schemeName(SchemeKind kind)
         return "PriSM-Q";
       case SchemeKind::PrismLA:
         return "PriSM-LA";
+      case SchemeKind::PrismWM:
+        return "PriSM-WM";
       case SchemeKind::WPHitMax:
         return "WP-HitMax";
       case SchemeKind::StaticWP:
@@ -56,8 +59,8 @@ schemeFromName(std::string_view name, SchemeKind &kind)
          {SchemeKind::Baseline, SchemeKind::UCP, SchemeKind::PIPP,
           SchemeKind::TADIP, SchemeKind::FairWP, SchemeKind::Vantage,
           SchemeKind::PrismH, SchemeKind::PrismF, SchemeKind::PrismQ,
-          SchemeKind::PrismLA, SchemeKind::WPHitMax,
-          SchemeKind::StaticWP}) {
+          SchemeKind::PrismLA, SchemeKind::PrismWM,
+          SchemeKind::WPHitMax, SchemeKind::StaticWP}) {
         if (name == schemeName(k)) {
             kind = k;
             return true;
@@ -150,6 +153,10 @@ Runner::makeScheme(SchemeKind kind, const SchemeOptions &options,
             std::make_unique<LookaheadPolicy>(
                 options.vantageUnitsPerWay),
             seed, prism_params);
+      case SchemeKind::PrismWM:
+        return std::make_unique<WayMaskScheme>(
+            cores, ways, std::make_unique<HitMaxPolicy>(), seed,
+            ControllerParams{.probBits = options.probBits});
       case SchemeKind::WPHitMax:
         return std::make_unique<HitMaxWayScheme>(cores, ways);
       case SchemeKind::StaticWP:
@@ -231,10 +238,15 @@ Runner::run(const Workload &workload, SchemeKind kind,
     }
 
     auto scheme = makeScheme(kind, options, qos_target);
+    // Every PriSM-family scheme hosts the one shared controller; the
+    // generic wiring below reaches it through ControllerHost and only
+    // backend-specific statistics go through the concrete types.
+    auto *host = dynamic_cast<ControllerHost *>(scheme.get());
     auto *prism_scheme = dynamic_cast<PrismScheme *>(scheme.get());
-    if (prism_scheme) {
-        prism_scheme->setChecked(options.checked);
-        prism_scheme->setFaultInjector(injector.get());
+    auto *wm_scheme = dynamic_cast<WayMaskScheme *>(scheme.get());
+    if (host) {
+        host->controller().setChecked(options.checked);
+        host->controller().setFaultInjector(injector.get());
     }
 
     std::shared_ptr<telemetry::IntervalRecorder> recorder;
@@ -247,14 +259,16 @@ Runner::run(const Workload &workload, SchemeKind kind,
     system.llc().setChecked(options.checked);
     if (recorder) {
         system.setRecorder(recorder.get());
-        if (prism_scheme)
-            prism_scheme->setRecorder(recorder.get());
+        if (host)
+            host->controller().setRecorder(recorder.get());
     }
     if (options.telemetry.enabled && options.telemetry.metrics) {
         telemetry::MetricsRegistry &m = *options.telemetry.metrics;
         system.llc().setAccessSpan(m.span("llc.access"));
         if (prism_scheme)
             prism_scheme->setRecomputeSpan(m.span("prism.recompute"));
+        else if (wm_scheme)
+            wm_scheme->setRecomputeSpan(m.span("prism.recompute"));
     }
     if (injector) {
         FaultInjector *inj = injector.get();
@@ -286,19 +300,24 @@ Runner::run(const Workload &workload, SchemeKind kind,
     if (injector)
         out.faultsInjected = injector->injected();
 
-    if (prism_scheme) {
-        out.victimlessFraction = prism_scheme->victimlessFraction();
-        out.recomputes = prism_scheme->recomputes();
-        out.degradedIntervals = prism_scheme->degradedIntervals();
-        out.invariantViolations += prism_scheme->invariantViolations();
-        out.clampedEq1Inputs = prism_scheme->clampedInputs();
-        out.droppedRecomputes = prism_scheme->droppedRecomputes();
-        out.fallbackEntries = prism_scheme->fallbackEntries();
+    if (host) {
+        const PrismController &ctl = host->controller();
+        out.recomputes = ctl.recomputes();
+        out.degradedIntervals = ctl.degradedIntervals();
+        out.invariantViolations += ctl.invariantViolations();
+        out.clampedEq1Inputs = ctl.clampedInputs();
+        out.droppedRecomputes = ctl.droppedRecomputes();
+        out.fallbackEntries = ctl.fallbackEntries();
         for (CoreId c = 0; c < config_.numCores; ++c) {
-            out.evProbMean.push_back(prism_scheme->probStat(c).mean());
-            out.evProbStddev.push_back(
-                prism_scheme->probStat(c).stddev());
+            out.evProbMean.push_back(ctl.probStat(c).mean());
+            out.evProbStddev.push_back(ctl.probStat(c).stddev());
         }
+    }
+    if (prism_scheme)
+        out.victimlessFraction = prism_scheme->victimlessFraction();
+    if (wm_scheme) {
+        out.plane = wm_scheme->backendName();
+        out.wayQuantError = wm_scheme->wayQuantError().mean();
     }
     return out;
 }

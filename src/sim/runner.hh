@@ -43,6 +43,7 @@ enum class SchemeKind
     PrismF,    ///< PriSM fairness
     PrismQ,    ///< PriSM QoS for core 0
     PrismLA,   ///< PriSM driven by extended-UCP lookahead (Fig. 7)
+    PrismWM,   ///< PriSM targets enforced by CAT-style way masks
     WPHitMax,  ///< Algorithm 1 rounded to ways (Figure 5 comparator)
     StaticWP,  ///< fixed even way split (Figure 6's trivial scheme)
 };
@@ -130,6 +131,15 @@ struct RunResult
     std::vector<double> evProbMean;
     std::vector<double> evProbStddev;
     std::uint64_t recomputes = 0;
+
+    /**
+     * CachePlane backend id ("way-mask" for PriSM-WM); empty for the
+     * schemes that predate the plane split, whose JSON stays
+     * byte-identical.
+     */
+    std::string plane;
+    /** PriSM-WM: mean way-quantisation error |alloc - T*ways|. */
+    double wayQuantError = 0.0;
 
     // --- robustness statistics (checked mode / fault injection) ---
     std::uint64_t faultsInjected = 0;

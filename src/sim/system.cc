@@ -4,6 +4,7 @@
 
 #include "common/json.hh"
 #include "common/prism_assert.hh"
+#include "plane/way_mask_scheme.hh"
 #include "prism/prism_scheme.hh"
 #include "workload/trace_generator.hh"
 
@@ -170,9 +171,9 @@ System::recordInterval(const IntervalSnapshot &snap,
         s.hits[c] = cs.sharedHits;
         s.misses[c] = cs.sharedMisses;
     }
-    if (const auto *p = dynamic_cast<const PrismScheme *>(scheme_)) {
-        s.target = p->lastTargets();
-        s.evProb = p->evictionProbs();
+    if (const auto *h = dynamic_cast<const ControllerHost *>(scheme_)) {
+        s.target = h->controller().targets();
+        s.evProb = h->controller().evictionProbs();
     }
     recorder_->record(std::move(s));
 }
@@ -288,20 +289,25 @@ System::dumpStats(std::ostream &os) const
        << llc_.invariantViolations() << "\n"
        << "system.llc.ownership_repairs " << llc_.ownershipRepairs()
        << "\n";
-    if (const auto *p = dynamic_cast<const PrismScheme *>(scheme_)) {
-        os << "prism.recomputes " << p->recomputes() << "\n"
-           << "prism.degraded_intervals " << p->degradedIntervals()
+    if (const auto *h = dynamic_cast<const ControllerHost *>(scheme_)) {
+        const PrismController &ctl = h->controller();
+        os << "prism.recomputes " << ctl.recomputes() << "\n"
+           << "prism.degraded_intervals " << ctl.degradedIntervals()
            << "\n"
-           << "prism.invariant_violations " << p->invariantViolations()
+           << "prism.invariant_violations "
+           << ctl.invariantViolations() << "\n"
+           << "prism.dropped_recomputes " << ctl.droppedRecomputes()
            << "\n"
-           << "prism.dropped_recomputes " << p->droppedRecomputes()
+           << "prism.clamped_eq1_inputs " << ctl.clampedInputs()
            << "\n"
-           << "prism.clamped_eq1_inputs " << p->clampedInputs()
-           << "\n"
-           << "prism.eq1_fallbacks " << p->eq1Fallbacks() << "\n";
-        if (p->faultInjector())
+           << "prism.eq1_fallbacks " << ctl.eq1Fallbacks() << "\n";
+        if (const auto *wm =
+                dynamic_cast<const WayMaskScheme *>(scheme_))
+            os << "prism.way_quant_error "
+               << wm->wayQuantError().mean() << "\n";
+        if (ctl.faultInjector())
             os << "prism.faults_injected "
-               << p->faultInjector()->injected() << "\n";
+               << ctl.faultInjector()->injected() << "\n";
     }
     for (CoreId c = 0; c < config_.numCores; ++c) {
         const Core &core = cores_[c];
@@ -354,18 +360,22 @@ System::dumpStatsJson(std::ostream &os) const
     w.endObject();
     w.endObject();
 
-    if (const auto *p = dynamic_cast<const PrismScheme *>(scheme_)) {
+    if (const auto *h = dynamic_cast<const ControllerHost *>(scheme_)) {
+        const PrismController &ctl = h->controller();
         w.key("prism");
         w.beginObject();
-        w.kv("recomputes", p->recomputes());
-        w.kv("degraded_intervals", p->degradedIntervals());
-        w.kv("invariant_violations", p->invariantViolations());
-        w.kv("dropped_recomputes", p->droppedRecomputes());
-        w.kv("clamped_eq1_inputs", p->clampedInputs());
-        w.kv("eq1_fallbacks", p->eq1Fallbacks());
-        w.kv("fallback_entries", p->fallbackEntries());
-        if (p->faultInjector())
-            w.kv("faults_injected", p->faultInjector()->injected());
+        w.kv("recomputes", ctl.recomputes());
+        w.kv("degraded_intervals", ctl.degradedIntervals());
+        w.kv("invariant_violations", ctl.invariantViolations());
+        w.kv("dropped_recomputes", ctl.droppedRecomputes());
+        w.kv("clamped_eq1_inputs", ctl.clampedInputs());
+        w.kv("eq1_fallbacks", ctl.eq1Fallbacks());
+        w.kv("fallback_entries", ctl.fallbackEntries());
+        if (const auto *wm =
+                dynamic_cast<const WayMaskScheme *>(scheme_))
+            w.kv("way_quant_error", wm->wayQuantError().mean());
+        if (ctl.faultInjector())
+            w.kv("faults_injected", ctl.faultInjector()->injected());
         w.endObject();
     }
 

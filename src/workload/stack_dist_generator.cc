@@ -1,7 +1,5 @@
 #include "workload/stack_dist_generator.hh"
 
-#include <cmath>
-
 #include "common/prism_assert.hh"
 
 namespace prism
@@ -11,21 +9,14 @@ StackDistGenerator::StackDistGenerator(std::uint32_t stream_id,
                                        const StackDistParams &params,
                                        std::uint64_t seed)
     : stream_id_(stream_id), params_(params), rng_(seed),
-      stack_(seed ^ 0xC0FFEEULL)
+      stack_(seed ^ 0xC0FFEEULL),
+      dist_cdf_(params.theta > 0.0 ? params.theta : 1.0)
 {
     fatalIf(params_.workingSetBlocks == 0,
             "StackDistGenerator: empty working set");
     fatalIf(params_.theta <= 0.0, "StackDistGenerator: theta <= 0");
     fatalIf(params_.coldFrac < 0.0 || params_.coldFrac > 1.0,
             "StackDistGenerator: coldFrac out of [0,1]");
-
-    // Tabulate the inverse CDF u -> u^(1/theta) so the per-access
-    // draw needs no std::pow.
-    const double inv_theta = 1.0 / params_.theta;
-    inv_cdf_.resize(tableSize + 1);
-    for (std::size_t i = 0; i <= tableSize; ++i)
-        inv_cdf_[i] = std::pow(static_cast<double>(i) / tableSize,
-                               inv_theta);
 
     if (params_.exactLru) {
         // Pre-populate the whole working set: a real program's
@@ -34,17 +25,6 @@ StackDistGenerator::StackDistGenerator(std::uint32_t stream_id,
         for (std::uint64_t i = 0; i < params_.workingSetBlocks; ++i)
             stack_.pushFront(makeBlockAddr(stream_id_, next_block_++));
     }
-}
-
-double
-StackDistGenerator::distanceFraction(double u) const
-{
-    const double x = u * tableSize;
-    const std::size_t lo = static_cast<std::size_t>(x);
-    const double frac = x - static_cast<double>(lo);
-    if (lo >= tableSize)
-        return inv_cdf_[tableSize];
-    return inv_cdf_[lo] + frac * (inv_cdf_[lo + 1] - inv_cdf_[lo]);
 }
 
 Addr
@@ -95,7 +75,7 @@ StackDistGenerator::next()
         // inverse CDF; block rank r is touched with the same
         // probability mass as stack distance r in the exact model.
         const double scaled =
-            distanceFraction(u) *
+            dist_cdf_.fraction(u) *
             static_cast<double>(params_.workingSetBlocks);
         std::uint64_t r = static_cast<std::uint64_t>(scaled);
         if (r >= params_.workingSetBlocks)
@@ -104,7 +84,7 @@ StackDistGenerator::next()
     }
 
     const double scaled =
-        distanceFraction(u) * static_cast<double>(stack_.size());
+        dist_cdf_.fraction(u) * static_cast<double>(stack_.size());
     std::size_t d = static_cast<std::size_t>(scaled);
     if (d >= stack_.size())
         d = stack_.size() - 1;

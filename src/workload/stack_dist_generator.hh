@@ -26,8 +26,8 @@
 #define PRISM_WORKLOAD_STACK_DIST_GENERATOR_HH
 
 #include <cstdint>
-#include <vector>
 
+#include "common/zipf.hh"
 #include "workload/generator.hh"
 #include "workload/order_stat_list.hh"
 
@@ -102,12 +102,6 @@ class StackDistGenerator : public AccessGenerator
   private:
     Addr touchNewBlock();
 
-    /** Distance fraction for uniform draw @p u via the inverse CDF
-     *  table (piecewise-linear approximation of u^(1/theta)). */
-    double distanceFraction(double u) const;
-
-    static constexpr std::size_t tableSize = 4096;
-
     std::uint32_t stream_id_;
     StackDistParams params_;
     Rng rng_;
@@ -115,7 +109,9 @@ class StackDistGenerator : public AccessGenerator
     std::uint64_t next_block_ = 0;
     std::uint64_t cold_block_ = 0;
     std::uint64_t loop_pos_ = 0;
-    std::vector<double> inv_cdf_;
+    /** Inverse CDF of u^(1/theta): the shared skewed-stream law
+     *  (common/zipf.hh), byte-identical to the old private table. */
+    PowerLawTable dist_cdf_;
 };
 
 } // namespace prism

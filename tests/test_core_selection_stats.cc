@@ -18,8 +18,9 @@
 #include <span>
 #include <vector>
 
+#include "common/fixed_point.hh"
 #include "common/rng.hh"
-#include "prism/alias_sampler.hh"
+#include "plane/alias_sampler.hh"
 #include "prism/alloc_hitmax.hh"
 #include "prism/prism_scheme.hh"
 

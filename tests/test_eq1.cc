@@ -9,7 +9,7 @@
 #include <cmath>
 #include <limits>
 
-#include "prism/eq1.hh"
+#include "plane/eq1.hh"
 
 using namespace prism;
 

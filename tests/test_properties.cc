@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
-#include "prism/eq1.hh"
+#include "plane/eq1.hh"
 #include "sim/runner.hh"
 #include "workload/stack_dist_generator.hh"
 

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "common/rng.hh"
-#include "prism/eq1.hh"
+#include "plane/eq1.hh"
 #include "serve/load_gen.hh"
 #include "serve/sharded_store.hh"
 #include "serve/tenant_arbiter.hh"

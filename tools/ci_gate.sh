@@ -105,4 +105,29 @@ cmp "$serve_out/serve.json" "$serve_out/serve_t4.json" || {
     exit 1
 }
 
+echo "== plane gate =="
+# The CachePlane substrate (DESIGN.md, "The CachePlane substrate"):
+# PriSM-WM — the shared controller enforced through CAT-style way
+# masks — must run end to end in the driver and earn a verdict with
+# no FAIL (the plane.way_quant_error check included) from
+# prism_doctor, and the plane-labelled equivalence suites must prove
+# the refactored controller reproduces the committed goldens byte
+# for byte at every thread count.
+plane_out=$(mktemp -d)
+trap 'rm -rf "$out" "$hot_out" "$chaos_out" "$serve_out" \
+     "$plane_out"' EXIT
+"$build/tools/prism_sim" --mix 403.gcc,186.crafty,179.art,470.lbm \
+    --scheme PriSM-WM --instr 200000 --warmup 50000 \
+    --interval 2048 --stats-json "$plane_out/wm_stats.json" \
+    > /dev/null
+"$build/tools/prism_doctor" "$plane_out/wm_stats.json" \
+    > "$plane_out/wm_verdict.txt"
+cat "$plane_out/wm_verdict.txt"
+grep -q "PriSM-WM" "$plane_out/wm_stats.json" || {
+    echo "plane gate: PriSM-WM run did not report its scheme" >&2
+    exit 1
+}
+# shellcheck disable=SC2086
+(cd "$build" && ctest -L plane --output-on-failure ${CTEST_ARGS:-})
+
 echo "== gate passed =="

@@ -72,7 +72,8 @@ usage(std::ostream &os)
         "  --mix a,b,c,...      explicit benchmark list (one per core)\n"
         "  --scheme NAME        LRU | UCP | PIPP | TA-DIP | FairWP |\n"
         "                       Vantage | PriSM-H | PriSM-F | PriSM-Q |\n"
-        "                       PriSM-LA | WP-HitMax | StaticWP\n"
+        "                       PriSM-LA | PriSM-WM | WP-HitMax |\n"
+        "                       StaticWP\n"
         "                       (default PriSM-H)\n"
         "  --repl NAME          LRU | TS-LRU | DIP | RRIP | Random\n"
         "  --instr N            instructions per core (default 1.5M)\n"
