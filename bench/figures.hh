@@ -99,6 +99,20 @@ struct FigureRunOptions
     /** When set (with doctor), write the prism-doctor-v1 file here. */
     std::string doctorJsonPath;
 
+    // --- live metrics exposition (docs/OBSERVABILITY.md) -----------
+    /**
+     * prism-metrics-v1 snapshot file; "" = none. Periodic snapshots
+     * (--metrics-every N, in completed jobs) are completion-ordered
+     * and therefore outside the determinism contract, like
+     * --progress; the final snapshot written when the sweep ends is
+     * byte-identical at any --threads value.
+     */
+    std::string metricsOutPath;
+    /** Prometheus text snapshot file; "" = none. */
+    std::string metricsPromPath;
+    /** Snapshot cadence in completed jobs; 0 = final only. */
+    std::uint64_t metricsEvery = 0;
+
     // --- fault-tolerant execution (docs/RELIABILITY.md) ------------
     /**
      * Supervise every job: classify failures, retry transients with

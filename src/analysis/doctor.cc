@@ -114,6 +114,7 @@ class Checker
     void invariants();
     void attainment();
     void serve();
+    void drift();
     void analyzePlane();
     void robustness();
     void telemetry();
@@ -562,6 +563,57 @@ Checker::serve()
 }
 
 /**
+ * EWMA drift checks (live-window inputs). Like the serve.* family,
+ * these are emitted only for serving-mode runs, so every existing
+ * sim-side doctor document is unchanged; serve inputs without window
+ * statistics (plain prism-serve-v1 documents) SKIP them explicitly.
+ */
+void
+Checker::drift()
+{
+    if (!s_.serve)
+        return;
+    if (!s_.hasDrift) {
+        const std::string why =
+            "no sliding-window drift statistics in this input";
+        skip("drift.miss_rate", why);
+        skip("drift.fair_slowdown", why);
+        return;
+    }
+
+    const auto worstDrift =
+        [](const std::vector<double> &drift, std::size_t &tenant) {
+            double worst = 0.0;
+            tenant = 0;
+            for (std::size_t t = 0; t < drift.size(); ++t)
+                if (drift[t] > worst) {
+                    worst = drift[t];
+                    tenant = t;
+                }
+            return worst;
+        };
+
+    std::size_t worst_t = 0;
+    const double miss_drift = worstDrift(s_.driftMissRate, worst_t);
+    FindingStatus st = miss_drift > t_.driftWarnFrac
+                           ? FindingStatus::Warn
+                           : FindingStatus::Pass;
+    addValue("drift.miss_rate", st, miss_drift, t_.driftWarnFrac)
+        .detail = "max relative EWMA miss-rate drift " +
+                  fmt(miss_drift) + " (tenant " +
+                  std::to_string(worst_t) + ")";
+
+    const double slow_drift = worstDrift(s_.driftSlowdown, worst_t);
+    st = slow_drift > t_.driftWarnFrac ? FindingStatus::Warn
+                                       : FindingStatus::Pass;
+    addValue("drift.fair_slowdown", st, slow_drift,
+             t_.driftWarnFrac)
+        .detail = "max relative EWMA slowdown drift " +
+                  fmt(slow_drift) + " (tenant " +
+                  std::to_string(worst_t) + ")";
+}
+
+/**
  * Way-mask plane checks (PriSM-WM runs). Like the serve.* family,
  * these are emitted only when the run came from the way-mask
  * backend — sim and store runs produce no plane.* findings at all,
@@ -663,6 +715,7 @@ Checker::take()
     invariants();
     attainment();
     serve();
+    drift();
     analyzePlane();
     robustness();
     telemetry();
@@ -849,6 +902,7 @@ writeDoctorDocument(std::ostream &os, std::string_view source,
     w.kv("serve_slo_slack", t.serveSloSlack);
     w.kv("serve_miss_penalty", t.serveMissPenalty);
     w.kv("fair_slowdown_warn", t.fairSlowdownWarn);
+    w.kv("drift_warn_frac", t.driftWarnFrac);
     w.kv("way_quant_warn", t.wayQuantWarn);
     w.endObject();
     w.endObject();

@@ -108,6 +108,10 @@ struct DoctorThresholds
     double serveMissPenalty = 25.0;
     /** Max/min tenant slowdown ratio worth warning about. */
     double fairSlowdownWarn = 4.0;
+    /** Relative EWMA drift (miss rate / fair slowdown) of the
+     *  latest interval worth warning about — the online doctor's
+     *  "workload shifted" signal (docs/OBSERVABILITY.md). */
+    double driftWarnFrac = 0.5;
 
     // --- way-mask plane bounds (PriSM-WM runs only) -----------------
     /** Mean |alloc_i - T_i*ways| above this many ways warns: the

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Online doctor: the offline diagnostics run incrementally against
+ * the live sliding window of a serving session.
+ *
+ * The offline pipeline grades a finished run (doctor.hh); a
+ * long-running prism_serve instance would stay a black box until
+ * shutdown. The online doctor closes that gap: after every interval
+ * close it assembles a RunSeries from the SlidingWindow plus the
+ * engine's cumulative totals — the exact shape seriesFromServeJson /
+ * seriesFromMetricsJson produce — and re-runs analyze() over it.
+ * Same checks, same thresholds, same verdict taxonomy; plus the
+ * drift.* checks over the window's EWMA statistics, which only live
+ * inputs carry.
+ *
+ * Check-status escalations (anything rising to WARN or FAIL) are
+ * appended to the run's IntervalRecorder as DoctorWarn / DoctorFail
+ * trace-timeline events, and the latest verdict is embedded in every
+ * metrics snapshot, so both the trace and the exposition file tell
+ * the operator *when* the control loop went unhealthy.
+ *
+ * Everything is evaluated in the engine's sequential sections from
+ * deterministic state, so verdicts — like the snapshots — are
+ * byte-identical at any --threads value, and the final verdict
+ * matches what prism_doctor computes offline from the same data.
+ */
+
+#ifndef PRISM_ANALYSIS_ONLINE_DOCTOR_HH
+#define PRISM_ANALYSIS_ONLINE_DOCTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "analysis/doctor.hh"
+#include "common/status.hh"
+#include "serve/serve_engine.hh"
+#include "telemetry/exporter.hh"
+#include "telemetry/window.hh"
+
+namespace prism::analysis
+{
+
+/** Incremental re-grading of a live serve run. */
+class OnlineDoctor
+{
+  public:
+    explicit OnlineDoctor(DoctorThresholds thresholds = {})
+        : thresholds_(std::move(thresholds))
+    {
+    }
+
+    /**
+     * The live RunSeries for (@p window, @p state, @p config):
+     * identity and series shape match seriesFromServeJson, counters
+     * and hit ratios come from the cumulative totals, drift comes
+     * from the window's EWMA state.
+     */
+    static RunSeries
+    buildSeries(const telemetry::SlidingWindow &window,
+                const serve::ServeLiveState &state,
+                const serve::ServeConfig &config);
+
+    /**
+     * Re-grade the live state. Emits DoctorWarn/DoctorFail events
+     * into state.recorder (when present) for every check whose
+     * status escalated since the previous evaluation.
+     */
+    const Verdict &evaluate(const telemetry::SlidingWindow &window,
+                            const serve::ServeLiveState &state,
+                            const serve::ServeConfig &config);
+
+    bool evaluated() const { return evaluated_; }
+    const Verdict &verdict() const { return verdict_; }
+    const DoctorThresholds &thresholds() const
+    {
+        return thresholds_;
+    }
+
+  private:
+    DoctorThresholds thresholds_;
+    Verdict verdict_;
+    bool evaluated_ = false;
+    /** Last seen status per check, for escalation detection. */
+    std::map<std::string, FindingStatus> lastStatus_;
+};
+
+/** What the live observer maintains and where it exports. */
+struct LiveObserverOptions
+{
+    /** Sliding-window capacity K in intervals. */
+    std::size_t windowCapacity = 64;
+    /** EWMA smoothing factor for the drift statistics. */
+    double ewmaAlpha = 0.25;
+
+    /** Run the online doctor after every interval close. */
+    bool onlineDoctor = false;
+    DoctorThresholds thresholds;
+
+    /** prism-metrics-v1 output; "" = none. */
+    std::string metricsJsonPath;
+    /** Prometheus text exposition output; "" = none. */
+    std::string metricsPromPath;
+    /** Snapshot cadence in rounds; 0 = final snapshot only. */
+    std::uint64_t metricsEvery = 0;
+};
+
+/**
+ * The concrete live-plane observer both drivers wire into
+ * ServeConfig::observer: feeds the SlidingWindow, runs the online
+ * doctor, and writes metrics snapshots on the --metrics-every
+ * cadence. flushFinal() writes the last snapshot unconditionally —
+ * the SIGINT/SIGTERM path relies on it.
+ */
+class ServeLiveObserver final : public serve::ServeObserver
+{
+  public:
+    ServeLiveObserver(const serve::ServeConfig &config,
+                      LiveObserverOptions options);
+
+    void
+    onIntervalClosed(const telemetry::IntervalSample &sample,
+                     std::span<const std::uint64_t> evictions,
+                     const serve::ServeLiveState &state) override;
+    void onRoundEnd(const serve::ServeLiveState &state) override;
+    void onRunEnd(const serve::ServeLiveState &state) override;
+
+    /** The final snapshot write; ok() when no export is configured. */
+    Status flushFinal();
+
+    /** Snapshot of the latest observed state. */
+    telemetry::MetricsSnapshot snapshot() const;
+
+    const telemetry::SlidingWindow &window() const
+    {
+        return window_;
+    }
+    bool doctorEnabled() const { return options_.onlineDoctor; }
+    const OnlineDoctor &doctor() const { return doctor_; }
+
+    /** Snapshots written (periodic + final). */
+    std::uint64_t exportsWritten() const
+    {
+        return exporter_.exports();
+    }
+    /** First error any periodic export hit; ok() otherwise. */
+    const Status &exportStatus() const { return exportStatus_; }
+
+  private:
+    serve::ServeConfig config_; ///< for SLO floors / policy / sizes
+    LiveObserverOptions options_;
+    telemetry::SlidingWindow window_;
+    OnlineDoctor doctor_;
+    telemetry::MetricsExporter exporter_;
+    serve::ServeLiveState last_;
+    Status exportStatus_;
+};
+
+} // namespace prism::analysis
+
+#endif // PRISM_ANALYSIS_ONLINE_DOCTOR_HH

@@ -401,6 +401,85 @@ seriesFromServeJson(const JsonValue &doc, RunSeries &out)
     return Status();
 }
 
+Status
+seriesFromMetricsJson(const JsonValue &doc, RunSeries &out)
+{
+    if (doc.at("schema").asString() != "prism-metrics-v1")
+        return Status::error(
+            "not a prism-metrics-v1 document (schema '" +
+            doc.at("schema").asString() + "')");
+
+    out = RunSeries();
+    const std::string source = doc.at("source").asString();
+
+    out.hasCounters = true;
+    out.intervals = doc.at("intervals").asU64();
+    if (const JsonValue *totals = doc.find("totals")) {
+        out.recomputes = totals->at("recomputes").asU64();
+        out.eq1Fallbacks = totals->at("eq1_fallbacks").asU64();
+        out.clampedEq1Inputs =
+            totals->at("clamped_eq1_inputs").asU64();
+        out.serveVictimless =
+            totals->at("victimless_evictions").asU64();
+    }
+    if (const JsonValue *telemetry = doc.find("telemetry")) {
+        out.droppedSamples =
+            telemetry->at("dropped_samples").asU64();
+        out.droppedEvents = telemetry->at("dropped_events").asU64();
+    }
+
+    if (source != "serve") {
+        // Bench-sourced snapshot: sweep progress + registry only.
+        out.name = "metrics/" + doc.at("run").asString();
+        return Status();
+    }
+
+    // Serve-sourced snapshot: identical identity and series shape
+    // to seriesFromServeJson, assembled from the snapshot's sliding
+    // window, so the offline doctor reproduces the online verdict.
+    out.serve = true;
+    out.plane = "store";
+    out.scheme =
+        canonicalSchemeName("PriSM-" + doc.at("policy").asString());
+    out.name = "serve/" + out.scheme;
+
+    for (const JsonValue &tenant : doc.at("tenants").elements()) {
+        out.serveHitRatio.push_back(
+            tenant.at("hit_ratio").asDouble());
+        out.serveSloFloor.push_back(tenant.at("slo_hit").asDouble());
+        if (const JsonValue *window = tenant.find("window")) {
+            out.hasDrift = true;
+            out.driftMissRate.push_back(
+                window->at("miss_rate_drift").asDouble());
+            out.driftSlowdown.push_back(
+                window->at("slowdown_drift").asDouble());
+        }
+    }
+    out.cores = static_cast<std::uint32_t>(
+        out.serveHitRatio.size());
+
+    const JsonValue &window = doc.at("window");
+    for (const JsonValue &v : window.at("interval").elements())
+        out.interval.push_back(v.asU64());
+    const auto rows = [&window](const char *key) {
+        std::vector<std::vector<double>> out_rows;
+        for (const JsonValue &row : window.at(key).elements()) {
+            std::vector<double> values;
+            for (const JsonValue &v : row.elements())
+                values.push_back(v.asDouble());
+            out_rows.push_back(std::move(values));
+        }
+        return out_rows;
+    };
+    out.occupancy = rows("occupancy");
+    out.target = rows("target");
+    out.evProb = rows("ev_prob");
+    out.serveEvictions = rows("evictions");
+    out.hasSeries = !out.interval.empty();
+    out.prism = !out.target.empty();
+    return Status();
+}
+
 bool
 execSeriesFromBenchDoc(const JsonValue &doc, ExecSeries &out)
 {

@@ -86,6 +86,14 @@ struct RunSeries
     std::vector<std::vector<double>> serveEvictions;
     /** Evictions redirected because the sampled tenant was empty. */
     std::uint64_t serveVictimless = 0;
+
+    // --- live-window drift statistics (metrics snapshots / online) --
+    /** The input carried sliding-window EWMA drift statistics. */
+    bool hasDrift = false;
+    /** Per-tenant relative EWMA drift: |x − ewma| / max(ewma, floor)
+     *  of the latest interval's miss rate / fair slowdown. */
+    std::vector<double> driftMissRate;
+    std::vector<double> driftSlowdown;
 };
 
 /** Build the series view of a recorded run (samples + events). */
@@ -129,6 +137,17 @@ Status seriesFromBenchJob(const JsonValue &job, RunSeries &out);
  * serve.* checks (SLO attainment, fair slowdown, victim match).
  */
 Status seriesFromServeJson(const JsonValue &doc, RunSeries &out);
+
+/**
+ * Read one live snapshot from a parsed `prism-metrics-v1` document
+ * (src/telemetry/exporter.hh). A serve-sourced snapshot maps onto
+ * the same series shape seriesFromServeJson produces — tenants in
+ * the per-core slots, serve.* checks enabled — but over the
+ * snapshot's sliding window instead of the whole run, and with the
+ * window's drift statistics enabling the drift.* checks. A
+ * bench-sourced snapshot yields counters only.
+ */
+Status seriesFromMetricsJson(const JsonValue &doc, RunSeries &out);
 
 /**
  * Sweep-execution health: the retry/timeout/quarantine manifest the

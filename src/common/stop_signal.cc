@@ -1,0 +1,34 @@
+#include "common/stop_signal.hh"
+
+#include <csignal>
+
+namespace prism
+{
+
+namespace
+{
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+stopHandler(int)
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
+
+std::atomic<bool> &
+stopRequested()
+{
+    return g_stop;
+}
+
+void
+installStopHandlers()
+{
+    std::signal(SIGINT, stopHandler);
+    std::signal(SIGTERM, stopHandler);
+}
+
+} // namespace prism

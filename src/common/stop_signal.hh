@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared SIGINT/SIGTERM stop flag for the long-running drivers.
+ *
+ * Both prism_bench and prism_serve want the same contract: a signal
+ * does not kill the process mid-write, it raises a cooperative stop
+ * flag that the run loop polls, so the driver can still flush its
+ * final artifacts (checkpoint, stats document, metrics snapshot)
+ * before exiting with the conventional 128+SIGINT = 130 status.
+ *
+ * The handler only stores into a process-wide std::atomic<bool>
+ * (async-signal-safe); everything else happens on the normal paths.
+ */
+
+#ifndef PRISM_COMMON_STOP_SIGNAL_HH
+#define PRISM_COMMON_STOP_SIGNAL_HH
+
+#include <atomic>
+
+namespace prism
+{
+
+/** The process-wide cooperative stop flag (false until a signal). */
+std::atomic<bool> &stopRequested();
+
+/** Route SIGINT and SIGTERM to set stopRequested(). */
+void installStopHandlers();
+
+/** Conventional exit status for a signal-interrupted run. */
+inline constexpr int stopExitCode = 130;
+
+} // namespace prism
+
+#endif // PRISM_COMMON_STOP_SIGNAL_HH

@@ -16,8 +16,19 @@ namespace
 
 using Clock = std::chrono::steady_clock;
 
+/** Deterministic fill pattern so reads can verify round trips. */
+void
+makeValue(std::vector<std::uint8_t> &buf, const Request &req)
+{
+    buf.assign(req.valueBytes,
+               static_cast<std::uint8_t>(Rng::mix64(
+                   req.key ^ (0x5E12C0DEull + req.tenant))));
+}
+
+} // namespace
+
 const char *
-policyLongName(char kind)
+policyName(char kind)
 {
     switch (kind) {
       case 'H':
@@ -30,17 +41,6 @@ policyLongName(char kind)
         return "?";
     }
 }
-
-/** Deterministic fill pattern so reads can verify round trips. */
-void
-makeValue(std::vector<std::uint8_t> &buf, const Request &req)
-{
-    buf.assign(req.valueBytes,
-               static_cast<std::uint8_t>(Rng::mix64(
-                   req.key ^ (0x5E12C0DEull + req.tenant))));
-}
-
-} // namespace
 
 ServeEngine::ServeEngine(const ServeConfig &config) : config_(config)
 {
@@ -130,6 +130,39 @@ ServeEngine::run()
         return total;
     };
 
+    // Live-plane observation state, refreshed from the sequential
+    // sections only, so observers see thread-count-independent data.
+    ServeLiveState live;
+    live.tenants.resize(tenants);
+    const auto fillLive = [&] {
+        live.round = result.rounds;
+        live.ops = result.ops;
+        live.gets = result.gets;
+        live.puts = result.puts;
+        live.intervals = interval_idx;
+        live.evictions = result.evictions;
+        live.victimlessEvictions = result.victimlessEvictions;
+        live.recomputes = arbiter.recomputes();
+        live.eq1Fallbacks = arbiter.eq1Fallbacks();
+        live.clampedEq1Inputs = arbiter.clampedInputs();
+        live.occupancyBytes = store.totalBytes();
+        live.objects = store.objectCount();
+        live.droppedSamples = result.recorder->droppedSamples();
+        live.droppedEvents = result.recorder->droppedEvents();
+        for (std::uint32_t t = 0; t < tenants; ++t) {
+            TenantTotals &tt = live.tenants[t];
+            tt.hits = store.hits(t);
+            tt.misses = store.misses(t);
+            tt.shadowHits = store.shadowHits(t);
+            tt.evictions = result.tenants[t].evictions;
+            tt.occupancyBytes = store.tenantBytes(t);
+        }
+        live.targets = arbiter.targets();
+        live.evProbs = arbiter.evictionProbs();
+        live.recorder = result.recorder.get();
+        live.metrics = result.metrics.get();
+    };
+
     const auto closeInterval = [&](std::uint64_t misses_in_interval) {
         telemetry::IntervalSample sample;
         sample.interval = ++interval_idx;
@@ -186,6 +219,18 @@ ServeEngine::run()
                   interval_evictions.end(), 0);
 
         arbiter.recompute(snap);
+
+        if (config_.observer) {
+            fillLive();
+            // The recorded copy survives the move above; its row in
+            // intervalEvictions is the one just pushed.
+            config_.observer->onIntervalClosed(
+                result.recorder->sample(result.recorder->size() -
+                                        1),
+                std::span<const std::uint64_t>(
+                    result.intervalEvictions.back()),
+                live);
+        }
     };
 
     const bool budgeted = config_.opBudget > 0;
@@ -195,6 +240,12 @@ ServeEngine::run()
                     std::chrono::duration<double>(config_.seconds));
 
     for (;;) {
+        if (config_.stopFlag &&
+            config_.stopFlag->load(std::memory_order_relaxed)) {
+            result.stopped = true;
+            break;
+        }
+
         // --- round sizing ------------------------------------------
         if (budgeted) {
             const std::uint64_t remaining =
@@ -311,6 +362,11 @@ ServeEngine::run()
         const std::uint64_t interval_misses = intervalMissCount();
         if (interval_misses >= config_.intervalMisses)
             closeInterval(interval_misses);
+
+        if (config_.observer) {
+            fillLive();
+            config_.observer->onRoundEnd(live);
+        }
     }
 
     // The final partial interval still carries signal — record it
@@ -337,6 +393,11 @@ ServeEngine::run()
         result.tenants[t].shadowHits = store.shadowHits(t);
         result.tenants[t].occupancyBytes = store.tenantBytes(t);
     }
+
+    if (config_.observer) {
+        fillLive();
+        config_.observer->onRunEnd(live);
+    }
     return result;
 }
 
@@ -347,7 +408,7 @@ writeServeJson(std::ostream &os, const ServeConfig &config,
     JsonWriter w(os);
     w.beginObject();
     w.kv("schema", "prism-serve-v1");
-    w.kv("policy", policyLongName(config.policy));
+    w.kv("policy", policyName(config.policy));
 
     w.key("config");
     w.beginObject();
@@ -553,6 +614,22 @@ writeServeJson(std::ostream &os, const ServeConfig &config,
             w.kv("p50", h ? h->quantile(0.50) * scale : 0.0);
             w.kv("p95", h ? h->quantile(0.95) * scale : 0.0);
             w.kv("p99", h ? h->quantile(0.99) * scale : 0.0);
+            // Bucket bounds + counts so consumers can reconstruct
+            // the distribution, not just read the quantiles.
+            if (h) {
+                std::vector<double> bounds_us(h->bounds());
+                for (double &b : bounds_us)
+                    b *= scale;
+                w.kv("bounds_us",
+                     std::span<const double>(bounds_us));
+                std::vector<std::uint64_t> buckets(
+                    h->numBuckets());
+                for (std::size_t i = 0; i < buckets.size(); ++i)
+                    buckets[i] = h->bucketCount(i);
+                w.kv("buckets",
+                     std::span<const std::uint64_t>(buckets));
+                w.kv("count", h->count());
+            }
             w.endObject();
         }
         w.endArray();

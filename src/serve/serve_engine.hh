@@ -28,9 +28,11 @@
 #ifndef PRISM_SERVE_SERVE_ENGINE_HH
 #define PRISM_SERVE_SERVE_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "serve/load_gen.hh"
@@ -41,6 +43,11 @@
 
 namespace prism::serve
 {
+
+class ServeObserver;
+
+/** Long name of a target policy kind ('H' -> "HitMax", ...). */
+const char *policyName(char kind);
 
 /** Everything a serve run needs to know. */
 struct ServeConfig
@@ -72,6 +79,22 @@ struct ServeConfig
     std::size_t recorderCapacity = 4096;
     /** Ghost-list keys per tenant per shard. */
     std::uint32_t ghostPerTenant = 1024;
+
+    /**
+     * Live-plane hooks, invoked from the engine's sequential
+     * sections only (docs/OBSERVABILITY.md). Non-owning; null = no
+     * observation.
+     */
+    ServeObserver *observer = nullptr;
+
+    /**
+     * Cooperative stop flag (the shared SIGINT/SIGTERM handler,
+     * common/stop_signal.hh). Polled at every round boundary; a
+     * raised flag ends the run after the usual tail-interval close,
+     * so the final document and metrics snapshot still get written.
+     * Non-owning; null = never stops early.
+     */
+    const std::atomic<bool> *stopFlag = nullptr;
 };
 
 /** Final per-tenant totals. */
@@ -82,6 +105,75 @@ struct TenantTotals
     std::uint64_t shadowHits = 0;
     std::uint64_t evictions = 0;
     std::uint64_t occupancyBytes = 0;
+};
+
+/**
+ * Cumulative engine state at an observation point, assembled in the
+ * sequential part of the round pipeline — every field is a pure
+ * function of the op sequence, so observers see byte-identical
+ * state at any --threads value.
+ */
+struct ServeLiveState
+{
+    std::uint64_t round = 0; ///< rounds completed (snapshot key)
+    std::uint64_t ops = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t intervals = 0; ///< intervals closed so far
+
+    std::uint64_t evictions = 0;
+    std::uint64_t victimlessEvictions = 0;
+    std::uint64_t recomputes = 0;
+    std::uint64_t eq1Fallbacks = 0;
+    std::uint64_t clampedEq1Inputs = 0;
+
+    std::uint64_t occupancyBytes = 0;
+    std::uint64_t objects = 0;
+
+    std::uint64_t droppedSamples = 0;
+    std::uint64_t droppedEvents = 0;
+
+    /** Whole-run cumulative totals per tenant. */
+    std::vector<TenantTotals> tenants;
+
+    /** Targets / eviction probabilities currently in effect. */
+    std::vector<double> targets;
+    std::vector<double> evProbs;
+
+    /** The run's recorder (live observers may append events). */
+    telemetry::IntervalRecorder *recorder = nullptr;
+
+    /** The run's registry (latency histograms on timing runs). */
+    const telemetry::MetricsRegistry *metrics = nullptr;
+};
+
+/**
+ * Hooks into the serve round pipeline. All callbacks fire on the
+ * engine thread inside the sequential eviction/control sections —
+ * implementations need no locking, may append telemetry events via
+ * state.recorder, and must not block.
+ */
+class ServeObserver
+{
+  public:
+    virtual ~ServeObserver() = default;
+
+    /**
+     * An allocation interval closed (after the arbiter recompute, so
+     * @p state carries the *next* distribution while @p sample holds
+     * the one in effect during the interval). @p evictions is the
+     * closed interval's per-tenant eviction row.
+     */
+    virtual void
+    onIntervalClosed(const telemetry::IntervalSample &sample,
+                     std::span<const std::uint64_t> evictions,
+                     const ServeLiveState &state) = 0;
+
+    /** A round finished (after eviction + interval close). */
+    virtual void onRoundEnd(const ServeLiveState &state) = 0;
+
+    /** The run ended; @p state is final (tail interval included). */
+    virtual void onRunEnd(const ServeLiveState &state) { (void)state; }
 };
 
 /** The outcome of one serve run. */
@@ -119,6 +211,9 @@ struct ServeResult
 
     /** Wall-clock seconds spent serving; 0 without timing. */
     double wallSeconds = 0.0;
+
+    /** The run ended early on the cooperative stop flag. */
+    bool stopped = false;
 };
 
 /** Runs one configured serve session. */

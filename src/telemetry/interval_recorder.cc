@@ -29,6 +29,10 @@ eventKindName(EventKind kind)
         return "job_timeout";
       case EventKind::JobQuarantine:
         return "job_quarantine";
+      case EventKind::DoctorWarn:
+        return "doctor_warn";
+      case EventKind::DoctorFail:
+        return "doctor_fail";
     }
     return "?";
 }

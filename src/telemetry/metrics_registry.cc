@@ -138,6 +138,31 @@ MetricsRegistry::counterValues() const
 }
 
 void
+MetricsRegistry::visit(
+    const std::function<void(const std::string &, const Counter &)>
+        &counter_fn,
+    const std::function<void(const std::string &, const Gauge &)>
+        &gauge_fn,
+    const std::function<void(const std::string &, const Histogram &)>
+        &histogram_fn,
+    bool include_wall) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (counter_fn)
+        for (const auto &[name, c] : counters_) {
+            if (!include_wall && isWallClock(name))
+                continue;
+            counter_fn(name, *c);
+        }
+    if (gauge_fn)
+        for (const auto &[name, g] : gauges_)
+            gauge_fn(name, *g);
+    if (histogram_fn)
+        for (const auto &[name, h] : histograms_)
+            histogram_fn(name, *h);
+}
+
+void
 MetricsRegistry::writeJson(JsonWriter &w, bool include_wall) const
 {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -179,6 +180,22 @@ class MetricsRegistry
     /** Sorted name/value snapshot of every counter. */
     std::vector<std::pair<std::string, std::uint64_t>>
     counterValues() const;
+
+    /**
+     * Walk every metric in name order under the registry lock —
+     * counters first, then gauges, then histograms. Null callbacks
+     * skip that kind; wall-clock counters are skipped unless
+     * @p include_wall is set. The exporter's Prometheus renderer
+     * lives on this.
+     */
+    void
+    visit(const std::function<void(const std::string &,
+                                   const Counter &)> &counter_fn,
+          const std::function<void(const std::string &,
+                                   const Gauge &)> &gauge_fn,
+          const std::function<void(const std::string &,
+                                   const Histogram &)> &histogram_fn,
+          bool include_wall = false) const;
 
     /**
      * Serialise as one JSON object {counters, gauges, histograms},

@@ -21,6 +21,30 @@ intervalTs(std::uint64_t interval)
     return interval * 1000;
 }
 
+/**
+ * RFC 4180 CSV field: quoted (with inner quotes doubled) only when
+ * the value contains a comma, quote or line break, so the common
+ * case — plain job names — stays byte-identical to before.
+ */
+std::string
+csvField(std::string_view v)
+{
+    const bool needs_quoting =
+        v.find_first_of(",\"\n\r") != std::string_view::npos;
+    if (!needs_quoting)
+        return std::string(v);
+    std::string out;
+    out.reserve(v.size() + 2);
+    out.push_back('"');
+    for (const char c : v) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
 void
 beginEvent(JsonWriter &w, std::string_view name, std::string_view ph,
            std::uint64_t pid, std::uint64_t ts)
@@ -208,7 +232,8 @@ TraceWriter::writeCsv(std::ostream &os,
         for (std::size_t i = 0; i < rec.size(); ++i) {
             const IntervalSample &s = rec.sample(i);
             for (std::size_t c = 0; c < s.occupancy.size(); ++c) {
-                os << job.name << ',' << s.interval << ',' << c << ','
+                os << csvField(job.name) << ',' << s.interval
+                   << ',' << c << ','
                    << JsonWriter::formatDouble(s.occupancy[c]) << ',';
                 if (c < s.target.size())
                     os << JsonWriter::formatDouble(s.target[c]);

@@ -1,0 +1,192 @@
+#include "telemetry/window.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+
+namespace prism::telemetry
+{
+
+namespace
+{
+
+/**
+ * Relative-drift denominators are floored so that a tiny EWMA does
+ * not turn ordinary noise into a huge ratio: one-twentieth of the
+ * miss-rate scale, and 1.0 for slowdown (whose EWMA is >= 1 anyway).
+ */
+constexpr double kMissRateDriftFloor = 0.05;
+constexpr double kSlowdownDriftFloor = 1.0;
+
+double
+at(const std::vector<double> &v, std::size_t i)
+{
+    return i < v.size() ? v[i] : 0.0;
+}
+
+std::uint64_t
+at(const std::vector<std::uint64_t> &v, std::size_t i)
+{
+    return i < v.size() ? v[i] : 0;
+}
+
+/** Exact quantile of a sorted series, linear interpolation. */
+double
+quantileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank =
+        q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[lo + 1] - sorted[lo]) * frac;
+}
+
+} // namespace
+
+SlidingWindow::SlidingWindow(std::uint32_t tenants,
+                             WindowConfig config)
+    : tenants_(tenants), config_(config), ewma_(tenants)
+{
+    if (config_.capacity == 0)
+        config_.capacity = 1;
+    ring_.reserve(config_.capacity);
+}
+
+void
+SlidingWindow::push(const IntervalSample &sample,
+                    std::span<const std::uint64_t> evictions)
+{
+    Row row;
+    row.interval = sample.interval;
+    row.occupancy.resize(tenants_);
+    row.target.resize(tenants_);
+    row.evProb.resize(tenants_);
+    row.hits.resize(tenants_);
+    row.misses.resize(tenants_);
+    row.evictions.resize(tenants_);
+    for (std::uint32_t t = 0; t < tenants_; ++t) {
+        row.occupancy[t] = at(sample.occupancy, t);
+        row.target[t] = at(sample.target, t);
+        row.evProb[t] = at(sample.evProb, t);
+        row.hits[t] = at(sample.hits, t);
+        row.misses[t] = at(sample.misses, t);
+        row.evictions[t] =
+            t < evictions.size() ? evictions[t] : 0;
+    }
+
+    // Fold the interval into the EWMA state before the ring may
+    // drop it: drift tracks the whole stream, not just the window.
+    for (std::uint32_t t = 0; t < tenants_; ++t) {
+        const double acc =
+            static_cast<double>(row.hits[t] + row.misses[t]);
+        const double miss_rate =
+            acc > 0.0 ? static_cast<double>(row.misses[t]) / acc
+                      : 0.0;
+        const double slowdown =
+            1.0 + miss_rate * (config_.missPenalty - 1.0);
+        Ewma &e = ewma_[t];
+        if (!e.seeded) {
+            e.seeded = true;
+            e.missRate = miss_rate;
+            e.slowdown = slowdown;
+            e.missRateDrift = 0.0;
+            e.slowdownDrift = 0.0;
+        } else {
+            e.missRateDrift =
+                std::fabs(miss_rate - e.missRate) /
+                std::max(e.missRate, kMissRateDriftFloor);
+            e.slowdownDrift =
+                std::fabs(slowdown - e.slowdown) /
+                std::max(e.slowdown, kSlowdownDriftFloor);
+            e.missRate = config_.ewmaAlpha * miss_rate +
+                         (1.0 - config_.ewmaAlpha) * e.missRate;
+            e.slowdown = config_.ewmaAlpha * slowdown +
+                         (1.0 - config_.ewmaAlpha) * e.slowdown;
+        }
+    }
+
+    if (ring_.size() < config_.capacity) {
+        ring_.push_back(std::move(row));
+    } else {
+        ring_[head_] = std::move(row);
+        head_ = (head_ + 1) % config_.capacity;
+    }
+    ++pushed_;
+}
+
+const SlidingWindow::Row &
+SlidingWindow::row(std::size_t i) const
+{
+    assert(i < ring_.size());
+    return ring_[(head_ + i) % ring_.size()];
+}
+
+std::uint64_t
+SlidingWindow::lastInterval() const
+{
+    return ring_.empty() ? 0 : row(ring_.size() - 1).interval;
+}
+
+TenantWindowStats
+SlidingWindow::stats(std::uint32_t t) const
+{
+    TenantWindowStats s;
+    s.intervals = ring_.size();
+    if (t < ewma_.size()) {
+        const Ewma &e = ewma_[t];
+        s.ewmaMissRate = e.missRate;
+        s.missRateDrift = e.missRateDrift;
+        s.ewmaSlowdown = e.slowdown;
+        s.slowdownDrift = e.slowdownDrift;
+    }
+    if (ring_.empty() || t >= tenants_)
+        return s;
+
+    std::vector<double> hit_ratios;
+    std::vector<double> slowdowns;
+    hit_ratios.reserve(ring_.size());
+    slowdowns.reserve(ring_.size());
+    double churn_sum = 0.0;
+    double prev_ev_prob = 0.0;
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        const Row &r = row(i);
+        s.hits += r.hits[t];
+        s.misses += r.misses[t];
+        s.evictions += r.evictions[t];
+        const double acc =
+            static_cast<double>(r.hits[t] + r.misses[t]);
+        const double hr =
+            acc > 0.0 ? static_cast<double>(r.hits[t]) / acc : 1.0;
+        hit_ratios.push_back(hr);
+        slowdowns.push_back(
+            1.0 + (1.0 - hr) * (config_.missPenalty - 1.0));
+        if (i > 0)
+            churn_sum += std::fabs(r.evProb[t] - prev_ev_prob);
+        prev_ev_prob = r.evProb[t];
+    }
+    const double acc = static_cast<double>(s.hits + s.misses);
+    s.hitRatio =
+        acc > 0.0 ? static_cast<double>(s.hits) / acc : 1.0;
+    s.missRate = acc > 0.0 ? 1.0 - s.hitRatio : 0.0;
+    s.slowdown =
+        1.0 + (1.0 - s.hitRatio) * (config_.missPenalty - 1.0);
+    s.churn = ring_.size() > 1
+                  ? churn_sum /
+                        static_cast<double>(ring_.size() - 1)
+                  : 0.0;
+
+    std::sort(hit_ratios.begin(), hit_ratios.end());
+    std::sort(slowdowns.begin(), slowdowns.end());
+    s.hitRatioP50 = quantileSorted(hit_ratios, 0.5);
+    s.hitRatioP90 = quantileSorted(hit_ratios, 0.9);
+    s.slowdownP50 = quantileSorted(slowdowns, 0.5);
+    s.slowdownP90 = quantileSorted(slowdowns, 0.9);
+    return s;
+}
+
+} // namespace prism::telemetry

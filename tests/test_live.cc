@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Live observability plane, in-process: ServeLiveObserver snapshots
+ * must be byte-identical at 1, 2 and 8 engine threads; the online
+ * doctor's verdict must match what offline analyze() computes from
+ * the very snapshot it was embedded in (the acceptance criterion of
+ * docs/OBSERVABILITY.md, "Live metrics & online doctor"); the
+ * committed METRICS_fixture.json golden pins the prism-metrics-v1
+ * format; and a raised stop flag ends the run at the next round
+ * boundary with the final snapshot still written.
+ *
+ * Regenerate the golden after an intentional format change:
+ *   PRISM_UPDATE_GOLDEN=1 build/tests/test_live \
+ *       --gtest_filter=MetricsGolden.*
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/doctor.hh"
+#include "analysis/online_doctor.hh"
+#include "analysis/series.hh"
+#include "common/json.hh"
+#include "serve/serve_engine.hh"
+#include "telemetry/exporter.hh"
+
+using namespace prism;
+using namespace prism::analysis;
+using namespace prism::serve;
+
+namespace
+{
+
+/** The eviction-heavy serve fixture (test_serve_determinism), with
+ *  the op budget rounded to whole rounds: 48 rounds, 9 intervals. */
+ServeConfig
+fixtureConfig()
+{
+    ServeConfig config;
+    TenantSpec spec;
+    spec.keys = 40000;
+    config.tenants.assign(3, spec);
+    config.tenants[2].zipf = 0.8;
+    config.capacityBytes = 4ull << 20;
+    config.shards = 16;
+    config.streams = 8;
+    config.batch = 1024;
+    config.intervalMisses = 8192;
+    config.opBudget = 393216;
+    config.timing = false;
+    config.seed = 2012;
+    return config;
+}
+
+LiveObserverOptions
+liveOptions()
+{
+    LiveObserverOptions live;
+    live.windowCapacity = 64;
+    live.onlineDoctor = true;
+    return live;
+}
+
+struct LiveRun
+{
+    ServeResult result;
+    std::string snapshotJson;
+    std::string verdictJson;
+};
+
+std::string
+renderSnapshot(const ServeLiveObserver &observer)
+{
+    std::ostringstream os;
+    telemetry::MetricsExporter::writeJson(os, observer.snapshot());
+    os << "\n"; // MetricsExporter::flush writes a trailing newline
+    return os.str();
+}
+
+std::string
+renderVerdict(const Verdict &v)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    writeVerdictJson(w, v);
+    return os.str();
+}
+
+LiveRun
+runLive(ServeConfig config, std::uint32_t threads,
+        LiveObserverOptions live = liveOptions())
+{
+    config.threads = threads;
+    ServeLiveObserver observer(config, live);
+    config.observer = &observer;
+    ServeEngine engine(config);
+    LiveRun out;
+    out.result = engine.run();
+    out.snapshotJson = renderSnapshot(observer);
+    if (observer.doctorEnabled() && observer.doctor().evaluated())
+        out.verdictJson = renderVerdict(observer.doctor().verdict());
+    return out;
+}
+
+} // namespace
+
+TEST(LivePlane, SnapshotIsByteIdenticalAcrossThreadCounts)
+{
+    const ServeConfig config = fixtureConfig();
+    const LiveRun t1 = runLive(config, 1);
+    const LiveRun t2 = runLive(config, 2);
+    const LiveRun t8 = runLive(config, 8);
+
+    EXPECT_GT(t1.snapshotJson.size(), 0u);
+    EXPECT_EQ(t1.snapshotJson, t2.snapshotJson);
+    EXPECT_EQ(t1.snapshotJson, t8.snapshotJson);
+}
+
+TEST(LivePlane, OnlineVerdictIsByteIdenticalAcrossThreadCounts)
+{
+    const ServeConfig config = fixtureConfig();
+    const LiveRun t1 = runLive(config, 1);
+    const LiveRun t8 = runLive(config, 8);
+
+    ASSERT_FALSE(t1.verdictJson.empty())
+        << "fixture must close intervals for the doctor to grade";
+    EXPECT_EQ(t1.verdictJson, t8.verdictJson);
+}
+
+TEST(LivePlane, SnapshotCarriesTheSectionsTheFixtureExercises)
+{
+    const LiveRun live = runLive(fixtureConfig(), 2);
+
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(live.snapshotJson, doc).ok());
+    EXPECT_EQ(doc.at("schema").asString(), "prism-metrics-v1");
+    EXPECT_EQ(doc.at("source").asString(), "serve");
+    EXPECT_EQ(doc.at("run").asString(), "serve/PriSM-H");
+    EXPECT_EQ(doc.at("round").asU64(), live.result.rounds);
+    EXPECT_EQ(doc.at("ops").asU64(), live.result.ops);
+    EXPECT_EQ(doc.at("intervals").asU64(), live.result.intervals);
+    EXPECT_EQ(doc.at("totals").at("evictions").asU64(),
+              live.result.evictions);
+    ASSERT_EQ(doc.at("tenants").size(), 3u);
+    EXPECT_TRUE(doc.at("tenants")
+                    .at(std::size_t{0})
+                    .at("window")
+                    .isObject());
+    EXPECT_EQ(doc.at("window").at("size").asU64(),
+              live.result.intervals)
+        << "the fixture closes fewer intervals than the window "
+           "capacity, so all of them stay retained";
+    EXPECT_FALSE(doc.at("doctor").at("overall").asString().empty());
+}
+
+TEST(LivePlane, OnlineVerdictMatchesOfflineAnalyzeOnTheSnapshot)
+{
+    const ServeConfig config = fixtureConfig();
+    LiveObserverOptions live = liveOptions();
+    const LiveRun run = runLive(config, 2, live);
+
+    // Re-grade the snapshot exactly the way `prism_doctor FILE`
+    // does: parse, lift a RunSeries out of prism-metrics-v1, run
+    // analyze() with the same thresholds.
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(run.snapshotJson, doc).ok());
+    RunSeries series;
+    ASSERT_TRUE(seriesFromMetricsJson(doc, series).ok());
+    const Verdict offline = analyze(series, live.thresholds);
+
+    ASSERT_FALSE(run.verdictJson.empty());
+    EXPECT_EQ(run.verdictJson, renderVerdict(offline))
+        << "the embedded online verdict must equal the offline "
+           "re-analysis of the same snapshot";
+}
+
+TEST(LivePlane, RaisedStopFlagEndsTheRunWithSnapshotIntact)
+{
+    ServeConfig config = fixtureConfig();
+    std::atomic<bool> stop{true};
+    config.stopFlag = &stop;
+
+    const LiveRun live = runLive(config, 2);
+    EXPECT_TRUE(live.result.stopped);
+    EXPECT_LT(live.result.rounds, 48u);
+
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(live.snapshotJson, doc).ok());
+    EXPECT_EQ(doc.at("round").asU64(), live.result.rounds)
+        << "the final snapshot reflects where the run stopped";
+}
+
+// --- Golden prism-metrics-v1 snapshot -----------------------------
+
+#ifndef PRISM_METRICS_GOLDEN_DEFAULT
+#define PRISM_METRICS_GOLDEN_DEFAULT \
+    "tests/golden/METRICS_fixture.json"
+#endif
+
+TEST(MetricsGolden, MatchesCommittedFixture)
+{
+    const char *path_env = std::getenv("PRISM_METRICS_GOLDEN");
+    const std::string path =
+        path_env ? path_env : PRISM_METRICS_GOLDEN_DEFAULT;
+
+    const LiveRun live = runLive(fixtureConfig(), 2);
+
+    if (std::getenv("PRISM_UPDATE_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << live.snapshotJson;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden snapshot " << path
+                    << " (regenerate with PRISM_UPDATE_GOLDEN=1)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(live.snapshotJson, golden.str())
+        << "prism-metrics-v1 format drifted; if intentional "
+           "regenerate with PRISM_UPDATE_GOLDEN=1";
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Live observability plane, end-to-end over the real binaries:
+ * `prism_serve --metrics-out` snapshots must be byte-identical at 1
+ * and 8 threads for a fixed op budget, `prism_top --once` must
+ * render them, `prism_doctor` must autodetect the prism-metrics-v1
+ * schema, and the flag-validation exits must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace
+{
+
+#ifndef PRISM_SERVE_BIN_DEFAULT
+#define PRISM_SERVE_BIN_DEFAULT "tools/prism_serve"
+#endif
+#ifndef PRISM_TOP_BIN_DEFAULT
+#define PRISM_TOP_BIN_DEFAULT "tools/prism_top"
+#endif
+#ifndef PRISM_DOCTOR_BIN_DEFAULT
+#define PRISM_DOCTOR_BIN_DEFAULT "tools/prism_doctor"
+#endif
+
+/** The serve fixture (test_serve_determinism), whole-round budget. */
+const char *const kFixtureFlags =
+    "--tenants 3 --keys 40000 --capacity-mb 4 --shards 16 "
+    "--streams 8 --batch 1024 --interval 8192 --ops 393216 "
+    "--no-timing --seed 2012 --quiet";
+
+std::string
+serveBin()
+{
+    if (const char *p = std::getenv("PRISM_SERVE_BIN"))
+        return p;
+    return PRISM_SERVE_BIN_DEFAULT;
+}
+
+std::string
+topBin()
+{
+    if (const char *p = std::getenv("PRISM_TOP_BIN"))
+        return p;
+    return PRISM_TOP_BIN_DEFAULT;
+}
+
+std::string
+doctorBin()
+{
+    if (const char *p = std::getenv("PRISM_DOCTOR_BIN"))
+        return p;
+    return PRISM_DOCTOR_BIN_DEFAULT;
+}
+
+std::pair<int, std::string>
+run(const std::string &cmd)
+{
+    FILE *pipe = popen((cmd + " 2>&1").c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string out;
+    std::array<char, 4096> buf;
+    while (std::size_t n = std::fread(buf.data(), 1, buf.size(), pipe))
+        out.append(buf.data(), n);
+    const int status = pclose(pipe);
+    return {WEXITSTATUS(status), out};
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+std::string
+tempDir()
+{
+    char tmpl[] = "/tmp/prism_live_XXXXXX";
+    const char *dir = mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    return dir;
+}
+
+/** One fixture serve run with the live plane on. */
+int
+serveWithMetrics(const std::string &dir, const std::string &tag,
+                 unsigned threads, std::string *output = nullptr)
+{
+    const std::string cmd =
+        serveBin() + " " + kFixtureFlags + " --threads " +
+        std::to_string(threads) + " --live-doctor --window 64 " +
+        "--metrics-every 6 --metrics-out " + dir + "/" + tag +
+        ".json --metrics-prom " + dir + "/" + tag + ".prom";
+    const auto [code, out] = run(cmd);
+    if (output != nullptr)
+        *output = out;
+    return code;
+}
+
+} // namespace
+
+TEST(LiveCli, ServeMetricsAreByteIdenticalAcrossThreadCounts)
+{
+    const std::string dir = tempDir();
+    std::string out1, out8;
+    ASSERT_EQ(serveWithMetrics(dir, "t1", 1, &out1), 0) << out1;
+    ASSERT_EQ(serveWithMetrics(dir, "t8", 8, &out8), 0) << out8;
+
+    const std::string json1 = slurp(dir + "/t1.json");
+    EXPECT_FALSE(json1.empty());
+    EXPECT_EQ(json1, slurp(dir + "/t8.json"))
+        << "prism-metrics-v1 snapshots must not depend on --threads";
+    EXPECT_EQ(slurp(dir + "/t1.prom"), slurp(dir + "/t8.prom"));
+    EXPECT_NE(json1.find("\"schema\": \"prism-metrics-v1\""),
+              std::string::npos);
+
+    const auto [code, out] = run("rm -rf " + dir);
+    (void)code;
+    (void)out;
+}
+
+TEST(LiveCli, TopRendersASnapshotOnce)
+{
+    const std::string dir = tempDir();
+    std::string serve_out;
+    ASSERT_EQ(serveWithMetrics(dir, "snap", 2, &serve_out), 0)
+        << serve_out;
+
+    const auto [code, out] =
+        run(topBin() + " " + dir + "/snap.json --once");
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("prism_top: serve/PriSM-H"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("tenant"), std::string::npos) << out;
+    EXPECT_NE(out.find("doctor"), std::string::npos)
+        << "the embedded online verdict must render: " << out;
+
+    run("rm -rf " + dir);
+}
+
+TEST(LiveCli, TopExitsTwoOnMissingFile)
+{
+    const auto [code, out] =
+        run(topBin() + " /nonexistent/metrics.json --once");
+    EXPECT_EQ(code, 2) << out;
+}
+
+TEST(LiveCli, DoctorAutodetectsMetricsSnapshots)
+{
+    const std::string dir = tempDir();
+    std::string serve_out;
+    ASSERT_EQ(serveWithMetrics(dir, "snap", 2, &serve_out), 0)
+        << serve_out;
+
+    const auto [code, out] =
+        run(doctorBin() + " " + dir + "/snap.json");
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("drift"), std::string::npos)
+        << "metrics input must enable the drift checks: " << out;
+
+    run("rm -rf " + dir);
+}
+
+TEST(LiveCli, MetricsEveryWithoutAnOutputIsAUsageError)
+{
+    const auto [serve_code, serve_out] =
+        run(serveBin() + " --ops 8192 --metrics-every 4");
+    EXPECT_EQ(serve_code, 2) << serve_out;
+}

@@ -16,6 +16,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -142,6 +143,47 @@ TEST(IntervalRecorder, EventKindNamesAreStable)
                  "fallback_entered");
     EXPECT_STREQ(eventKindName(EventKind::OwnershipRepair),
                  "ownership_repair");
+    // The online doctor's escalation markers (docs/OBSERVABILITY.md).
+    EXPECT_STREQ(eventKindName(EventKind::DoctorWarn), "doctor_warn");
+    EXPECT_STREQ(eventKindName(EventKind::DoctorFail), "doctor_fail");
+}
+
+TEST(IntervalRecorder, DropCountersStayExactAcrossWrapUnderWriters)
+{
+    // The recorder is single-writer by contract; callers that share
+    // one (the serve engine's observers) serialise externally. Under
+    // that discipline the drop counters must stay exact arithmetic
+    // over the ring: recorded == size + droppedSamples, and likewise
+    // for events, no matter how the writers interleave.
+    IntervalRecorder rec(16);
+    std::mutex writer_mutex;
+    constexpr int kWriters = 4;
+    constexpr std::uint64_t kPerWriter = 500;
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w)
+        writers.emplace_back([&, w] {
+            for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+                const std::uint64_t interval =
+                    static_cast<std::uint64_t>(w) * kPerWriter + i;
+                std::lock_guard<std::mutex> lock(writer_mutex);
+                rec.record(sampleAt(interval));
+                if (i % 3 == 0)
+                    rec.addEvent({EventKind::DoctorWarn, interval,
+                                  invalidCore, 0.0});
+            }
+        });
+    for (std::thread &t : writers)
+        t.join();
+
+    const std::uint64_t total = kWriters * kPerWriter;
+    EXPECT_EQ(rec.recorded(), total);
+    EXPECT_EQ(rec.size(), 16u);
+    EXPECT_EQ(rec.droppedSamples(), total - 16u);
+
+    const std::uint64_t events = kWriters * ((kPerWriter + 2) / 3);
+    EXPECT_EQ(rec.eventsSeen(), events);
+    EXPECT_EQ(rec.droppedEvents(), events - rec.eventCount());
 }
 
 // --- Histogram ----------------------------------------------------
@@ -509,4 +551,47 @@ TEST(TraceGolden, MatchesCommittedFixture)
     EXPECT_EQ(trace, golden.str())
         << "trace format drifted; if intentional regenerate with "
            "PRISM_UPDATE_GOLDEN=1";
+}
+
+// --- CSV field escaping -------------------------------------------
+
+TEST(TraceCsv, EscapesJobNamesWithCommasAndQuotes)
+{
+    // Sweep job keys are free-form (workload mixes contain commas;
+    // chaos specs could carry quotes). The CSV stays RFC-4180: such
+    // fields are quoted with embedded quotes doubled, while plain
+    // names render unquoted exactly as before.
+    IntervalRecorder rec(4);
+    rec.record(sampleAt(1));
+    const std::vector<TraceJob> jobs{
+        {"mix=403.gcc,186.crafty \"W8\"", &rec},
+        {"plain", &rec},
+    };
+
+    std::ostringstream os;
+    TraceWriter().writeCsv(os, jobs);
+    const std::string csv = os.str();
+
+    EXPECT_NE(csv.find("\"mix=403.gcc,186.crafty \"\"W8\"\"\",1,0,"),
+              std::string::npos)
+        << csv;
+    EXPECT_NE(csv.find("\nplain,1,0,"), std::string::npos) << csv;
+    // Every data row still has the header's column count.
+    std::istringstream lines(csv);
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    const auto columns = [](const std::string &row) {
+        std::size_t n = 1;
+        bool quoted = false;
+        for (const char c : row) {
+            if (c == '"')
+                quoted = !quoted;
+            else if (c == ',' && !quoted)
+                ++n;
+        }
+        return n;
+    };
+    const std::size_t header_cols = columns(line);
+    while (std::getline(lines, line))
+        EXPECT_EQ(columns(line), header_cols) << line;
 }

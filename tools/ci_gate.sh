@@ -130,4 +130,53 @@ grep -q "PriSM-WM" "$plane_out/wm_stats.json" || {
 # shellcheck disable=SC2086
 (cd "$build" && ctest -L plane --output-on-failure ${CTEST_ARGS:-})
 
+echo "== live gate =="
+# Live observability plane (docs/OBSERVABILITY.md, "Live metrics &
+# online doctor"): prism_serve runs with periodic prism-metrics-v1
+# exposition and the online doctor; for a fixed round budget the
+# snapshot must be schema-valid (prism_doctor autodetects it), the
+# doctor must not FAIL, and two consecutive budgets at two thread
+# counts must each produce byte-identical files. prism_top must
+# render the snapshot read-only.
+live_out=$(mktemp -d)
+trap 'rm -rf "$out" "$hot_out" "$chaos_out" "$serve_out" \
+     "$plane_out" "$live_out"' EXIT
+for ops in 393216 589824; do
+    for threads in 1 8; do
+        "$build/tools/prism_serve" --tenants 3 --keys 40000 \
+            --capacity-mb 4 --shards 16 --streams 8 --batch 1024 \
+            --interval 8192 --ops "$ops" --threads "$threads" \
+            --no-timing --quiet --seed 2012 \
+            --live-doctor --metrics-every 6 \
+            --metrics-out "$live_out/m_${ops}_t${threads}.json" \
+            --metrics-prom "$live_out/m_${ops}_t${threads}.prom"
+    done
+    cmp "$live_out/m_${ops}_t1.json" \
+        "$live_out/m_${ops}_t8.json" || {
+        echo "live gate: snapshot differs across --threads" >&2
+        exit 1
+    }
+    cmp "$live_out/m_${ops}_t1.prom" \
+        "$live_out/m_${ops}_t8.prom" || {
+        echo "live gate: Prometheus text differs across --threads" >&2
+        exit 1
+    }
+    "$build/tools/prism_doctor" "$live_out/m_${ops}_t1.json" \
+        > "$live_out/verdict_${ops}.txt"
+done
+cmp "$live_out/m_393216_t1.json" "$live_out/m_589824_t1.json" \
+    >/dev/null 2>&1 && {
+    echo "live gate: different budgets produced the same snapshot" >&2
+    exit 1
+}
+"$build/tools/prism_top" "$live_out/m_589824_t1.json" --once \
+    > "$live_out/top.txt"
+cat "$live_out/top.txt"
+grep -q "round" "$live_out/top.txt" || {
+    echo "live gate: prism_top did not render the snapshot" >&2
+    exit 1
+}
+# shellcheck disable=SC2086
+(cd "$build" && ctest -L live --output-on-failure ${CTEST_ARGS:-})
+
 echo "== gate passed =="

@@ -17,27 +17,16 @@
  * checkpoint before exiting.
  */
 
-#include <atomic>
-#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/stop_signal.hh"
 #include "figures.hh"
 
 namespace
 {
-
-/** Set by the SIGINT/SIGTERM handler; observed by the sweep runner,
- * which then skips queued jobs and cancels running attempts. */
-std::atomic<bool> g_stop{false};
-
-extern "C" void
-stopHandler(int)
-{
-    g_stop.store(true, std::memory_order_relaxed);
-}
 
 int
 usage(std::ostream &os, const char *argv0)
@@ -68,6 +57,17 @@ usage(std::ostream &os, const char *argv0)
        << "                 write the verdicts as a prism-doctor-v1\n"
        << "                 document (implies --doctor; single figure\n"
        << "                 only; byte-identical at any --threads)\n"
+       << "  --metrics-out PATH\n"
+       << "                 maintain a prism-metrics-v1 snapshot of\n"
+       << "                 sweep progress (single figure only; the\n"
+       << "                 final snapshot is byte-identical at any\n"
+       << "                 --threads value)\n"
+       << "  --metrics-prom PATH\n"
+       << "                 the same snapshot as Prometheus text\n"
+       << "  --metrics-every N\n"
+       << "                 refresh the snapshot every N completed\n"
+       << "                 jobs (completion-ordered, like\n"
+       << "                 --progress; 0 = final snapshot only)\n"
        << "\n"
        << "fault tolerance (docs/RELIABILITY.md):\n"
        << "  --no-supervise raw execution: no retry, no quarantine;\n"
@@ -161,6 +161,13 @@ main(int argc, char **argv)
         } else if (arg == "--doctor-json") {
             options.doctorJsonPath = value();
             options.doctor = true;
+        } else if (arg == "--metrics-out") {
+            options.metricsOutPath = value();
+        } else if (arg == "--metrics-prom") {
+            options.metricsPromPath = value();
+        } else if (arg == "--metrics-every") {
+            options.metricsEvery =
+                std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--no-supervise") {
             options.supervise = false;
         } else if (arg == "--retries") {
@@ -217,6 +224,19 @@ main(int argc, char **argv)
                      "figure\n";
         return 2;
     }
+    if (ids.size() > 1 && (!options.metricsOutPath.empty() ||
+                           !options.metricsPromPath.empty())) {
+        std::cerr << "--metrics-out/--metrics-prom write one file: "
+                     "select a single figure\n";
+        return 2;
+    }
+    if (options.metricsEvery > 0 &&
+        options.metricsOutPath.empty() &&
+        options.metricsPromPath.empty()) {
+        std::cerr << "--metrics-every needs --metrics-out or "
+                     "--metrics-prom\n";
+        return 2;
+    }
     if (options.resume && options.ckptPath.empty()) {
         std::cerr << "--resume requires --ckpt FILE\n";
         return 2;
@@ -230,9 +250,11 @@ main(int argc, char **argv)
     // A stop request drains the sweep cooperatively: queued jobs are
     // skipped, running attempts cancel at their next poll, and the
     // checkpoint (when configured) gets a final flush before exit.
-    options.stopFlag = &g_stop;
-    std::signal(SIGINT, stopHandler);
-    std::signal(SIGTERM, stopHandler);
+    // The handler is the shared one prism_serve installs too
+    // (common/stop_signal.hh); both drivers exit 130 after their
+    // final flushes.
+    prism::installStopHandlers();
+    options.stopFlag = &prism::stopRequested();
 
     int rc = 0;
     for (std::size_t i = 0; i < ids.size(); ++i) {

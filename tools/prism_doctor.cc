@@ -58,12 +58,15 @@ usage(std::ostream &os)
         "usage: prism_doctor [FILE] [options]\n"
         "       prism_doctor --compare BASELINE CANDIDATE [options]\n"
         "  FILE                 prism-stats-v1, prism-trace-v1,\n"
-        "                       prism-bench-v1 or prism-serve-v1\n"
-        "                       JSON (auto-detected)\n"
+        "                       prism-bench-v1, prism-serve-v1 or\n"
+        "                       prism-metrics-v1 JSON "
+        "(auto-detected)\n"
         "  --stats FILE         force prism-stats-v1 input\n"
         "  --trace FILE         force prism-trace-v1 input\n"
         "  --bench FILE         force prism-bench-v1 input\n"
         "  --serve FILE         force prism-serve-v1 input\n"
+        "  --metrics FILE       force prism-metrics-v1 input (a live\n"
+        "                       snapshot written by --metrics-out)\n"
         "  --ckpt FILE          validate a prism-ckpt-v1 sweep\n"
         "                       checkpoint (*.ckpt.json paths are\n"
         "                       auto-detected); a corrupt file is a\n"
@@ -118,6 +121,7 @@ enum class InputKind
     Trace,
     Bench,
     Serve,
+    Metrics,
     Ckpt,
 };
 
@@ -143,13 +147,15 @@ detectKind(const JsonValue &doc, const std::string &path)
         return InputKind::Bench;
     if (schema == "prism-serve-v1")
         return InputKind::Serve;
+    if (schema == "prism-metrics-v1")
+        return InputKind::Metrics;
     if (doc.at("otherData").at("schema").asString() ==
         "prism-trace-v1")
         return InputKind::Trace;
     std::cerr << "prism_doctor: " << path
               << ": unrecognised document (expected prism-stats-v1, "
-                 "prism-trace-v1, prism-bench-v1 or "
-                 "prism-serve-v1)\n";
+                 "prism-trace-v1, prism-bench-v1, prism-serve-v1 or "
+                 "prism-metrics-v1)\n";
     std::exit(2);
 }
 
@@ -278,6 +284,9 @@ main(int argc, char **argv)
         } else if (arg == "--serve") {
             opt.file = value();
             opt.kind = InputKind::Serve;
+        } else if (arg == "--metrics") {
+            opt.file = value();
+            opt.kind = InputKind::Metrics;
         } else if (arg == "--ckpt") {
             opt.file = value();
             opt.kind = InputKind::Ckpt;
@@ -369,6 +378,14 @@ main(int argc, char **argv)
                 source = "serve";
                 RunSeries s;
                 st = seriesFromServeJson(doc, s);
+                if (st.ok())
+                    jobs.push_back(analyze(s, thresholds));
+                break;
+              }
+              case InputKind::Metrics: {
+                source = "metrics";
+                RunSeries s;
+                st = seriesFromMetricsJson(doc, s);
                 if (st.ok())
                     jobs.push_back(analyze(s, thresholds));
                 break;

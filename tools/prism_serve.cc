@@ -27,14 +27,17 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/doctor.hh"
+#include "analysis/online_doctor.hh"
 #include "analysis/series.hh"
 #include "common/atomic_file.hh"
 #include "common/json.hh"
+#include "common/stop_signal.hh"
 #include "serve/serve_engine.hh"
 
 using namespace prism;
@@ -79,7 +82,19 @@ usage(std::ostream &os)
         "  --no-timing          skip wall-clock collection and the\n"
         "                       non-deterministic timing section\n"
         "  --doctor             diagnose the session in-process\n"
-        "  --quiet              suppress the human summary\n";
+        "  --metrics-out PATH   write prism-metrics-v1 snapshots\n"
+        "  --metrics-prom PATH  write Prometheus text snapshots\n"
+        "  --metrics-every N    snapshot every N rounds (0 = final\n"
+        "                       snapshot only; default 0)\n"
+        "  --window K           live sliding-window capacity in\n"
+        "                       intervals (default 64)\n"
+        "  --live-doctor        grade the run online after every\n"
+        "                       interval close (adds drift checks)\n"
+        "  --quiet              suppress the human summary\n"
+        "\n"
+        "SIGINT/SIGTERM stop the run at the next round boundary; all\n"
+        "requested outputs (document, metrics snapshots) are still\n"
+        "written, and the exit code is 130.\n";
 }
 
 [[noreturn]] void
@@ -126,6 +141,7 @@ main(int argc, char **argv)
     std::string json_path;
     bool doctor = false;
     bool quiet = false;
+    analysis::LiveObserverOptions live;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -202,6 +218,23 @@ main(int argc, char **argv)
             config.timing = false;
         } else if (arg == "--doctor") {
             doctor = true;
+        } else if (arg == "--metrics-out") {
+            live.metricsJsonPath = value();
+            if (live.metricsJsonPath.empty())
+                cliError("--metrics-out needs a path");
+        } else if (arg == "--metrics-prom") {
+            live.metricsPromPath = value();
+            if (live.metricsPromPath.empty())
+                cliError("--metrics-prom needs a path");
+        } else if (arg == "--metrics-every") {
+            live.metricsEvery = parseU64Arg(arg, value());
+        } else if (arg == "--window") {
+            live.windowCapacity = static_cast<std::size_t>(
+                parseU64Arg(arg, value()));
+            if (live.windowCapacity == 0)
+                cliError("--window must be positive");
+        } else if (arg == "--live-doctor") {
+            live.onlineDoctor = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -221,8 +254,34 @@ main(int argc, char **argv)
         }
     }
 
+    if (live.metricsEvery > 0 && live.metricsJsonPath.empty() &&
+        live.metricsPromPath.empty())
+        cliError("--metrics-every needs --metrics-out or "
+                 "--metrics-prom");
+
+    const bool want_live = live.onlineDoctor ||
+                           !live.metricsJsonPath.empty() ||
+                           !live.metricsPromPath.empty();
+    std::unique_ptr<analysis::ServeLiveObserver> observer;
+    if (want_live) {
+        observer = std::make_unique<analysis::ServeLiveObserver>(
+            config, live);
+        config.observer = observer.get();
+    }
+
+    installStopHandlers();
+    config.stopFlag = &stopRequested();
+
     ServeEngine engine(config);
     const ServeResult result = engine.run();
+
+    if (observer) {
+        if (const Status st = observer->flushFinal(); !st.ok()) {
+            std::cerr << "prism_serve: metrics: " << st.message()
+                      << "\n";
+            return 2;
+        }
+    }
 
     if (!quiet) {
         std::uint64_t hits = 0, misses = 0;
@@ -278,6 +337,8 @@ main(int argc, char **argv)
         }
     }
 
+    int rc = 0;
+
     if (doctor) {
         JsonValue parsed;
         if (const Status st = parseJson(doc.str(), parsed);
@@ -297,7 +358,20 @@ main(int argc, char **argv)
         const analysis::Verdict verdict = analysis::analyze(series);
         analysis::printReport(std::cout, verdict);
         if (verdict.overall == analysis::FindingStatus::Fail)
-            return 1;
+            rc = 1;
     }
-    return 0;
+
+    if (observer && observer->doctorEnabled() &&
+        observer->doctor().evaluated()) {
+        const analysis::Verdict &verdict =
+            observer->doctor().verdict();
+        if (!quiet)
+            analysis::printReport(std::cout, verdict);
+        if (verdict.overall == analysis::FindingStatus::Fail)
+            rc = 1;
+    }
+
+    if (result.stopped)
+        return stopExitCode;
+    return rc;
 }
